@@ -1,0 +1,295 @@
+package verlog
+
+// One testing.B benchmark per experiment of EXPERIMENTS.md (E1-E12). The
+// cmd/verlog-bench binary prints the corresponding tables with correctness
+// checks; these benches measure the same code paths under the Go bench
+// harness. Sub-benchmarks carry the sweep parameter.
+
+import (
+	"fmt"
+	"testing"
+
+	"verlog/internal/baseline"
+	"verlog/internal/eval"
+	"verlog/internal/strata"
+	"verlog/internal/workload"
+)
+
+func mustParseProgram(b *testing.B, src string) *Program {
+	b.Helper()
+	p, err := ParseProgram(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func apply(b *testing.B, ob *ObjectBase, p *Program, opts ...Option) *Result {
+	b.Helper()
+	res, err := Apply(ob, p, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkE1SalaryRaise — Section 2.1: one modify per employee, scaling.
+func BenchmarkE1SalaryRaise(b *testing.B) {
+	p := mustParseProgram(b, workload.SalaryRaiseProgram)
+	for _, n := range []int{100, 1000, 10000} {
+		ob := workload.EnterpriseSpec{Employees: n, Seed: 42}.ObjectBase()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := apply(b, ob, p)
+				if res.Fired != n {
+					b.Fatalf("fired = %d, want %d", res.Fired, n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2Enterprise — Figure 2 / Section 2.3: the four-rule enterprise
+// update over generated org charts.
+func BenchmarkE2Enterprise(b *testing.B) {
+	p := mustParseProgram(b, workload.EnterpriseProgram)
+	for _, n := range []int{100, 1000, 5000} {
+		ob := workload.EnterpriseSpec{Employees: n, Seed: 7}.ObjectBase()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				apply(b, ob, p)
+			}
+		})
+	}
+}
+
+// BenchmarkE3Hypothetical — Section 2.3: hypothetical raise and revision.
+func BenchmarkE3Hypothetical(b *testing.B) {
+	const prog = `
+rule1: mod[E].sal -> (S, S') <- E.sal -> S / factor -> F, S' = S * F.
+rule2: mod[mod(E)].sal -> (S', S) <- mod(E).sal -> S', E.sal -> S.
+rule3: ins[mod(mod(peter))].richest -> no <-
+       mod(E).sal -> SE, mod(peter).sal -> SP, SE > SP.
+rule4: ins[ins(mod(mod(peter)))].richest -> yes <-
+       !ins(mod(mod(peter))).richest -> no.
+`
+	p := mustParseProgram(b, prog)
+	for _, n := range []int{10, 100, 1000} {
+		src := "peter.isa -> empl / sal -> 1000 / factor -> 3.\n"
+		for i := 0; i < n-1; i++ {
+			src += fmt.Sprintf("c%d.isa -> empl / sal -> %d / factor -> 2.\n", i, 1000+i%400)
+		}
+		ob, err := ParseObjectBase(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				apply(b, ob, p)
+			}
+		})
+	}
+}
+
+// BenchmarkE4Ancestors — Section 2.3: recursive closure over genealogies.
+func BenchmarkE4Ancestors(b *testing.B) {
+	p := mustParseProgram(b, workload.AncestorsProgram)
+	for _, gen := range []int{4, 6, 8} {
+		spec := workload.GenealogySpec{Generations: gen, Branching: 2}
+		ob := spec.ObjectBase()
+		b.Run(fmt.Sprintf("generations=%d", gen), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				apply(b, ob, p)
+			}
+		})
+	}
+}
+
+// BenchmarkE5VersionChains — Figure 1: k consecutive update groups.
+func BenchmarkE5VersionChains(b *testing.B) {
+	for _, k := range []int{1, 4, 8, 12} {
+		p := mustParseProgram(b, workload.ChainProgram(k))
+		ob := workload.Items(200)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := apply(b, ob, p)
+				if res.Assignment.NumStrata() != k {
+					b.Fatalf("strata = %d, want %d", res.Assignment.NumStrata(), k)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Stratify — Section 4: stratification cost over program size.
+func BenchmarkE6Stratify(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		p := mustParseProgram(b, workload.LayeredProgram(n, 4))
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := strata.Stratify(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Linearity — Section 5: the online version-linearity check on
+// an accepted linear chain (the check is folded into evaluation).
+func BenchmarkE7Linearity(b *testing.B) {
+	p := mustParseProgram(b, workload.ChainProgram(6))
+	ob := workload.Items(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		apply(b, ob, p)
+	}
+}
+
+// BenchmarkE8FrameOverhead — Section 3, footnote 4: copy cost vs the
+// fraction of touched objects.
+func BenchmarkE8FrameOverhead(b *testing.B) {
+	ob := workload.TouchedSpec{Objects: 2000, Methods: 8}.ObjectBase()
+	for _, pct := range []int{1, 10, 50, 100} {
+		p := mustParseProgram(b, workload.TouchProgram(pct))
+		b.Run(fmt.Sprintf("touched=%d%%", pct), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				apply(b, ob, p)
+			}
+		})
+	}
+}
+
+// BenchmarkE9ControlVsInflationary — Section 2.4: the versioned engine vs
+// the flat baselines on the enterprise control problem.
+func BenchmarkE9ControlVsInflationary(b *testing.B) {
+	const base = `
+phil.isa -> empl / pos -> mgr / sal -> 4000.
+bob.isa -> empl / boss -> phil / sal -> 4100.
+`
+	flatProg := mustParseProgram(b, `
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, !E.pos -> mgr, S' = S * 1.1.
+rule3: del[E].* <- E.isa -> empl / boss -> B / sal -> SE, B.isa -> empl / sal -> SB, SE > SB.
+rule4: ins[E].isa -> hpe <- E.isa -> empl / sal -> S, S > 4500.
+`)
+	versioned := mustParseProgram(b, workload.EnterpriseProgram)
+	ob, err := ParseObjectBase(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("verlog", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			apply(b, ob, versioned)
+		}
+	})
+	b.Run("inflationary-12iters", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := (baseline.Inflationary{MaxIterations: 12}).Run(ob, flatProg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential-right-order", func(b *testing.B) {
+		b.ReportAllocs()
+		sq := baseline.Sequential{Groups: [][]int{{0, 1}, {2}, {3}}, OnePass: true}
+		for i := 0; i < b.N; i++ {
+			if _, err := sq.Run(ob, flatProg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10SemiNaive — ablation: naive vs semi-naive fixpoint.
+func BenchmarkE10SemiNaive(b *testing.B) {
+	p := mustParseProgram(b, workload.AncestorsProgram)
+	spec := workload.GenealogySpec{Generations: 8, Branching: 2}
+	ob := spec.ObjectBase()
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			apply(b, ob, p, WithStrategy(Naive))
+		}
+	})
+	b.Run("semi-naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			apply(b, ob, p, WithStrategy(SemiNaive))
+		}
+	})
+}
+
+// BenchmarkE11VsDirect — overhead factor vs the hand-coded updater.
+func BenchmarkE11VsDirect(b *testing.B) {
+	p := mustParseProgram(b, workload.EnterpriseProgram)
+	spec := workload.EnterpriseSpec{Employees: 1000, Seed: 99}
+	emps := spec.Generate()
+	ob := workload.EmployeesToBase(emps)
+	b.Run("verlog", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			apply(b, ob, p)
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			direct := baseline.FromWorkload(emps)
+			baseline.DirectEnterprise(direct)
+		}
+	})
+}
+
+// BenchmarkE13Parallel — ablation: workers for matching and state copies.
+func BenchmarkE13Parallel(b *testing.B) {
+	p := mustParseProgram(b, workload.EnterpriseProgram)
+	ob := workload.EnterpriseSpec{Employees: 2000, Seed: 21}.ObjectBase()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				apply(b, ob, p, WithParallelism(workers))
+			}
+		})
+	}
+}
+
+// BenchmarkE14Planner — ablation: static vs statistics join ordering.
+func BenchmarkE14Planner(b *testing.B) {
+	p := mustParseProgram(b, workload.EnterpriseProgram)
+	ob := workload.EnterpriseSpec{Employees: 2000, ManagerFraction: 0.05, Seed: 33}.ObjectBase()
+	b.Run("static", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			apply(b, ob, p, WithStaticPlanner())
+		}
+	})
+	b.Run("statistics", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			apply(b, ob, p)
+		}
+	})
+}
+
+// BenchmarkE12Finalize — Section 5: building ob' from final versions.
+func BenchmarkE12Finalize(b *testing.B) {
+	p := mustParseProgram(b, workload.ChainProgram(8))
+	ob := workload.Items(2000)
+	res := apply(b, ob, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Finalize(res.Result)
+	}
+}

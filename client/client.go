@@ -1,0 +1,242 @@
+// Package client is a Go client for the verlog HTTP server
+// (cmd/verlog-server): typed access to apply, query, check, time travel,
+// histories and constraints over a journaled object base.
+//
+//	c := client.New("http://localhost:8487")
+//	res, err := c.Apply(ctx, program)
+//	rows, err := c.Query(ctx, `E.isa -> hpe.`)
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Client talks to one verlog server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8487").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("verlog server: %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path, body string) ([]byte, error) {
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+	if err != nil {
+		return nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return data, nil
+}
+
+// Head returns the current object base in concrete text syntax.
+func (c *Client) Head(ctx context.Context) (string, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/head", "")
+	return string(b), err
+}
+
+// State returns the object base after the first n applied programs.
+func (c *Client) State(ctx context.Context, n int) (string, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/state?n="+strconv.Itoa(n), "")
+	return string(b), err
+}
+
+// LogEntry summarizes one applied program.
+type LogEntry struct {
+	Seq     int    `json:"seq"`
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	Fired   int    `json:"fired"`
+	Strata  int    `json:"strata"`
+	Program string `json:"program"`
+}
+
+// Log returns the journal summary.
+func (c *Client) Log(ctx context.Context) ([]LogEntry, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/log", "")
+	if err != nil {
+		return nil, err
+	}
+	var out []LogEntry
+	return out, json.Unmarshal(b, &out)
+}
+
+// ApplyResult reports a committed update.
+type ApplyResult struct {
+	State  int   `json:"state"`
+	Fired  int   `json:"fired"`
+	Strata int   `json:"strata"`
+	Facts  int   `json:"facts"`
+	Iters  []int `json:"iterations"`
+}
+
+// Apply sends an update-program (concrete syntax) and commits it.
+func (c *Client) Apply(ctx context.Context, program string) (*ApplyResult, error) {
+	b, err := c.do(ctx, http.MethodPost, "/v1/apply", program)
+	if err != nil {
+		return nil, err
+	}
+	var out ApplyResult
+	return &out, json.Unmarshal(b, &out)
+}
+
+// Query evaluates a query against the head; each row maps variable names
+// to rendered OIDs.
+func (c *Client) Query(ctx context.Context, query string) ([]map[string]string, error) {
+	b, err := c.do(ctx, http.MethodPost, "/v1/query", query)
+	if err != nil {
+		return nil, err
+	}
+	var out []map[string]string
+	return out, json.Unmarshal(b, &out)
+}
+
+// CheckResult reports a program's static analysis.
+type CheckResult struct {
+	Rules  int      `json:"rules"`
+	Strata []string `json:"strata"`
+}
+
+// Check validates a program without applying it.
+func (c *Client) Check(ctx context.Context, program string) (*CheckResult, error) {
+	b, err := c.do(ctx, http.MethodPost, "/v1/check", program)
+	if err != nil {
+		return nil, err
+	}
+	var out CheckResult
+	return &out, json.Unmarshal(b, &out)
+}
+
+// HistoryStep is one stage of an object's update process.
+type HistoryStep struct {
+	Version string   `json:"version"`
+	Kind    string   `json:"kind,omitempty"`
+	State   []string `json:"state"`
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// History returns the version history of an object from the most recent
+// apply on this server.
+func (c *Client) History(ctx context.Context, object string) ([]HistoryStep, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/history?object="+object, "")
+	if err != nil {
+		return nil, err
+	}
+	var out []HistoryStep
+	return out, json.Unmarshal(b, &out)
+}
+
+// SetConstraints installs integrity constraints (denial form).
+func (c *Client) SetConstraints(ctx context.Context, constraints string) (int, error) {
+	b, err := c.do(ctx, http.MethodPost, "/v1/constraints", constraints)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		Installed int `json:"installed"`
+	}
+	return out.Installed, json.Unmarshal(b, &out)
+}
+
+// Constraints returns the installed constraints in text form.
+func (c *Client) Constraints(ctx context.Context) (string, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/constraints", "")
+	return string(b), err
+}
+
+// Stats summarizes the head object base.
+type Stats struct {
+	Facts    int `json:"facts"`
+	Objects  int `json:"objects"`
+	Versions int `json:"versions"`
+	MaxDepth int `json:"max_depth"`
+	Methods  []struct {
+		Method   string `json:"method"`
+		Facts    int    `json:"facts"`
+		Versions int    `json:"versions"`
+	} `json:"methods"`
+}
+
+// Stats fetches the head-base summary.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/stats", "")
+	if err != nil {
+		return nil, err
+	}
+	var out Stats
+	return &out, json.Unmarshal(b, &out)
+}
+
+// ExplainEntry is the provenance of one fact in the last apply's fixpoint.
+type ExplainEntry struct {
+	Fact        string `json:"fact"`
+	Provenance  string `json:"provenance"` // input, update, copy, unknown
+	Explanation string `json:"explanation"`
+}
+
+// Explain reports where facts (fact syntax, period-terminated) in the most
+// recent apply's fixpoint came from.
+func (c *Client) Explain(ctx context.Context, facts string) ([]ExplainEntry, error) {
+	b, err := c.do(ctx, http.MethodPost, "/v1/explain", facts)
+	if err != nil {
+		return nil, err
+	}
+	var out []ExplainEntry
+	return out, json.Unmarshal(b, &out)
+}

@@ -1,0 +1,136 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"verlog/internal/parser"
+	"verlog/internal/repository"
+	"verlog/internal/server"
+)
+
+func newClient(t *testing.T) *Client {
+	t.Helper()
+	initial, err := parser.ObjectBase(`
+phil.isa -> empl / pos -> mgr / sal -> 4000.
+bob.isa -> empl / boss -> phil / sal -> 4200.
+`, "init.vlg")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	repo, err := repository.Init(t.TempDir()+"/repo", initial)
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	ts := httptest.NewServer(server.New(repo))
+	t.Cleanup(ts.Close)
+	return New(ts.URL)
+}
+
+const update = `
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, !E.pos -> mgr, S' = S * 1.1.
+rule3: del[mod(E)].* <- mod(E).isa -> empl / boss -> B / sal -> SE, mod(B).isa -> empl / sal -> SB, SE > SB.
+rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[mod(E)].isa -> empl.
+`
+
+func TestClientEndToEnd(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	chk, err := c.Check(ctx, update)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if chk.Rules != 4 || len(chk.Strata) != 3 {
+		t.Errorf("check = %+v", chk)
+	}
+
+	res, err := c.Apply(ctx, update)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.State != 1 || res.Fired != 6 || res.Strata != 3 {
+		t.Errorf("apply = %+v", res)
+	}
+
+	head, err := c.Head(ctx)
+	if err != nil || !strings.Contains(head, "phil.sal -> 4600.") {
+		t.Errorf("head = %q (%v)", head, err)
+	}
+
+	rows, err := c.Query(ctx, `E.isa -> hpe.`)
+	if err != nil || len(rows) != 1 || rows[0]["E"] != "phil" {
+		t.Errorf("query = %v (%v)", rows, err)
+	}
+
+	state0, err := c.State(ctx, 0)
+	if err != nil || !strings.Contains(state0, "bob.sal -> 4200.") {
+		t.Errorf("state 0 = %q (%v)", state0, err)
+	}
+
+	log, err := c.Log(ctx)
+	if err != nil || len(log) != 1 || log[0].Seq != 1 || log[0].Fired != 6 {
+		t.Errorf("log = %v (%v)", log, err)
+	}
+
+	hist, err := c.History(ctx, "bob")
+	if err != nil || len(hist) != 3 || hist[2].Version != "del(mod(bob))" {
+		t.Errorf("history = %v (%v)", hist, err)
+	}
+}
+
+func TestClientConstraints(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	n, err := c.SetConstraints(ctx, `nonneg: E.isa -> empl, E.sal -> S, S < 0.`)
+	if err != nil || n != 1 {
+		t.Fatalf("SetConstraints = %d, %v", n, err)
+	}
+	text, err := c.Constraints(ctx)
+	if err != nil || !strings.Contains(text, "nonneg") {
+		t.Errorf("Constraints = %q (%v)", text, err)
+	}
+	_, err = c.Apply(ctx, `r: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S - 99999.`)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 409 {
+		t.Errorf("violating apply err = %v, want 409 APIError", err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	_, err := c.Apply(ctx, "broken -> ")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 400 || ae.Message == "" {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.State(ctx, 99); !errors.As(err, &ae) || ae.StatusCode != 404 {
+		t.Errorf("state err = %v", err)
+	}
+	// Unreachable server.
+	dead := New("http://127.0.0.1:1")
+	if _, err := dead.Head(ctx); err == nil {
+		t.Errorf("dead server reachable")
+	}
+}
+
+func TestClientStatsAndExplain(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	st, err := c.Stats(ctx)
+	if err != nil || st.Objects != 2 || st.Facts == 0 {
+		t.Fatalf("Stats = %+v (%v)", st, err)
+	}
+	if _, err := c.Apply(ctx, update); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.Explain(ctx, "ins(mod(phil)).isa -> hpe.")
+	if err != nil || len(entries) != 1 || entries[0].Provenance != "update" {
+		t.Fatalf("Explain = %+v (%v)", entries, err)
+	}
+}

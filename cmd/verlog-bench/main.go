@@ -1,0 +1,79 @@
+// Command verlog-bench runs the experiment suite of EXPERIMENTS.md and
+// prints one table per experiment. Every figure and worked example of the
+// paper has an experiment (E1-E5), plus the characterization and ablation
+// studies (E6-E13).
+//
+// Usage:
+//
+//	verlog-bench            # run everything
+//	verlog-bench -run E2,E9 # run selected experiments
+//	verlog-bench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"verlog/internal/bench"
+)
+
+func main() {
+	code := run(os.Args[1:], os.Stdout, os.Stderr)
+	os.Exit(code)
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("verlog-bench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	var selected []bench.Experiment
+	if *runList == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Get(id)
+			if !ok {
+				fmt.Fprintf(errOut, "verlog-bench: unknown experiment %q (try -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := false
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(errOut, "verlog-bench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		tbl.Fprint(out)
+		if strings.Contains(tbl.String(), "FAIL") {
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,80 @@
+// Command verlog-gen generates the synthetic workloads of the experiment
+// suite: object bases (enterprise org charts, genealogies, item/payload
+// bases) and parameterized programs (version chains, touch programs,
+// layered programs), in the concrete syntax.
+//
+// Usage:
+//
+//	verlog-gen enterprise -n 1000 [-managers 0.1] [-seed 42]
+//	verlog-gen genealogy  -generations 6 [-branching 2] [-roots 1]
+//	verlog-gen items      -n 500
+//	verlog-gen touched    -n 2000 [-methods 8]
+//	verlog-gen chain      -k 8          # program
+//	verlog-gen touch      -percent 10   # program
+//	verlog-gen layered    -n 256 [-depth 4]  # program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/parser"
+	"verlog/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "verlog-gen:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("need a workload kind (enterprise, genealogy, items, touched, chain, touch, layered)")
+	}
+	kind, rest := args[0], args[1:]
+	fs := flag.NewFlagSet(kind, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	n := fs.Int("n", 1000, "size (objects / rules)")
+	managers := fs.Float64("managers", 0.1, "manager fraction (enterprise)")
+	seed := fs.Int64("seed", 42, "random seed (enterprise)")
+	generations := fs.Int("generations", 6, "generations (genealogy)")
+	branching := fs.Int("branching", 2, "children per person (genealogy)")
+	roots := fs.Int("roots", 1, "family trees (genealogy)")
+	methods := fs.Int("methods", 8, "payload facts per object (touched)")
+	k := fs.Int("k", 8, "update groups (chain)")
+	percent := fs.Int("percent", 10, "touched percentage (touch)")
+	depth := fs.Int("depth", 4, "max VID depth (layered)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	var base *objectbase.Base
+	switch kind {
+	case "enterprise":
+		base = workload.EnterpriseSpec{Employees: *n, ManagerFraction: *managers, Seed: *seed}.ObjectBase()
+	case "genealogy":
+		base = workload.GenealogySpec{Generations: *generations, Branching: *branching, Roots: *roots}.ObjectBase()
+	case "items":
+		base = workload.Items(*n)
+	case "touched":
+		base = workload.TouchedSpec{Objects: *n, Methods: *methods}.ObjectBase()
+	case "chain":
+		_, err := io.WriteString(out, workload.ChainProgram(*k))
+		return err
+	case "touch":
+		_, err := io.WriteString(out, workload.TouchProgram(*percent))
+		return err
+	case "layered":
+		_, err := io.WriteString(out, workload.LayeredProgram(*n, *depth))
+		return err
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	_, err := io.WriteString(out, parser.FormatFacts(base, false))
+	return err
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"verlog/internal/parser"
+)
+
+func gen(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestGenBasesParse(t *testing.T) {
+	for _, args := range [][]string{
+		{"enterprise", "-n", "20"},
+		{"genealogy", "-generations", "3"},
+		{"items", "-n", "10"},
+		{"touched", "-n", "15", "-methods", "2"},
+	} {
+		out := gen(t, args...)
+		if _, err := parser.ObjectBase(out, "gen"); err != nil {
+			t.Errorf("%v output does not parse: %v", args, err)
+		}
+	}
+}
+
+func TestGenProgramsParseAndCheck(t *testing.T) {
+	for _, args := range [][]string{
+		{"chain", "-k", "3"},
+		{"touch", "-percent", "25"},
+		{"layered", "-n", "16", "-depth", "3"},
+	} {
+		out := gen(t, args...)
+		if _, err := parser.Program(out, "gen"); err != nil {
+			t.Errorf("%v output does not parse: %v", args, err)
+		}
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	a := gen(t, "enterprise", "-n", "30", "-seed", "5")
+	b := gen(t, "enterprise", "-n", "30", "-seed", "5")
+	if a != b {
+		t.Errorf("same seed, different output")
+	}
+	c := gen(t, "enterprise", "-n", "30", "-seed", "6")
+	if a == c {
+		t.Errorf("different seed, same output")
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Errorf("no kind accepted")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+	if err := run([]string{"items", "-bogusflag"}, &out); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command verlog-server serves a journaled verlog repository over HTTP
+// (see package internal/server for the endpoints).
+//
+// Usage:
+//
+//	verlog-server -dir DIR [-addr :8487] [-init BASE.vlg]
+//
+// With -init the repository is created from the given object base first.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"verlog/internal/parser"
+	"verlog/internal/repository"
+	"verlog/internal/server"
+)
+
+func main() {
+	dir := flag.String("dir", "", "repository directory (required)")
+	addr := flag.String("addr", ":8487", "listen address")
+	initBase := flag.String("init", "", "initialize the repository from this object base first")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "verlog-server: -dir is required")
+		os.Exit(2)
+	}
+	if *initBase != "" {
+		src, err := os.ReadFile(*initBase)
+		if err != nil {
+			log.Fatalf("verlog-server: %v", err)
+		}
+		ob, err := parser.ObjectBase(string(src), *initBase)
+		if err != nil {
+			log.Fatalf("verlog-server: %v", err)
+		}
+		if _, err := repository.Init(*dir, ob); err != nil {
+			log.Fatalf("verlog-server: %v", err)
+		}
+		log.Printf("initialized repository in %s (%d facts)", *dir, ob.Size())
+	}
+	repo, err := repository.Open(*dir)
+	if err != nil {
+		log.Fatalf("verlog-server: %v", err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(repo),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute, // applies may evaluate for a while
+		IdleTimeout:       2 * time.Minute,
+	}
+	// Graceful shutdown on SIGINT/SIGTERM: in-flight applies finish, the
+	// journal stays consistent.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("verlog-server: shutdown: %v", err)
+		}
+		close(idle)
+	}()
+	log.Printf("serving repository %s on %s", *dir, *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("verlog-server: %v", err)
+	}
+	<-idle
+}

@@ -1,0 +1,39 @@
+// Package verlog implements the rule-based update language for objects of
+// Kramer, Lausen and Saake, "Updates in a Rule-Based Language for Objects"
+// (Proc. 18th VLDB, Vancouver, 1992).
+//
+// # The model
+//
+// An object base is a set of ground version-terms v.m@a1,...,ak -> r:
+// the method m applied to the object version v with arguments a1..ak
+// yields r. Versions are denoted by version identities (VIDs): chains of
+// the unary function symbols ins, del, mod applied to an object identity,
+// e.g. ins(del(mod(henry))). A VID records the update history of the
+// version it denotes, which gives bottom-up evaluation an intuitive,
+// explicit control structure: rules name the stage of the update process
+// they read from and write to.
+//
+// An update-program is a set of update-rules whose heads are update-terms:
+//
+//	mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S * 1.1.
+//
+// The rule modifies the salary of every employee exactly once — variables
+// range over plain OIDs only, so the rule cannot fire on its own output —
+// and the program's fixpoint is computed bottom-up, stratum by stratum.
+// Applying a program maps an old object base to a new one, built from each
+// object's final version.
+//
+// # Quick start
+//
+//	ob, _ := verlog.ParseObjectBase(`henry.isa -> empl / sal -> 250.`)
+//	p, _ := verlog.ParseProgram(`
+//	    raise: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S,
+//	                                    S' = S * 1.1.`)
+//	res, _ := verlog.Apply(ob, p)
+//	fmt.Print(verlog.FormatObjectBase(res.Final))
+//	// henry.isa -> empl.
+//	// henry.sal -> 275.
+//
+// See README.md for the concrete syntax, DESIGN.md for the architecture
+// and EXPERIMENTS.md for the reproduced evaluation.
+package verlog

@@ -1,0 +1,95 @@
+package verlog_test
+
+import (
+	"fmt"
+	"log"
+
+	"verlog"
+)
+
+// The Section 2.1 example of the paper: a 10% raise for every employee,
+// applied exactly once thanks to version identities.
+func Example() {
+	ob, err := verlog.ParseObjectBase(`henry.isa -> empl / sal -> 250.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := verlog.ParseProgram(`
+raise: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S * 1.1.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := verlog.Apply(ob, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(verlog.FormatObjectBase(res.Final))
+	// Output:
+	// henry.isa -> empl.
+	// henry.sal -> 275.
+}
+
+// Queries run against the fixpoint base, where every intermediate version
+// remains visible.
+func ExampleQuery() {
+	ob, _ := verlog.ParseObjectBase(`
+phil.isa -> empl / sal -> 4200.
+bob.isa -> empl / sal -> 3000.`)
+	prog, _ := verlog.ParseProgram(`
+raise: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S * 1.1.`)
+	res, _ := verlog.Apply(ob, prog)
+	bindings, _ := verlog.Query(res.Result, `mod(E).sal -> S, S > 4500.`)
+	for _, b := range bindings {
+		fmt.Println(b)
+	}
+	// Output:
+	// E=phil, S=4620
+}
+
+// Derived rules compute query-only methods on demand — the Section 6
+// future-work extension.
+func ExampleDerive() {
+	ob, _ := verlog.ParseObjectBase(`
+phil.isa -> empl / sal -> 4600.
+bob.isa -> empl / sal -> 3000.`)
+	rules, _ := verlog.ParseDerived(`
+senior: E.rank -> senior <- E.isa -> empl, E.sal -> S, S > 4000.
+junior: E.rank -> junior <- E.isa -> empl, !E.rank -> senior.`)
+	bindings, _ := verlog.DeriveQuery(ob, rules, `E.rank -> R.`)
+	for _, b := range bindings {
+		fmt.Println(b)
+	}
+	// Output:
+	// E=bob, R=junior
+	// E=phil, R=senior
+}
+
+// History materializes the temporal reading of version identities: each
+// stage of an object's update process with its diff.
+func ExampleHistory() {
+	ob, _ := verlog.ParseObjectBase(`henry.isa -> empl / sal -> 250.`)
+	prog, _ := verlog.ParseProgram(`
+raise: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S * 1.1.`)
+	res, _ := verlog.Apply(ob, prog)
+	for _, step := range verlog.History(res.Result, verlog.Sym("henry")) {
+		fmt.Println(step)
+	}
+	// Output:
+	// henry:
+	// mod(henry): -sal->250 +sal->275
+}
+
+// Check validates a program without running it and reports its strata —
+// the evaluation order derived from the version identities.
+func ExampleCheck() {
+	prog, _ := verlog.ParseProgram(`
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, S' = S * 1.1.
+rule2: ins[mod(E)].isa -> hpe <- mod(E).sal -> S, S > 4500.`)
+	strat, err := verlog.Check(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strat.Format(prog.RuleLabels()))
+	// Output:
+	// {rule1}; {rule2}
+}

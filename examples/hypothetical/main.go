@@ -1,0 +1,69 @@
+// Hypothetical: the second Section 2.3 example — "if every employee got a
+// personal salary raise, would peter be the richest?" The raise is
+// performed (mod), revised right away (mod of the mod), and the verdict is
+// derived from the intermediate version. The updated object base keeps the
+// original salaries and carries only the verdict: hypothetical reasoning
+// by versioning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"verlog"
+)
+
+const program = `
+% Perform the hypothetical raise ...
+rule1: mod[E].sal -> (S, S') <- E.sal -> S / factor -> F, S' = S * F.
+% ... and revise it right away: mod(mod(E)) equals the original E.
+rule2: mod[mod(E)].sal -> (S', S) <- mod(E).sal -> S', E.sal -> S.
+% Judge against the raised (mod) versions.
+rule3: ins[mod(mod(peter))].richest -> no <-
+       mod(E).sal -> SE, mod(peter).sal -> SP, SE > SP.
+rule4: ins[ins(mod(mod(peter)))].richest -> yes <-
+       !ins(mod(mod(peter))).richest -> no.
+`
+
+func run(title, base string) {
+	ob, err := verlog.ParseObjectBase(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := verlog.ParseProgram(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := verlog.Apply(ob, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== %s ==\n", title)
+	raised, _ := verlog.Query(res.Result, `mod(E).sal -> S.`)
+	fmt.Println("hypothetically raised salaries (the mod versions):")
+	for _, b := range raised {
+		fmt.Println("   ", b)
+	}
+	verdict, _ := verlog.Query(res.Final, `peter.richest -> V.`)
+	fmt.Println("verdict:", verdict)
+	final, _ := verlog.Query(res.Final, `E.sal -> S.`)
+	fmt.Println("salaries in ob' (unchanged):")
+	for _, b := range final {
+		fmt.Println("   ", b)
+	}
+	fmt.Println()
+}
+
+func main() {
+	run("peter wins (factor 3 beats everyone)", `
+peter.isa -> empl / sal -> 1000 / factor -> 3.
+anna.isa  -> empl / sal -> 1200 / factor -> 2.
+otto.isa  -> empl / sal -> 900  / factor -> 2.5.
+`)
+	run("peter loses (anna's raise tops his)", `
+peter.isa -> empl / sal -> 1000 / factor -> 2.
+anna.isa  -> empl / sal -> 1200 / factor -> 2.
+otto.isa  -> empl / sal -> 900  / factor -> 1.1.
+`)
+}

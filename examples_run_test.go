@@ -1,0 +1,75 @@
+package verlog_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every runnable example end to end and checks a
+// characteristic line of its output — the repository's promise that the
+// examples in examples/ actually work.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs every example; skipped with -short")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "henry.sal -> 275."},
+		{"enterprise", "phil.sal -> 4600."},
+		{"hypothetical", "verdict: [V=yes]"},
+		{"ancestors", "alice: bob carol dave erin fred"},
+		{"evolution", "state 1: [S=2100]"},
+		{"audit", "E=phil, V=promoted"},
+		{"payroll", `REJECTED "runaway raise"`},
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			cmd.Dir = root
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatalf("example %s timed out", c.dir)
+			}
+			if runErr != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, runErr, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("example %s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+	// Every example directory is covered by a case above.
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, c := range cases {
+		covered[c.dir] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !covered[e.Name()] {
+			t.Errorf("example %s has no run test", e.Name())
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module verlog
+
+go 1.22

@@ -1,0 +1,136 @@
+package verlog_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"verlog"
+)
+
+// TestGoldenCorpus runs every case under testdata/golden. A case file has
+// sections separated by "-- name --" lines:
+//
+//	-- base --      the input object base
+//	-- program --   the update-program
+//	-- final --     expected ob' (canonical FormatObjectBase output)
+//	-- query --     optional: a query evaluated on the fixpoint ...
+//	-- answers --   ... with its expected bindings, one per line
+//	-- error --     alternative to final: a substring of the expected error
+//
+// Adding a language-level regression test is: drop a file in the corpus.
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/golden/*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden cases found")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sections := splitSections(string(raw))
+			baseSrc, ok := sections["base"]
+			if !ok {
+				t.Fatalf("case has no -- base -- section")
+			}
+			progSrc, ok := sections["program"]
+			if !ok {
+				t.Fatalf("case has no -- program -- section")
+			}
+			ob, err := verlog.ParseObjectBaseFile(baseSrc, file+":base")
+			if err != nil {
+				t.Fatalf("base: %v", err)
+			}
+			prog, err := verlog.ParseProgramFile(progSrc, file+":program")
+			if err != nil {
+				t.Fatalf("program: %v", err)
+			}
+			res, err := verlog.Apply(ob, prog)
+
+			if wantErr, isErr := sections["error"]; isErr {
+				if err == nil {
+					t.Fatalf("expected error containing %q, got success", strings.TrimSpace(wantErr))
+				}
+				if !strings.Contains(err.Error(), strings.TrimSpace(wantErr)) {
+					t.Fatalf("error %q does not contain %q", err, strings.TrimSpace(wantErr))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if wantFinal, ok := sections["final"]; ok {
+				got := strings.TrimSpace(verlog.FormatObjectBase(res.Final))
+				want := strings.TrimSpace(wantFinal)
+				if got != want {
+					t.Errorf("final object base mismatch\n got:\n%s\nwant:\n%s", got, want)
+				}
+			}
+			if querySrc, ok := sections["query"]; ok {
+				target := res.Result
+				if derivedSrc, ok := sections["derived"]; ok {
+					dp, err := verlog.ParseDerived(derivedSrc)
+					if err != nil {
+						t.Fatalf("derived: %v", err)
+					}
+					if target, err = verlog.Derive(target, dp); err != nil {
+						t.Fatalf("derive: %v", err)
+					}
+				}
+				bindings, err := verlog.Query(target, strings.TrimSpace(querySrc))
+				if err != nil {
+					t.Fatalf("query: %v", err)
+				}
+				var got []string
+				for _, b := range bindings {
+					got = append(got, b.String())
+				}
+				want := splitLines(sections["answers"])
+				if strings.Join(got, "\n") != strings.Join(want, "\n") {
+					t.Errorf("query answers mismatch\n got: %v\nwant: %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// splitSections parses "-- name --" delimited sections.
+func splitSections(src string) map[string]string {
+	out := map[string]string{}
+	var name string
+	var body []string
+	flush := func() {
+		if name != "" {
+			out[name] = strings.Join(body, "\n")
+		}
+	}
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "-- ") && strings.HasSuffix(trimmed, " --") {
+			flush()
+			name = strings.TrimSpace(trimmed[2 : len(trimmed)-2])
+			body = nil
+			continue
+		}
+		body = append(body, line)
+	}
+	flush()
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if t := strings.TrimSpace(line); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package baseline
+
+import "verlog/internal/workload"
+
+// Employee is the native-struct representation used by the hand-coded
+// imperative updater.
+type Employee struct {
+	Name    string
+	Manager bool
+	Boss    string // empty when none
+	Salary  float64
+	HighPay bool
+	Fired   bool
+}
+
+// FromWorkload converts generated employee records (package workload) into
+// the native-struct form the direct updater mutates.
+func FromWorkload(emps []workload.Employee) []Employee {
+	out := make([]Employee, len(emps))
+	for i, e := range emps {
+		out[i] = Employee{
+			Name:    e.Name,
+			Manager: e.Manager,
+			Boss:    e.Boss,
+			Salary:  float64(e.Salary),
+		}
+	}
+	return out
+}
+
+// DirectEnterprise applies the Section 2.3 enterprise update imperatively:
+// raise every salary by 10% (managers get an extra 200), fire employees
+// who out-earn a superior (against post-raise salaries, as the versioned
+// program specifies), and flag survivors above 4500 as high-paid. It
+// mutates emps in place and returns the number of fired employees.
+//
+// This is the performance floor for the overhead-factor experiment (E11):
+// what a programmer would write by hand instead of the four update rules.
+func DirectEnterprise(emps []Employee) int {
+	index := make(map[string]int, len(emps))
+	for i := range emps {
+		index[emps[i].Name] = i
+	}
+	// Phase 1: raise (exactly once per employee, by construction).
+	for i := range emps {
+		if emps[i].Manager {
+			emps[i].Salary = emps[i].Salary*1.1 + 200
+		} else {
+			emps[i].Salary = emps[i].Salary * 1.1
+		}
+	}
+	// Phase 2: fire against post-raise salaries.
+	fired := 0
+	for i := range emps {
+		if emps[i].Boss == "" {
+			continue
+		}
+		if j, ok := index[emps[i].Boss]; ok && emps[i].Salary > emps[j].Salary {
+			emps[i].Fired = true
+			fired++
+		}
+	}
+	// Phase 3: high-pay flag for survivors.
+	for i := range emps {
+		if !emps[i].Fired && emps[i].Salary > 4500 {
+			emps[i].HighPay = true
+		}
+	}
+	return fired
+}

@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"verlog/internal/eval"
+	"verlog/internal/objectbase"
+	"verlog/internal/parser"
+	"verlog/internal/term"
+)
+
+// flatEnterprise is the Section 2.3 enterprise update written without
+// versions: the best a flat language can do.
+const flatEnterprise = `
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, !E.pos -> mgr, S' = S * 1.1.
+rule3: del[E].* <- E.isa -> empl / boss -> B / sal -> SE, B.isa -> empl / sal -> SB, SE > SB.
+rule4: ins[E].isa -> hpe <- E.isa -> empl / sal -> S, S > 4500.
+`
+
+const flatBase = `
+phil.isa -> empl / pos -> mgr / sal -> 4000.
+bob.isa -> empl / boss -> phil / sal -> 4200.
+`
+
+func mustBase(t *testing.T, src string) *objectbase.Base {
+	t.Helper()
+	b, err := parser.ObjectBase(src, "ob.vlg")
+	if err != nil {
+		t.Fatalf("parse base: %v", err)
+	}
+	return b
+}
+
+func mustProg(t *testing.T, src string) *term.Program {
+	t.Helper()
+	p, err := parser.Program(src, "p.vlg")
+	if err != nil {
+		t.Fatalf("parse program: %v", err)
+	}
+	return p
+}
+
+// TestInflationaryDiverges: without versions the raise rule re-applies to
+// its own output forever; the engine must report non-convergence. This is
+// the control problem of Section 2.4 that VIDs solve.
+func TestInflationaryDiverges(t *testing.T) {
+	res, err := Inflationary{MaxIterations: 12}.Run(mustBase(t, flatBase), mustProg(t, flatEnterprise))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Converged {
+		t.Fatalf("flat raise rule should not converge, stopped after %d iterations", res.Iterations)
+	}
+	// The salary kept climbing: it is no longer 4000 nor 4600.
+	sal, _ := eval.Query(res.Final, mustQuery(t, `phil.sal -> S.`))
+	if len(sal) == 1 {
+		s := sal[0][term.Var("S")]
+		if s == term.Int(4000) {
+			t.Errorf("phil.sal unchanged, raise never applied")
+		}
+	}
+}
+
+// TestSequentialRightOrderMatchesPaper: with the manual grouping
+// {raise}, {fire}, {classify} and one-pass semantics, the flat engine
+// reproduces exactly the paper's Figure 2 outcome.
+func TestSequentialRightOrderMatchesPaper(t *testing.T) {
+	sq := Sequential{Groups: [][]int{{0, 1}, {2}, {3}}, OnePass: true}
+	res, err := sq.Run(mustBase(t, flatBase), mustProg(t, flatEnterprise))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("should converge")
+	}
+	want := []string{
+		`phil.sal -> 4600.`,
+		`phil.isa -> hpe.`,
+		`phil.isa -> empl.`,
+	}
+	for _, w := range want {
+		fs, _ := parser.Facts(w, "w.vlg")
+		if !res.Final.Has(fs[0]) {
+			t.Errorf("missing %s", w)
+		}
+	}
+	// bob's facts are gone (only his exists note survives).
+	st := res.Final.StateOf(term.GVID{Object: term.Sym("bob")})
+	if st != nil && !st.OnlyExists() {
+		t.Errorf("bob should be wiped, state has %d facts", st.Size())
+	}
+}
+
+// TestSequentialWrongOrderAnomaly: firing before raising sacks bob at
+// $4100 even though the intended (versioned) semantics keeps him — the
+// Section 2.4 anomaly that manual control invites.
+func TestSequentialWrongOrderAnomaly(t *testing.T) {
+	base := `
+phil.isa -> empl / pos -> mgr / sal -> 4000.
+bob.isa -> empl / boss -> phil / sal -> 4100.
+`
+	right := Sequential{Groups: [][]int{{0, 1}, {2}, {3}}, OnePass: true}
+	wrong := Sequential{Groups: [][]int{{2}, {0, 1}, {3}}, OnePass: true}
+
+	resRight, err := right.Run(mustBase(t, base), mustProg(t, flatEnterprise))
+	if err != nil {
+		t.Fatalf("right: %v", err)
+	}
+	resWrong, err := wrong.Run(mustBase(t, base), mustProg(t, flatEnterprise))
+	if err != nil {
+		t.Fatalf("wrong: %v", err)
+	}
+
+	bobSal, _ := parser.Facts(`bob.sal -> 4510.`, "w.vlg")
+	if !resRight.Final.Has(bobSal[0]) {
+		t.Errorf("right order should keep bob at 4510")
+	}
+	stWrong := resWrong.Final.StateOf(term.GVID{Object: term.Sym("bob")})
+	if stWrong != nil && !stWrong.OnlyExists() {
+		t.Errorf("wrong order should have fired bob; state has %d facts", stWrong.Size())
+	}
+}
+
+// TestFlatRejectsVersions: the baselines refuse versioned constructs.
+func TestFlatRejectsVersions(t *testing.T) {
+	cases := []string{
+		`r: ins[mod(E)].a -> b <- E.t -> 1.`,
+		`r: ins[E].a -> b <- mod(E).t -> 1.`,
+		`r: ins[E].a -> b <- del[E].t -> 1.`,
+	}
+	for _, src := range cases {
+		_, err := Inflationary{}.Run(mustBase(t, `x.t -> 1.`), mustProg(t, src))
+		var ve *ErrVersionedConstruct
+		if !errors.As(err, &ve) {
+			t.Errorf("program %q: err = %v, want ErrVersionedConstruct", src, err)
+		}
+	}
+}
+
+// TestInflationaryMonotoneInsertTerminates: a pure insert program (the
+// ancestors closure) converges under inflationary semantics and matches
+// the expected closure — flat engines are fine without deletion in play.
+func TestInflationaryMonotoneInsertTerminates(t *testing.T) {
+	base := `
+alice.isa -> person / parents -> bob.
+bob.isa -> person / parents -> carol.
+carol.isa -> person.
+`
+	prog := `
+b: ins[X].anc -> P <- X.isa -> person / parents -> P.
+s: ins[X].anc -> P <- X.isa -> person / anc -> A, A.isa -> person / parents -> P.
+`
+	res, err := Inflationary{}.Run(mustBase(t, base), mustProg(t, prog))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("insert-only program must converge")
+	}
+	for _, w := range []string{`alice.anc -> bob.`, `alice.anc -> carol.`, `bob.anc -> carol.`} {
+		fs, _ := parser.Facts(w, "w.vlg")
+		if !res.Final.Has(fs[0]) {
+			t.Errorf("missing %s", w)
+		}
+	}
+}
+
+// TestDirectEnterprise sanity-checks the imperative floor implementation.
+func TestDirectEnterprise(t *testing.T) {
+	emps := []Employee{
+		{Name: "phil", Manager: true, Salary: 4000},
+		{Name: "bob", Boss: "phil", Salary: 4200},
+	}
+	fired := DirectEnterprise(emps)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if !emps[1].Fired || emps[0].Fired {
+		t.Errorf("bob should be fired, phil not: %+v", emps)
+	}
+	if emps[0].Salary != 4600 || !emps[0].HighPay {
+		t.Errorf("phil should be high-paid at 4600: %+v", emps[0])
+	}
+}
+
+func mustQuery(t *testing.T, src string) []term.Literal {
+	t.Helper()
+	lits, err := parser.Query(src, "q.vlg")
+	if err != nil {
+		t.Fatalf("parse query: %v", err)
+	}
+	return lits
+}

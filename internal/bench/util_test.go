@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMsRendering(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.500" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := ms(0); got != "0.000" {
+		t.Errorf("ms(0) = %q", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := ratio(2*time.Second, time.Second); got != "2.00" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(time.Second, 0); got != "-" {
+		t.Errorf("ratio by zero = %q", got)
+	}
+}
+
+func TestPass(t *testing.T) {
+	if pass(true) != "PASS" || pass(false) != "FAIL" {
+		t.Errorf("pass broken")
+	}
+}
+
+func TestExpNum(t *testing.T) {
+	cases := map[string]int{"E1": 1, "E13": 13, "E2": 2, "X": 0}
+	for id, want := range cases {
+		if got := expNum(id); got != want {
+			t.Errorf("expNum(%q) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestTimedPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := timed(func() error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("timed err = %v", err)
+	}
+	if _, err := timedBest(3, func() error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("timedBest err = %v", err)
+	}
+}
+
+func TestTimedBestTakesMinimum(t *testing.T) {
+	calls := 0
+	d, err := timedBest(3, func() error {
+		calls++
+		if calls == 1 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("calls = %d, err = %v", calls, err)
+	}
+	if d >= 5*time.Millisecond {
+		t.Errorf("best sample %v not below the slow round", d)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if sum([]int{1, 2, 3}) != 6 || sum(nil) != 0 {
+		t.Errorf("sum broken")
+	}
+}

@@ -1,0 +1,99 @@
+// Package core wires the verlog pipeline together: parsing, safety
+// checking, stratification, bottom-up evaluation and construction of the
+// updated object base. It is the engine behind the public verlog package.
+package core
+
+import (
+	"fmt"
+
+	"verlog/internal/eval"
+	"verlog/internal/objectbase"
+	"verlog/internal/parser"
+	"verlog/internal/safety"
+	"verlog/internal/strata"
+	"verlog/internal/term"
+)
+
+// Engine applies update-programs to object bases under fixed options.
+// The zero value is ready to use with defaults (semi-naive evaluation,
+// new-object creation allowed).
+type Engine struct {
+	opts eval.Options
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithStrategy selects naive or semi-naive fixpoint iteration.
+func WithStrategy(s eval.Strategy) Option { return func(e *Engine) { e.opts.Strategy = s } }
+
+// WithTrace records every fired update in Result.Trace.
+func WithTrace() Option { return func(e *Engine) { e.opts.Trace = true } }
+
+// WithMaxIterations bounds T_P applications per stratum.
+func WithMaxIterations(n int) Option { return func(e *Engine) { e.opts.MaxIterations = n } }
+
+// WithForbidNewObjects rejects inserts addressing objects unknown to the
+// base, restricting the language to exactly the paper's setting.
+func WithForbidNewObjects() Option { return func(e *Engine) { e.opts.ForbidNewObjects = true } }
+
+// WithParallelism evaluates rule matching and state computation on n
+// workers. The fixpoint is identical to sequential evaluation.
+func WithParallelism(n int) Option { return func(e *Engine) { e.opts.Parallelism = n } }
+
+// WithStaticPlanner disables statistics-based join ordering (ablation; the
+// fixpoint is identical).
+func WithStaticPlanner() Option { return func(e *Engine) { e.opts.StaticPlanner = true } }
+
+// New returns an Engine with the given options.
+func New(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Check validates a program without running it: safety of every rule and
+// existence of a stratification fulfilling conditions (a)-(d).
+func (e *Engine) Check(p *term.Program) (*strata.Assignment, error) {
+	if err := safety.Program(p); err != nil {
+		return nil, err
+	}
+	return strata.Stratify(p)
+}
+
+// Apply checks p and evaluates it on ob, returning the full result
+// (fixpoint base, updated object base, stratification, statistics).
+// ob is not modified.
+func (e *Engine) Apply(ob *objectbase.Base, p *term.Program) (*eval.Result, error) {
+	if err := safety.Program(p); err != nil {
+		return nil, err
+	}
+	return eval.Run(ob, p, e.opts)
+}
+
+// ApplySource parses, checks and evaluates program text against object-base
+// text. The names are used in error messages.
+func (e *Engine) ApplySource(obSrc, obName, progSrc, progName string) (*eval.Result, error) {
+	ob, err := parser.ObjectBase(obSrc, obName)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p, err := parser.Program(progSrc, progName)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return e.Apply(ob, p)
+}
+
+// Query evaluates a query (a conjunction of body literals in concrete
+// syntax) against a base — typically a Result.Result fixpoint, where all
+// versions are visible, or a Result.Final updated base.
+func Query(base *objectbase.Base, querySrc string) ([]eval.Binding, error) {
+	lits, err := parser.Query(querySrc, "query")
+	if err != nil {
+		return nil, err
+	}
+	return eval.Query(base, lits)
+}

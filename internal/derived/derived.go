@@ -1,0 +1,300 @@
+// Package derived implements derived methods — the future-work extension
+// of Section 6 of the paper ("we did not consider derived objects. We do
+// not see any principal problems to generalize our approach in this
+// direction."). A derived rule has a version-term head:
+//
+//	senior: E.rank -> senior <- E.isa -> empl, E.sal -> S, S > 4000.
+//
+// Derived rules never update the stored object base. Run evaluates them
+// bottom-up (stratified on negation by method name, classical Datalog
+// style) into a virtual extension: a copy of the base enriched with the
+// derived method applications, ready for querying.
+package derived
+
+import (
+	"fmt"
+	"sort"
+
+	"verlog/internal/eval"
+	"verlog/internal/objectbase"
+	"verlog/internal/strata"
+	"verlog/internal/term"
+)
+
+// NotStratifiableError reports recursion through negation among derived
+// rules.
+type NotStratifiableError struct {
+	Labels []string
+	Cycle  []int
+}
+
+func (e *NotStratifiableError) Error() string {
+	names := make([]string, len(e.Cycle))
+	for i, r := range e.Cycle {
+		names[i] = e.Labels[r]
+	}
+	return fmt.Sprintf("derived: rules {%s} recurse through negation", joinComma(names))
+}
+
+func joinComma(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}
+
+// UnsafeRuleError reports a derived rule with an unlimited variable.
+type UnsafeRuleError struct {
+	Rule string
+	Var  term.Var
+}
+
+func (e *UnsafeRuleError) Error() string {
+	return fmt.Sprintf("derived: rule %s: unlimited variable %s", e.Rule, e.Var)
+}
+
+// Check validates safety (every variable limited by a positive body
+// literal or bound equality) and stratifiability on negation.
+func Check(p *term.DerivedProgram) error {
+	for i, r := range p.Rules {
+		if err := checkSafety(r, i); err != nil {
+			return err
+		}
+	}
+	_, err := stratify(p)
+	return err
+}
+
+func checkSafety(r term.DerivedRule, index int) error {
+	limited := map[term.Var]bool{}
+	mark := func(t term.ObjTerm) {
+		if v, ok := t.(term.Var); ok {
+			limited[v] = true
+		}
+	}
+	for _, l := range r.Body {
+		if l.Neg {
+			continue
+		}
+		switch a := l.Atom.(type) {
+		case term.VersionAtom:
+			mark(a.V.Base)
+			for _, arg := range a.App.Args {
+				mark(arg)
+			}
+			mark(a.App.Result)
+		case term.UpdateAtom:
+			mark(a.V.Base)
+			for _, arg := range a.App.Args {
+				mark(arg)
+			}
+			mark(a.App.Result)
+			if a.NewResult != nil {
+				mark(a.NewResult)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, l := range r.Body {
+			if l.Neg {
+				continue
+			}
+			b, ok := l.Atom.(term.BuiltinAtom)
+			if !ok || b.Op != term.OpEq {
+				continue
+			}
+			if v, ok := b.L.(term.VarExpr); ok && !limited[v.V] && allLimited(b.R, limited) {
+				limited[v.V] = true
+				changed = true
+			}
+			if v, ok := b.R.(term.VarExpr); ok && !limited[v.V] && allLimited(b.L, limited) {
+				limited[v.V] = true
+				changed = true
+			}
+		}
+	}
+	var vars []term.Var
+	for v := range r.Vars() {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, v := range vars {
+		if !limited[v] {
+			return &UnsafeRuleError{Rule: r.Label(index), Var: v}
+		}
+	}
+	return nil
+}
+
+func allLimited(e term.Expr, limited map[term.Var]bool) bool {
+	for _, v := range term.ExprVars(e, nil) {
+		if !limited[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// stratify partitions rules by the classical Datalog condition adapted to
+// methods: a rule using method m positively is at least as high as every
+// rule deriving m; a rule using m under negation is strictly higher. The
+// dependency is refined by ground head results (predicate splitting): a
+// rule deriving rank -> senior is not a producer for a body literal
+// !E.rank -> junior, so the common senior/junior idiom stays stratifiable.
+func stratify(p *term.DerivedProgram) ([][]int, error) {
+	type methodResult struct {
+		method string
+		result term.OID
+	}
+	definersExact := map[methodResult][]int{} // head result ground
+	definersOpen := map[string][]int{}        // head result a variable
+	for i, r := range p.Rules {
+		if res, ok := r.Head.App.Result.(term.OID); ok {
+			key := methodResult{r.Head.App.Method, res}
+			definersExact[key] = append(definersExact[key], i)
+		} else {
+			definersOpen[r.Head.App.Method] = append(definersOpen[r.Head.App.Method], i)
+		}
+	}
+	allDefiners := func(method string, result term.ObjTerm) []int {
+		deps := append([]int(nil), definersOpen[method]...)
+		if res, ok := result.(term.OID); ok {
+			return append(deps, definersExact[methodResult{method, res}]...)
+		}
+		for key, rules := range definersExact {
+			if key.method == method {
+				deps = append(deps, rules...)
+			}
+		}
+		return deps
+	}
+	var edges []strata.Edge
+	for to, r := range p.Rules {
+		for _, l := range r.Body {
+			var method string
+			var result term.ObjTerm
+			switch a := l.Atom.(type) {
+			case term.VersionAtom:
+				method, result = a.App.Method, a.App.Result
+			case term.UpdateAtom:
+				method, result = a.App.Method, a.App.Result
+			default:
+				continue
+			}
+			for _, from := range allDefiners(method, result) {
+				edges = append(edges, strata.Edge{From: from, To: to, Strict: l.Neg})
+			}
+		}
+	}
+	assignment, err := strata.Solve(len(p.Rules), edges, p.RuleLabels())
+	if err != nil {
+		nse, ok := err.(*strata.NotStratifiableError)
+		if ok {
+			return nil, &NotStratifiableError{Labels: p.RuleLabels(), Cycle: nse.Cycle}
+		}
+		return nil, err
+	}
+	return assignment.Strata, nil
+}
+
+// Options configures derivation.
+type Options struct {
+	// MaxIterations bounds iterations per stratum; 0 means 1_000_000.
+	MaxIterations int
+}
+
+// Run evaluates the derived program over base and returns a copy of base
+// extended with all derivable method applications. base is not modified.
+func Run(base *objectbase.Base, p *term.DerivedProgram, opts Options) (*objectbase.Base, error) {
+	if err := Check(p); err != nil {
+		return nil, err
+	}
+	strataIdx, err := stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	limit := opts.MaxIterations
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	work := base.Clone()
+	for _, stratum := range strataIdx {
+		for iter := 1; ; iter++ {
+			if iter > limit {
+				return nil, fmt.Errorf("derived: no fixpoint within %d iterations", limit)
+			}
+			changed := false
+			for _, ri := range stratum {
+				r := p.Rules[ri]
+				bindings, err := eval.Query(work, r.Body)
+				if err != nil {
+					return nil, fmt.Errorf("derived: rule %s: %w", r.Label(ri), err)
+				}
+				for _, b := range bindings {
+					f, err := groundHead(r.Head, b)
+					if err != nil {
+						return nil, fmt.Errorf("derived: rule %s: %w", r.Label(ri), err)
+					}
+					if work.Insert(f) {
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return work, nil
+}
+
+func groundHead(h term.VersionAtom, b eval.Binding) (term.Fact, error) {
+	resolve := func(t term.ObjTerm) (term.OID, error) {
+		switch x := t.(type) {
+		case term.OID:
+			return x, nil
+		case term.Var:
+			o, ok := b[x]
+			if !ok {
+				return term.OID{}, fmt.Errorf("unbound head variable %s", x)
+			}
+			return o, nil
+		default:
+			return term.OID{}, fmt.Errorf("bad head term %v", t)
+		}
+	}
+	obj, err := resolve(h.V.Base)
+	if err != nil {
+		return term.Fact{}, err
+	}
+	args := make([]term.OID, len(h.App.Args))
+	for i, a := range h.App.Args {
+		if args[i], err = resolve(a); err != nil {
+			return term.Fact{}, err
+		}
+	}
+	res, err := resolve(h.App.Result)
+	if err != nil {
+		return term.Fact{}, err
+	}
+	return term.Fact{
+		V:      term.GVID{Object: obj, Path: h.V.Path},
+		Method: h.App.Method,
+		Args:   term.EncodeOIDs(args),
+		Result: res,
+	}, nil
+}
+
+// Query derives and then evaluates a query in one step.
+func Query(base *objectbase.Base, p *term.DerivedProgram, body []term.Literal, opts Options) ([]eval.Binding, error) {
+	ext, err := Run(base, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eval.Query(ext, body)
+}

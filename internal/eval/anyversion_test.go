@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"verlog/internal/parser"
+	"verlog/internal/safety"
+	"verlog/internal/term"
+)
+
+func safetyProgram(p *term.Program) error { return safety.Program(p) }
+
+// The any(...) version wildcard (extension; see DESIGN.md): existential
+// quantification over an object's versions, in queries and derived rules
+// only.
+
+func anyVersionFixture(t *testing.T) *Result {
+	t.Helper()
+	ob := mustBase(t, enterpriseBase)
+	return mustRun(t, ob, mustProgram(t, enterpriseProgram), Options{})
+}
+
+func TestAnyVersionQuery(t *testing.T) {
+	res := anyVersionFixture(t)
+	// "Which salaries did bob ever have, at any stage?"
+	lits, err := parser.Query(`any(bob).sal -> S.`, "q")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	bs, err := Query(res.Result, lits)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	got := make([]string, len(bs))
+	for i, b := range bs {
+		got[i] = b.String()
+	}
+	want := "S=4200 | S=4620"
+	if strings.Join(got, " | ") != want {
+		t.Errorf("bindings = %v, want %s", got, want)
+	}
+}
+
+func TestAnyVersionUnboundBase(t *testing.T) {
+	res := anyVersionFixture(t)
+	// "Which objects ever had a salary above 4600, at any stage?"
+	lits, _ := parser.Query(`any(E).sal -> S, S > 4600.`, "q")
+	bs, err := Query(res.Result, lits)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(bs) != 1 || bs[0].String() != "E=bob, S=4620" {
+		t.Errorf("bindings = %v", bs)
+	}
+}
+
+func TestAnyVersionNegated(t *testing.T) {
+	res := anyVersionFixture(t)
+	// Employees never classified hpe at any stage: bob only.
+	lits, _ := parser.Query(`E.isa -> empl, !any(E).isa -> hpe.`, "q")
+	bs, err := Query(res.Result, lits)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(bs) != 1 || bs[0].String() != "E=bob" {
+		t.Errorf("bindings = %v", bs)
+	}
+}
+
+func TestAnyVersionRejectedInUpdateRules(t *testing.T) {
+	// In update-terms the parser rejects it outright.
+	_, err := parser.Program(`r: ins[any(X)].m -> a <- X.t -> 1.`, "p")
+	if err == nil || !strings.Contains(err.Error(), "any(...)") {
+		t.Errorf("update-term wildcard: err = %v", err)
+	}
+	// In update-rule bodies the parser accepts the syntax; safety rejects.
+	p, err := parser.Program(`r: ins[X].m -> a <- any(X).t -> 1.`, "p")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := safetyProgram(p); err == nil || !strings.Contains(err.Error(), "any(...)") {
+		t.Errorf("body wildcard: err = %v", err)
+	}
+}
+
+func TestAnyVersionCannotNest(t *testing.T) {
+	for _, src := range []string{
+		`mod(any(X)).m -> R.`,
+		`any(any(X)).m -> R.`,
+		`any(mod(X)).m -> R.`,
+	} {
+		if _, err := parser.Query(src, "q"); err == nil {
+			t.Errorf("nested wildcard accepted: %s", src)
+		}
+	}
+}

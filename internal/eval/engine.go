@@ -1,0 +1,386 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/strata"
+	"verlog/internal/term"
+)
+
+// Strategy selects the fixpoint iteration scheme within a stratum.
+type Strategy uint8
+
+const (
+	// SemiNaive re-derives, after the first iteration of a stratum, only
+	// rule firings supported by at least one fact added in the previous
+	// iteration. It is the default.
+	SemiNaive Strategy = iota
+	// Naive re-enumerates every rule against the full base each iteration.
+	Naive
+)
+
+func (s Strategy) String() string {
+	if s == Naive {
+		return "naive"
+	}
+	return "semi-naive"
+}
+
+// Options configures a run.
+type Options struct {
+	// Strategy selects naive or semi-naive iteration (default SemiNaive).
+	Strategy Strategy
+	// MaxIterations bounds the iterations per stratum; 0 means the default
+	// of 1_000_000. Safe stratified programs terminate on their own; the
+	// bound catches engine bugs and deliberately unsafe experiments.
+	MaxIterations int
+	// Trace records every fired update with its rule, stratum, iteration.
+	Trace bool
+	// ForbidNewObjects rejects inserts on objects unknown to the base
+	// (creating fresh objects is an extension beyond the paper).
+	ForbidNewObjects bool
+	// Parallelism sets the worker count for rule matching and state
+	// computation within an iteration (both read-only over the base).
+	// Values below 2 evaluate sequentially. The computed fixpoint is
+	// identical; only wall-clock time changes.
+	Parallelism int
+	// StaticPlanner disables statistics-based join ordering: bodies are
+	// evaluated with the source-order planner instead of ordering
+	// generators by index cardinality. The fixpoint is identical; this
+	// exists for the planner ablation experiment.
+	StaticPlanner bool
+}
+
+// TraceEvent records one fired update during evaluation.
+type TraceEvent struct {
+	Stratum   int
+	Iteration int
+	Rule      string
+	Update    Update
+}
+
+func (t TraceEvent) String() string {
+	return fmt.Sprintf("[stratum %d, iteration %d] %s fires %s", t.Stratum+1, t.Iteration, t.Rule, t.Update)
+}
+
+// Result is the outcome of running an update-program.
+type Result struct {
+	// Result is result(P): the fixpoint object base holding every version
+	// derived during evaluation.
+	Result *objectbase.Base
+	// Final is the updated object base ob' of Section 5, built from each
+	// object's final version.
+	Final *objectbase.Base
+	// Assignment is the stratification used.
+	Assignment *strata.Assignment
+	// Iterations records how many T_P applications each stratum took.
+	Iterations []int
+	// Fired is the total number of distinct ground updates fired.
+	Fired int
+	// Trace holds fired-update events when Options.Trace was set.
+	Trace []TraceEvent
+}
+
+// LinearityError reports a violation of version-linearity (Section 5): two
+// versions of the same object that are not subterm-comparable.
+type LinearityError struct {
+	Object term.OID
+	A, B   term.GVID
+}
+
+func (e *LinearityError) Error() string {
+	return fmt.Sprintf("eval: result is not version-linear: versions %s and %s of object %s are not subterm-comparable", e.A, e.B, e.Object)
+}
+
+// IterationLimitError reports that a stratum did not reach its fixpoint
+// within Options.MaxIterations.
+type IterationLimitError struct {
+	Stratum int
+	Limit   int
+}
+
+func (e *IterationLimitError) Error() string {
+	return fmt.Sprintf("eval: stratum %d did not reach a fixpoint within %d iterations", e.Stratum+1, e.Limit)
+}
+
+// NewObjectError reports an insert on an object unknown to the base when
+// Options.ForbidNewObjects is set.
+type NewObjectError struct {
+	Update Update
+}
+
+func (e *NewObjectError) Error() string {
+	return fmt.Sprintf("eval: update %s addresses an object with no existing version (new-object creation is disabled)", e.Update)
+}
+
+const defaultMaxIterations = 1_000_000
+
+// engine carries the mutable evaluation state.
+type engine struct {
+	prog    *term.Program
+	base    *objectbase.Base
+	m       *matcher
+	plans   []plan
+	opts    Options
+	deepest map[term.OID]term.GVID
+	trace   []TraceEvent
+	fired   int
+}
+
+// Run evaluates the update-program p on the object base ob: it stratifies
+// p, iterates T_P stratum by stratum to the fixpoint, checks version-
+// linearity online, and builds the updated object base. ob is not
+// modified. Callers wanting safety diagnostics run package safety first;
+// Run itself assumes nothing and surfaces unbound-variable errors lazily.
+func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
+	assignment, err := strata.Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = defaultMaxIterations
+	}
+	e := &engine{
+		prog:    p,
+		base:    ob.Clone(),
+		opts:    opts,
+		plans:   make([]plan, len(p.Rules)),
+		deepest: make(map[term.OID]term.GVID),
+	}
+	e.m = &matcher{base: e.base}
+	for i, r := range p.Rules {
+		e.plans[i] = planRule(r)
+	}
+	if err := e.initDeepest(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Assignment: assignment}
+	for si, stratum := range assignment.Strata {
+		iters, err := e.runStratum(si, stratum)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = append(res.Iterations, iters)
+	}
+	res.Result = e.base
+	res.Final = Finalize(e.base)
+	res.Fired = e.fired
+	// Candidate enumeration follows map order, so raw trace order within an
+	// iteration is arbitrary; sort it into a canonical order so runs are
+	// reproducible (parallel or not).
+	sort.Slice(e.trace, func(i, j int) bool {
+		a, b := e.trace[i], e.trace[j]
+		if a.Stratum != b.Stratum {
+			return a.Stratum < b.Stratum
+		}
+		if a.Iteration != b.Iteration {
+			return a.Iteration < b.Iteration
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Update.compare(b.Update) < 0
+	})
+	res.Trace = e.trace
+	return res, nil
+}
+
+// initDeepest seeds the per-object deepest-version map from the input base
+// and verifies the input itself is version-linear.
+func (e *engine) initDeepest() error {
+	for o, versions := range e.base.VersionsByObject() {
+		sort.Slice(versions, func(i, j int) bool {
+			return versions[i].Path.Len() < versions[j].Path.Len()
+		})
+		deepest := term.GVID{Object: o}
+		for _, v := range versions {
+			if !v.Comparable(deepest) {
+				return &LinearityError{Object: o, A: deepest, B: v}
+			}
+			if v.Path.Len() >= deepest.Path.Len() {
+				deepest = v
+			}
+		}
+		e.deepest[o] = deepest
+	}
+	return nil
+}
+
+// runStratum iterates T_P over the given rules until the fixpoint.
+func (e *engine) runStratum(si int, ruleIdx []int) (int, error) {
+	// Re-plan this stratum's rules against current statistics: version
+	// populations change as lower strata run, so cardinalities measured
+	// now reflect what the joins will actually scan.
+	if !e.opts.StaticPlanner {
+		est := statsCost(e.base)
+		for _, ri := range ruleIdx {
+			e.plans[ri] = planRuleCost(e.prog.Rules[ri], est)
+		}
+	}
+	// fired accumulates T¹ across iterations; within a stratum it only
+	// grows (see DESIGN.md on intra-stratum monotonicity). byTarget groups
+	// the accumulated updates per target version; only targets with fresh
+	// updates need their state recomputed in an iteration — everything a
+	// state depends on (the copy source, the target's own update set) is
+	// otherwise unchanged within the stratum.
+	fired := make(map[Update]int) // update -> rule index, for traces
+	byTarget := make(map[term.GVID][]Update)
+	var delta []term.Fact
+
+	for iter := 1; ; iter++ {
+		if iter > e.opts.MaxIterations {
+			return iter, &IterationLimitError{Stratum: si, Limit: e.opts.MaxIterations}
+		}
+		dirty := make(map[term.GVID]bool)
+		fresh := 0
+		collect := func(ri int) func(Update) {
+			return func(u Update) {
+				if _, known := fired[u]; known {
+					return
+				}
+				fired[u] = ri
+				byTarget[u.Target()] = append(byTarget[u.Target()], u)
+				dirty[u.Target()] = true
+				fresh++
+				e.fired++
+				if e.opts.Trace {
+					e.trace = append(e.trace, TraceEvent{
+						Stratum: si, Iteration: iter,
+						Rule:   e.prog.Rules[ri].Label(ri),
+						Update: u,
+					})
+				}
+			}
+		}
+
+		var tasks []fireTask
+		if iter == 1 || e.opts.Strategy == Naive {
+			for _, ri := range ruleIdx {
+				tasks = append(tasks, fireTask{ri: ri, pos: -1})
+			}
+		} else {
+			if len(delta) == 0 {
+				return iter - 1, nil
+			}
+			for _, ri := range ruleIdx {
+				for _, pos := range e.plans[ri].deltaPositions {
+					tasks = append(tasks, fireTask{ri: ri, pos: pos})
+				}
+			}
+		}
+		results, err := e.collectFirings(tasks, delta)
+		if err != nil {
+			return iter, err
+		}
+		for ti, ups := range results {
+			sink := collect(tasks[ti].ri)
+			for _, u := range ups {
+				sink(u)
+			}
+		}
+
+		if fresh == 0 {
+			return iter, nil
+		}
+		changed, added, err := e.applyTargets(dirty, byTarget)
+		if err != nil {
+			return iter, err
+		}
+		if !changed {
+			return iter, nil
+		}
+		delta = added
+	}
+}
+
+// applyTargets performs steps 2 and 3 of T_P for the given dirty target
+// versions, replacing each with the state computed from its full
+// accumulated update set. It returns whether the base changed and which
+// facts were added (for semi-naive deltas).
+func (e *engine) applyTargets(dirty map[term.GVID]bool, byTarget map[term.GVID][]Update) (bool, []term.Fact, error) {
+	targets := make([]term.GVID, 0, len(dirty))
+	for w := range dirty {
+		targets = append(targets, w)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Compare(targets[j]) < 0 })
+
+	// Checks first (sequential, deterministic error reporting) ...
+	for _, w := range targets {
+		ups := byTarget[w]
+		sort.Slice(ups, func(i, j int) bool { return ups[i].compare(ups[j]) < 0 })
+		if e.opts.ForbidNewObjects && !e.base.Exists(w) {
+			v := term.GVID{Object: w.Object, Path: w.Path[:w.Path.Len()-1]}
+			if _, ok := e.base.VStar(v); !ok {
+				return false, nil, &NewObjectError{Update: ups[0]}
+			}
+		}
+		// Version-linearity, checked online as Section 5 suggests.
+		d, ok := e.deepest[w.Object]
+		if !ok {
+			d = term.GVID{Object: w.Object}
+		}
+		if !w.Comparable(d) {
+			return false, nil, &LinearityError{Object: w.Object, A: d, B: w}
+		}
+		if w.Path.Len() > d.Path.Len() {
+			e.deepest[w.Object] = w
+		}
+	}
+
+	// ... then state computation (read-only, parallelizable) ...
+	states := e.computeStates(targets, byTarget)
+
+	// ... then mutation, sequentially.
+	changed := false
+	var added []term.Fact
+	for i, w := range targets {
+		oldSt := e.base.StateOf(w)
+		newSt := states[i]
+		if !e.base.SetState(w, newSt) {
+			continue
+		}
+		changed = true
+		newSt.ForEach(func(k term.MethodKey, r term.OID) {
+			if oldSt == nil || !oldSt.Has(k, r) {
+				added = append(added, term.Fact{V: w, Method: k.Method, Args: k.Args, Result: r})
+			}
+		})
+	}
+	return changed, added, nil
+}
+
+// Finalize builds the updated object base ob' of Section 5 from a fixpoint
+// base: for every object, the method applications of its final (deepest)
+// version are copied under the plain OID. Objects whose final state holds
+// nothing but exists vanish.
+func Finalize(result *objectbase.Base) *objectbase.Base {
+	out := objectbase.New()
+	for o, versions := range result.VersionsByObject() {
+		final := term.GVID{Object: o}
+		found := false
+		for _, v := range versions {
+			if !found || v.Path.Len() > final.Path.Len() {
+				final, found = v, true
+			}
+		}
+		if !found {
+			continue
+		}
+		st := result.StateOf(final)
+		if st == nil || st.OnlyExists() {
+			continue
+		}
+		target := term.GVID{Object: o}
+		st.ForEach(func(k term.MethodKey, r term.OID) {
+			if k.Method == term.ExistsMethod {
+				return
+			}
+			out.Insert(term.Fact{V: target, Method: k.Method, Args: k.Args, Result: r})
+		})
+		out.EnsureObject(o)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"testing"
+
+	"verlog/internal/term"
+)
+
+// --- Argumented methods under each update kind -------------------------------
+
+func TestDeleteWithArguments(t *testing.T) {
+	ob := mustBase(t, `
+shop.price@apple -> 3 / price@pear -> 4 / open -> yes.
+`)
+	p := mustProgram(t, `r: del[shop].price@apple -> P <- shop.price@apple -> P.`)
+	res := mustRun(t, ob, p, Options{})
+	wantNoFact(t, res.Final, `shop.price@apple -> 3.`)
+	wantFact(t, res.Final, `shop.price@pear -> 4. shop.open -> yes.`)
+}
+
+func TestInsertWithBoundArgumentsFromBody(t *testing.T) {
+	ob := mustBase(t, `
+a.rate@2025 -> 10.
+b.rate@2025 -> 20.
+`)
+	p := mustProgram(t, `r: ins[X].rate@2026 -> R2 <- X.rate@2025 -> R, R2 = R * 2.`)
+	res := mustRun(t, ob, p, Options{})
+	wantFact(t, res.Final, `a.rate@2026 -> 20. b.rate@2026 -> 40. a.rate@2025 -> 10.`)
+}
+
+// --- Negated mod update-term in body -----------------------------------------
+
+func TestNegatedModBodyTerm(t *testing.T) {
+	// Flag employees whose salary was NOT modified (no raise applied).
+	ob := mustBase(t, `
+phil.isa -> empl / sal -> 100 / eligible -> yes.
+mary.isa -> empl / sal -> 200.
+`)
+	p := mustProgram(t, `
+r1: mod[E].sal -> (S, S') <- E.isa -> empl / eligible -> yes / sal -> S, S' = S + 1.
+r2: ins[mod(E)].skipped -> no  <- mod(E).isa -> empl, mod[E].sal -> (S, S').
+`)
+	res := mustRun(t, ob, p, Options{})
+	wantFact(t, res.Result, `ins(mod(phil)).skipped -> no.`)
+	// mary was never modified: no mod(mary) version at all.
+	if res.Result.HasVersion(term.GV(term.Sym("mary"), term.Mod)) {
+		t.Errorf("mary should have no mod version")
+	}
+}
+
+// --- mod body term with unbound base over several objects --------------------
+
+func TestModBodyEnumeratesObjects(t *testing.T) {
+	ob := mustBase(t, `
+a.n -> 1. b.n -> 2. c.m -> 3.
+`)
+	p := mustProgram(t, `
+r1: mod[X].n -> (N, N') <- X.n -> N, N' = N * 10.
+r2: ins[mod(X)].log -> N' <- mod[X].n -> (N, N').
+`)
+	res := mustRun(t, ob, p, Options{})
+	wantFact(t, res.Result, `ins(mod(a)).log -> 10. ins(mod(b)).log -> 20.`)
+	if res.Result.HasVersion(term.GV(term.Sym("c"), term.Mod)) {
+		t.Errorf("c has no n method; no mod version expected")
+	}
+}
+
+// --- Update facts on versions (ground heads with paths) ----------------------
+
+func TestGroundHeadOnSkippedVersion(t *testing.T) {
+	// A fact-form insert addressed two levels up the chain: copy comes
+	// from the object itself.
+	ob := mustBase(t, `x.m -> a.`)
+	p := mustProgram(t, `ins[mod(x)].k -> b.`)
+	res := mustRun(t, ob, p, Options{})
+	wantFact(t, res.Result, `ins(mod(x)).m -> a. ins(mod(x)).k -> b.`)
+	wantFact(t, res.Final, `x.m -> a. x.k -> b.`)
+}
+
+// --- Multiple strata interacting with delete-all ------------------------------
+
+func TestDeleteAllThenRebuild(t *testing.T) {
+	// Wipe an object and rebuild it from a surviving note: exists keeps
+	// the deleted version addressable, exactly the Section 3 rationale.
+	ob := mustBase(t, `doc.text -> old / author -> ann.`)
+	p := mustProgram(t, `
+wipe:    del[doc].* <- doc.text -> old.
+rebuild: ins[del(doc)].text -> fresh <- del[doc].text -> T.
+`)
+	res := mustRun(t, ob, p, Options{})
+	wantFact(t, res.Final, `doc.text -> fresh.`)
+	wantNoFact(t, res.Final, `doc.text -> old. doc.author -> ann.`)
+}
+
+// --- Self-referential result positions ----------------------------------------
+
+func TestRepeatedVariableInHead(t *testing.T) {
+	ob := mustBase(t, `a.isa -> node. b.isa -> node.`)
+	p := mustProgram(t, `r: ins[X].self -> X <- X.isa -> node.`)
+	res := mustRun(t, ob, p, Options{})
+	wantFact(t, res.Final, `a.self -> a. b.self -> b.`)
+	wantNoFact(t, res.Final, `a.self -> b.`)
+}
+
+// --- Repeated variables as a join filter ---------------------------------------
+
+func TestRepeatedVariableJoins(t *testing.T) {
+	ob := mustBase(t, `
+a.from -> x / to -> x.
+b.from -> x / to -> y.
+`)
+	p := mustProgram(t, `r: ins[E].loop -> yes <- E.from -> N, E.to -> N.`)
+	res := mustRun(t, ob, p, Options{})
+	wantFact(t, res.Final, `a.loop -> yes.`)
+	wantNoFact(t, res.Final, `b.loop -> yes.`)
+}
+
+// --- Empty program / empty base ------------------------------------------------
+
+func TestEmptyProgram(t *testing.T) {
+	ob := mustBase(t, `x.m -> a.`)
+	res := mustRun(t, ob, &term.Program{}, Options{})
+	if res.Fired != 0 {
+		t.Errorf("fired = %d", res.Fired)
+	}
+	wantFact(t, res.Final, `x.m -> a.`)
+}
+
+func TestEmptyBase(t *testing.T) {
+	ob := mustBase(t, ``)
+	p := mustProgram(t, `r: ins[X].m -> a <- X.t -> 1.`)
+	res := mustRun(t, ob, p, Options{})
+	if res.Fired != 0 || res.Final.Size() != 0 {
+		t.Errorf("fired=%d size=%d", res.Fired, res.Final.Size())
+	}
+}
+
+// --- Negation with arguments ----------------------------------------------------
+
+func TestNegatedArgumentedAtom(t *testing.T) {
+	ob := mustBase(t, `
+a.rate@1 -> 10.
+b.rate@1 -> 10 / blocked@1 -> yes.
+`)
+	p := mustProgram(t, `r: ins[X].ok@1 -> yes <- X.rate@1 -> R, !X.blocked@1 -> yes.`)
+	res := mustRun(t, ob, p, Options{})
+	wantFact(t, res.Final, `a.ok@1 -> yes.`)
+	wantNoFact(t, res.Final, `b.ok@1 -> yes.`)
+}

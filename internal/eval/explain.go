@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"verlog/internal/term"
+)
+
+// Explanation tells where a fact in the fixpoint came from: the update
+// that put it there, or the copy chain that carried it forward from an
+// earlier version, or the input object base.
+type Explanation struct {
+	// Fact is the fact being explained.
+	Fact term.Fact
+	// Kind classifies the provenance.
+	Kind ProvenanceKind
+	// Event is the fired update that produced the fact (for
+	// ProvenanceUpdate) or that created the version which copied it (for
+	// ProvenanceCopy).
+	Event *TraceEvent
+	// CopiedFrom is the version the fact was inherited from, for
+	// ProvenanceCopy; walking explanations of CopiedFrom yields the full
+	// chain back to the input base.
+	CopiedFrom term.GVID
+}
+
+// ProvenanceKind classifies an explanation.
+type ProvenanceKind uint8
+
+const (
+	// ProvenanceInput: the fact is part of the input object base (or the
+	// seeded exists method).
+	ProvenanceInput ProvenanceKind = iota
+	// ProvenanceUpdate: an insert or the new half of a modify put it there.
+	ProvenanceUpdate
+	// ProvenanceCopy: it was inherited when the version's state was copied
+	// from its predecessor (the frame behaviour of step 2 of T_P).
+	ProvenanceCopy
+	// ProvenanceUnknown: the fact is not in the result, or the run was not
+	// traced.
+	ProvenanceUnknown
+)
+
+func (k ProvenanceKind) String() string {
+	switch k {
+	case ProvenanceInput:
+		return "input"
+	case ProvenanceUpdate:
+		return "update"
+	case ProvenanceCopy:
+		return "copy"
+	default:
+		return "unknown"
+	}
+}
+
+// String renders the explanation for humans.
+func (e Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: ", e.Fact)
+	switch e.Kind {
+	case ProvenanceInput:
+		b.WriteString("from the input object base")
+	case ProvenanceUpdate:
+		fmt.Fprintf(&b, "produced by %s (rule %s, stratum %d)",
+			e.Event.Update, e.Event.Rule, e.Event.Stratum+1)
+	case ProvenanceCopy:
+		fmt.Fprintf(&b, "inherited from %s", e.CopiedFrom)
+		if e.Event != nil {
+			fmt.Fprintf(&b, " when rule %s performed %s", e.Event.Rule, e.Event.Update)
+		}
+	default:
+		b.WriteString("not derivable from this run")
+	}
+	return b.String()
+}
+
+// Explain reconstructs the provenance of a fact from a traced run
+// (Options.Trace must have been set). For version facts it distinguishes
+// updates that created the fact from frame copies that carried it in; for
+// copies, CopiedFrom names the predecessor so the chain can be walked back
+// to the input base.
+func (r *Result) Explain(f term.Fact) Explanation {
+	out := Explanation{Fact: f, Kind: ProvenanceUnknown}
+	if r.Result == nil || !r.Result.Has(f) {
+		return out
+	}
+	if f.V.IsObject() {
+		out.Kind = ProvenanceInput
+		return out
+	}
+	// An update that directly produced the fact?
+	for i := range r.Trace {
+		ev := &r.Trace[i]
+		u := ev.Update
+		if u.Target() != f.V || u.Key.Method != f.Method || u.Key.Args != f.Args {
+			continue
+		}
+		switch u.Kind {
+		case term.Ins:
+			if u.R == f.Result {
+				out.Kind, out.Event = ProvenanceUpdate, ev
+				return out
+			}
+		case term.Mod:
+			if u.R2 == f.Result {
+				out.Kind, out.Event = ProvenanceUpdate, ev
+				return out
+			}
+		}
+	}
+	// Otherwise the fact was copied from the version's predecessor (v* at
+	// creation time). Find the earliest update that created this version.
+	var creator *TraceEvent
+	for i := range r.Trace {
+		ev := &r.Trace[i]
+		if ev.Update.Target() == f.V {
+			creator = ev
+			break
+		}
+	}
+	out.Kind = ProvenanceCopy
+	out.Event = creator
+	out.CopiedFrom = copySource(r, f)
+	return out
+}
+
+// copySource finds the nearest shallower version of the object that also
+// holds the method application — the version the copy chain inherited it
+// from.
+func copySource(r *Result, f term.Fact) term.GVID {
+	for i := f.V.Path.Len() - 1; i >= 0; i-- {
+		cand := term.GVID{Object: f.V.Object, Path: f.V.Path[:i]}
+		if r.Result.Has(f.WithV(cand)) {
+			return cand
+		}
+	}
+	return term.GVID{Object: f.V.Object}
+}

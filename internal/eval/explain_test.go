@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"verlog/internal/parser"
+	"verlog/internal/term"
+)
+
+func tracedEnterprise(t *testing.T) *Result {
+	t.Helper()
+	ob := mustBase(t, enterpriseBase)
+	return mustRun(t, ob, mustProgram(t, enterpriseProgram), Options{Trace: true})
+}
+
+func mustFact(t *testing.T, src string) term.Fact {
+	t.Helper()
+	fs, err := parser.Facts(src, "f")
+	if err != nil || len(fs) != 1 {
+		t.Fatalf("fact %q: %v", src, err)
+	}
+	return fs[0]
+}
+
+func TestExplainUpdateProvenance(t *testing.T) {
+	res := tracedEnterprise(t)
+	// The modified salary comes from rule1's modify.
+	e := res.Explain(mustFact(t, `mod(phil).sal -> 4600.`))
+	if e.Kind != ProvenanceUpdate || e.Event == nil || e.Event.Rule != "rule1" {
+		t.Errorf("explanation = %+v", e)
+	}
+	if !strings.Contains(e.String(), "rule1") {
+		t.Errorf("String = %s", e)
+	}
+	// The hpe class membership comes from rule4's insert.
+	e = res.Explain(mustFact(t, `ins(mod(phil)).isa -> hpe.`))
+	if e.Kind != ProvenanceUpdate || e.Event.Rule != "rule4" {
+		t.Errorf("explanation = %+v", e)
+	}
+}
+
+func TestExplainCopyProvenance(t *testing.T) {
+	res := tracedEnterprise(t)
+	// phil's position was never updated: in ins(mod(phil)) it is a copy
+	// inherited through mod(phil).
+	e := res.Explain(mustFact(t, `ins(mod(phil)).pos -> mgr.`))
+	if e.Kind != ProvenanceCopy {
+		t.Fatalf("kind = %v", e.Kind)
+	}
+	if e.CopiedFrom != term.GV(term.Sym("phil"), term.Mod) {
+		t.Errorf("copied from %v", e.CopiedFrom)
+	}
+	if e.Event == nil || e.Event.Rule != "rule4" {
+		t.Errorf("creator event = %+v", e.Event)
+	}
+	// Walking one level further reaches the input base.
+	e2 := res.Explain(mustFact(t, `mod(phil).pos -> mgr.`))
+	if e2.Kind != ProvenanceCopy || e2.CopiedFrom != term.GV(term.Sym("phil")) {
+		t.Errorf("second hop = %+v", e2)
+	}
+	e3 := res.Explain(mustFact(t, `phil.pos -> mgr.`))
+	if e3.Kind != ProvenanceInput {
+		t.Errorf("input hop = %+v", e3)
+	}
+}
+
+func TestExplainUnknown(t *testing.T) {
+	res := tracedEnterprise(t)
+	e := res.Explain(mustFact(t, `ghost.sal -> 1.`))
+	if e.Kind != ProvenanceUnknown {
+		t.Errorf("kind = %v", e.Kind)
+	}
+	if !strings.Contains(e.String(), "not derivable") {
+		t.Errorf("String = %s", e)
+	}
+}
+
+func TestExplainModOldValueGone(t *testing.T) {
+	res := tracedEnterprise(t)
+	// The old salary is absent from the mod version; Explain on the old
+	// version still reports input provenance.
+	if res.Result.Has(mustFact(t, `mod(phil).sal -> 4000.`)) {
+		t.Fatalf("old value should be replaced")
+	}
+	e := res.Explain(mustFact(t, `phil.sal -> 4000.`))
+	if e.Kind != ProvenanceInput {
+		t.Errorf("kind = %v", e.Kind)
+	}
+}

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"testing"
+
+	"verlog/internal/term"
+)
+
+func TestHistoryEnterpriseBob(t *testing.T) {
+	ob := mustBase(t, enterpriseBase)
+	res := mustRun(t, ob, mustProgram(t, enterpriseProgram), Options{})
+	steps := History(res.Result, term.Sym("bob"))
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d, want 3 (bob, mod(bob), del(mod(bob)))\n%v", len(steps), steps)
+	}
+	if steps[0].V != term.GV(term.Sym("bob")) || steps[0].Kind != 0 {
+		t.Errorf("step 0 = %v", steps[0])
+	}
+	if steps[1].Kind != term.Mod {
+		t.Errorf("step 1 kind = %v", steps[1].Kind)
+	}
+	// The modify swapped 4200 for 4620.
+	if len(steps[1].Added) != 1 || steps[1].Added[0].Result != term.Int(4620) {
+		t.Errorf("step 1 added = %v", steps[1].Added)
+	}
+	if len(steps[1].Removed) != 1 || steps[1].Removed[0].Result != term.Int(4200) {
+		t.Errorf("step 1 removed = %v", steps[1].Removed)
+	}
+	// The delete-all emptied the state.
+	if steps[2].Kind != term.Del || len(steps[2].State) != 0 || len(steps[2].Removed) != 3 {
+		t.Errorf("step 2 = %+v", steps[2])
+	}
+}
+
+func TestHistoryUntouchedObject(t *testing.T) {
+	ob := mustBase(t, `quiet.n -> 1. loud.isa -> empl / sal -> 10.`)
+	res := mustRun(t, ob, mustProgram(t, salaryRaise), Options{})
+	steps := History(res.Result, term.Sym("quiet"))
+	if len(steps) != 1 || len(steps[0].State) != 1 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if steps[0].String() == "" {
+		t.Errorf("empty rendering")
+	}
+}
+
+func TestHistorySkippedStage(t *testing.T) {
+	// del(mod(x)) derived directly from x: only two stages appear.
+	ob := mustBase(t, `x.m -> a / k -> b.`)
+	p := mustProgram(t, `r: del[mod(x)].m -> a <- x.m -> a.`)
+	res := mustRun(t, ob, p, Options{})
+	steps := History(res.Result, term.Sym("x"))
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if steps[1].V != term.GV(term.Sym("x"), term.Mod, term.Del) {
+		t.Errorf("step 1 = %v", steps[1].V)
+	}
+	if len(steps[1].Removed) != 1 || steps[1].Removed[0].Method != "m" {
+		t.Errorf("step 1 removed = %v", steps[1].Removed)
+	}
+}
+
+func TestHistoryUnknownObject(t *testing.T) {
+	ob := mustBase(t, `x.m -> a.`)
+	if steps := History(ob, term.Sym("ghost")); len(steps) != 0 {
+		t.Errorf("steps for unknown object: %v", steps)
+	}
+}

@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"testing"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/term"
+	"verlog/internal/workload"
+)
+
+// Metamorphic property: evaluation commutes with consistent renaming of
+// symbol OIDs. Renaming every symbol in the base and in the program's
+// ground terms, running, and renaming back must give the original result —
+// the engine cannot depend on the spelling of object identities.
+
+func renameOID(o term.OID) term.OID {
+	if o.Sort() == term.SortSym {
+		return term.Sym("ren_" + o.Name())
+	}
+	return o
+}
+
+func renameObjTerm(t term.ObjTerm) term.ObjTerm {
+	if o, ok := t.(term.OID); ok {
+		return renameOID(o)
+	}
+	return t
+}
+
+func renameApp(a term.MethodApp) term.MethodApp {
+	out := term.MethodApp{Method: a.Method, Result: renameObjTerm(a.Result)}
+	for _, arg := range a.Args {
+		out.Args = append(out.Args, renameObjTerm(arg))
+	}
+	return out
+}
+
+func renameExpr(e term.Expr) term.Expr {
+	switch x := e.(type) {
+	case term.ConstExpr:
+		return term.ConstExpr{OID: renameOID(x.OID)}
+	case term.BinExpr:
+		return term.BinExpr{Op: x.Op, L: renameExpr(x.L), R: renameExpr(x.R)}
+	case term.NegExpr:
+		return term.NegExpr{E: renameExpr(x.E)}
+	default:
+		return e
+	}
+}
+
+func renameAtom(a term.Atom) term.Atom {
+	switch x := a.(type) {
+	case term.VersionAtom:
+		return term.VersionAtom{
+			V:   term.VersionID{Base: renameObjTerm(x.V.Base), Path: x.V.Path, Any: x.V.Any},
+			App: renameApp(x.App),
+		}
+	case term.UpdateAtom:
+		out := term.UpdateAtom{
+			Kind: x.Kind,
+			V:    term.VersionID{Base: renameObjTerm(x.V.Base), Path: x.V.Path},
+			All:  x.All,
+		}
+		if !x.All {
+			out.App = renameApp(x.App)
+			if x.NewResult != nil {
+				out.NewResult = renameObjTerm(x.NewResult)
+			}
+		}
+		return out
+	case term.BuiltinAtom:
+		return term.BuiltinAtom{Op: x.Op, L: renameExpr(x.L), R: renameExpr(x.R)}
+	default:
+		return a
+	}
+}
+
+func renameProgram(p *term.Program) *term.Program {
+	out := &term.Program{}
+	for _, r := range p.Rules {
+		nr := term.Rule{Head: renameAtom(r.Head).(term.UpdateAtom), Name: r.Name, Line: r.Line}
+		for _, l := range r.Body {
+			nr.Body = append(nr.Body, term.Literal{Neg: l.Neg, Atom: renameAtom(l.Atom)})
+		}
+		out.Rules = append(out.Rules, nr)
+	}
+	return out
+}
+
+func renameBase(b *objectbase.Base) *objectbase.Base {
+	out := objectbase.New()
+	for _, f := range b.Facts() {
+		var args []term.OID
+		for _, a := range f.Args.Decode() {
+			args = append(args, renameOID(a))
+		}
+		out.Insert(term.Fact{
+			V:      term.GVID{Object: renameOID(f.V.Object), Path: f.V.Path},
+			Method: f.Method,
+			Args:   term.EncodeOIDs(args),
+			Result: renameOID(f.Result),
+		})
+	}
+	return out
+}
+
+func TestMetamorphicRenaming(t *testing.T) {
+	cases := []struct {
+		name string
+		base *objectbase.Base
+		prog string
+	}{
+		{"enterprise", workload.EnterpriseSpec{Employees: 50, Seed: 17}.ObjectBase(), workload.EnterpriseProgram},
+		{"ancestors", workload.GenealogySpec{Generations: 5, Branching: 2}.ObjectBase(), workload.AncestorsProgram},
+		{"paper", nil, enterpriseProgram},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base := c.base
+			if base == nil {
+				base = mustBase(t, enterpriseBase)
+			}
+			prog := mustProgram(t, c.prog)
+
+			plain, err := Run(base, prog, Options{})
+			if err != nil {
+				t.Fatalf("plain run: %v", err)
+			}
+			renamed, err := Run(renameBase(base), renameProgram(prog), Options{})
+			if err != nil {
+				t.Fatalf("renamed run: %v", err)
+			}
+			// Renaming the plain result must equal the renamed result.
+			if !renameBase(plain.Result).Equal(renamed.Result) {
+				t.Errorf("fixpoints not isomorphic under renaming")
+			}
+			if !renameBase(plain.Final).Equal(renamed.Final) {
+				t.Errorf("finals not isomorphic under renaming")
+			}
+			if plain.Fired != renamed.Fired {
+				t.Errorf("fired: %d vs %d", plain.Fired, renamed.Fired)
+			}
+		})
+	}
+}

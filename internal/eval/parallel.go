@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"sync"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/term"
+)
+
+// fireTask is one unit of step-1 matching: a rule, optionally restricted to
+// a delta position (-1 for a full evaluation).
+type fireTask struct {
+	ri  int
+	pos int
+}
+
+// collectFirings runs step 1 for every task and returns the fired updates
+// per task, in task order. Matching only reads the base, so tasks run
+// concurrently when Options.Parallelism allows; results are merged in task
+// order afterwards, keeping evaluation deterministic.
+func (e *engine) collectFirings(tasks []fireTask, delta []term.Fact) ([][]Update, error) {
+	results := make([][]Update, len(tasks))
+	runTask := func(ti int) error {
+		t := tasks[ti]
+		return e.step1Rule(t.ri, t.pos, delta, func(u Update) error {
+			results[ti] = append(results[ti], u)
+			return nil
+		})
+	}
+
+	workers := e.opts.Parallelism
+	if workers < 2 || len(tasks) < 2 {
+		for ti := range tasks {
+			if err := runTask(ti); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	// Buffer and close the queue up front so early-exiting workers can
+	// never deadlock the send side.
+	work := make(chan int, len(tasks))
+	for ti := range tasks {
+		work <- ti
+	}
+	close(work)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range work {
+				if err := runTask(ti); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+		return results, nil
+	}
+}
+
+// computeStates computes the new state for every target, in parallel when
+// configured. computeState only reads the base; mutation (SetState)
+// happens sequentially in the caller.
+func (e *engine) computeStates(targets []term.GVID, byTarget map[term.GVID][]Update) []*objectbase.State {
+	states := make([]*objectbase.State, len(targets))
+	workers := e.opts.Parallelism
+	if workers < 2 || len(targets) < 2 {
+		for i, w := range targets {
+			states[i] = e.computeState(w, byTarget[w])
+		}
+		return states
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	work := make(chan int, len(targets))
+	for i := range targets {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				states[i] = e.computeState(targets[i], byTarget[targets[i]])
+			}
+		}()
+	}
+	wg.Wait()
+	return states
+}

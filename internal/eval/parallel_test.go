@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/workload"
+)
+
+// TestParallelMatchesSequential: parallel evaluation computes exactly the
+// sequential fixpoint on every standard workload. Under -race this also
+// exercises the concurrency safety of the read-only matching phase.
+func TestParallelMatchesSequential(t *testing.T) {
+	workloads := []struct {
+		name    string
+		base    func() *objectbase.Base
+		prog    string
+		workers int
+	}{
+		{"enterprise", workload.EnterpriseSpec{Employees: 150, Seed: 3}.ObjectBase, workload.EnterpriseProgram, 4},
+		{"ancestors", workload.GenealogySpec{Generations: 6, Branching: 2}.ObjectBase, workload.AncestorsProgram, 8},
+		{"chains", func() *objectbase.Base { return workload.Items(100) }, workload.ChainProgram(5), 3},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			b := w.base()
+			p := mustProgram(t, w.prog)
+			seq, err := Run(b, p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Run(b, p, Options{Parallelism: w.workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.Result.Equal(par.Result) || !seq.Final.Equal(par.Final) {
+				t.Errorf("parallel fixpoint differs from sequential")
+			}
+			if seq.Fired != par.Fired {
+				t.Errorf("fired: seq %d, par %d", seq.Fired, par.Fired)
+			}
+		})
+	}
+}
+
+// TestParallelErrorPropagates: an evaluation error in one worker surfaces.
+func TestParallelErrorPropagates(t *testing.T) {
+	ob := mustBase(t, `a.m -> henry. b.m -> 2. c.m -> 3. d.m -> 4.`)
+	p := mustProgram(t, `
+r1: ins[X].k -> V <- X.m -> M, V = M * 2.
+r2: ins[X].j -> V <- X.m -> M, V = M + 1.
+r3: ins[X].i -> V <- X.m -> M, V = M - 1.
+`)
+	if _, err := Run(ob, p, Options{Parallelism: 4}); err == nil {
+		t.Fatalf("type error swallowed in parallel mode")
+	}
+}
+
+// TestParallelLinearityViolationDetected: the online check still rejects
+// branching version trees under parallel evaluation.
+func TestParallelLinearityViolationDetected(t *testing.T) {
+	ob := mustBase(t, `o.t -> 1 / m -> a.`)
+	p := mustProgram(t, `
+ra: mod[X].m -> (a, b) <- X.t -> 1.
+rb: del[X].m -> a <- X.t -> 1.
+`)
+	_, err := Run(ob, p, Options{Parallelism: 4})
+	var le *LinearityError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want LinearityError", err)
+	}
+}
+
+// TestParallelTraceDeterministic: merged in task order, the trace is
+// stable across parallel runs.
+func TestParallelTraceDeterministic(t *testing.T) {
+	ob := workload.EnterpriseSpec{Employees: 40, Seed: 9}.ObjectBase()
+	p := mustProgram(t, workload.EnterpriseProgram)
+	var first []TraceEvent
+	for i := 0; i < 4; i++ {
+		res, err := Run(ob, p, Options{Parallelism: 6, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res.Trace
+			continue
+		}
+		if len(res.Trace) != len(first) {
+			t.Fatalf("trace length varies: %d vs %d", len(res.Trace), len(first))
+		}
+		for j := range first {
+			if first[j] != res.Trace[j] {
+				t.Fatalf("trace differs at %d: %v vs %v", j, first[j], res.Trace[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package eval implements the bottom-up evaluation of update-programs:
+// the truth relations of Section 3, the three-step immediate consequence
+// operator T_P, stratum-wise naive and semi-naive fixpoint iteration
+// (Section 4), the version-linearity run-time check and the construction
+// of the updated object base (Section 5).
+package eval
+
+import (
+	"verlog/internal/objectbase"
+	"verlog/internal/term"
+)
+
+// plan is a per-rule evaluation order for body literals, computed once.
+// The order guarantees that negated literals and comparisons are evaluated
+// only when their variables are bound, which safe rules always allow.
+type plan struct {
+	order []int
+	// deltaPositions lists positions (into order) of positive literals
+	// whose facts can change within a stratum: version-terms over non-
+	// empty-path VIDs and ins-update-terms. Semi-naive evaluation seeds
+	// joins from these positions. Positions refer to the reordered body.
+	deltaPositions []int
+}
+
+// binds returns the variables a positive occurrence of the literal binds.
+func binds(l term.Literal) []term.Var {
+	if l.Neg {
+		return nil
+	}
+	var out []term.Var
+	add := func(t term.ObjTerm) {
+		if v, ok := t.(term.Var); ok {
+			out = append(out, v)
+		}
+	}
+	switch a := l.Atom.(type) {
+	case term.VersionAtom:
+		add(a.V.Base)
+		for _, arg := range a.App.Args {
+			add(arg)
+		}
+		add(a.App.Result)
+	case term.UpdateAtom:
+		add(a.V.Base)
+		for _, arg := range a.App.Args {
+			add(arg)
+		}
+		add(a.App.Result)
+		if a.NewResult != nil {
+			add(a.NewResult)
+		}
+	case term.BuiltinAtom:
+		if a.Op != term.OpEq {
+			return nil
+		}
+		// X = expr binds X (in either direction); the planner checks
+		// separately that the other side is evaluable.
+		if v, ok := a.L.(term.VarExpr); ok {
+			out = append(out, v.V)
+		}
+		if v, ok := a.R.(term.VarExpr); ok {
+			out = append(out, v.V)
+		}
+	}
+	return out
+}
+
+// needs returns the variables that must be bound before the literal can be
+// evaluated as a filter (negated literal or comparison), or nil when the
+// literal can generate bindings itself.
+func needs(l term.Literal) []term.Var {
+	collect := func(a term.Atom) []term.Var {
+		var out []term.Var
+		add := func(t term.ObjTerm) {
+			if v, ok := t.(term.Var); ok {
+				out = append(out, v)
+			}
+		}
+		switch x := a.(type) {
+		case term.VersionAtom:
+			add(x.V.Base)
+			for _, arg := range x.App.Args {
+				add(arg)
+			}
+			add(x.App.Result)
+		case term.UpdateAtom:
+			add(x.V.Base)
+			for _, arg := range x.App.Args {
+				add(arg)
+			}
+			add(x.App.Result)
+			if x.NewResult != nil {
+				add(x.NewResult)
+			}
+		case term.BuiltinAtom:
+			return term.ExprVars(x.R, term.ExprVars(x.L, nil))
+		}
+		return out
+	}
+	if l.Neg {
+		return collect(l.Atom)
+	}
+	if b, ok := l.Atom.(term.BuiltinAtom); ok {
+		return term.ExprVars(b.R, term.ExprVars(b.L, nil))
+	}
+	return nil // positive version-/update-terms can always generate
+}
+
+// filterReady reports whether a filter literal (negated atom or built-in)
+// can be evaluated given the bound variables. An equality whose one side is
+// a bare variable is ready as soon as the other side is fully bound: Solve
+// will bind the variable.
+func filterReady(l term.Literal, bound map[term.Var]bool) bool {
+	allBound := func(vs []term.Var) bool {
+		for _, v := range vs {
+			if !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if !l.Neg {
+		if b, ok := l.Atom.(term.BuiltinAtom); ok && b.Op == term.OpEq {
+			if _, bare := b.L.(term.VarExpr); bare && allBound(term.ExprVars(b.R, nil)) {
+				return true
+			}
+			if _, bare := b.R.(term.VarExpr); bare && allBound(term.ExprVars(b.L, nil)) {
+				return true
+			}
+		}
+	}
+	return allBound(needs(l))
+}
+
+// deltaSeedable reports whether the literal's supporting facts can be
+// produced within the stratum currently being evaluated: positive
+// version-terms over versions (non-empty path) and positive ins-update-
+// terms. Facts of plain objects never change; del/mod body update-terms
+// and negated literals are frozen in-stratum by stratification conditions
+// (c) and (d).
+func deltaSeedable(l term.Literal) bool {
+	if l.Neg {
+		return false
+	}
+	switch a := l.Atom.(type) {
+	case term.VersionAtom:
+		return a.V.Path.Len() > 0
+	case term.UpdateAtom:
+		return a.Kind == term.Ins
+	default:
+		return false
+	}
+}
+
+// costEstimator estimates how many candidates a generator literal
+// enumerates; lower is better. baseBound tells whether the literal's
+// version base is already bound when it runs.
+type costEstimator func(l term.Literal, baseBound bool) int
+
+// staticCost ignores statistics: bound-base generators are cheap, the rest
+// tie (preserving source order through the stable greedy choice).
+func staticCost(l term.Literal, baseBound bool) int {
+	if baseBound {
+		return 0
+	}
+	return 1
+}
+
+// statsCost orders unbound-base generators by the cardinality of the
+// (path, method) index they will scan — classical selectivity-based join
+// ordering. Bound-base lookups are near-free.
+func statsCost(base *objectbase.Base) costEstimator {
+	return func(l term.Literal, baseBound bool) int {
+		if baseBound {
+			return 0
+		}
+		var v term.VersionID
+		var method string
+		switch a := l.Atom.(type) {
+		case term.VersionAtom:
+			v, method = a.V, a.App.Method
+		case term.UpdateAtom:
+			switch a.Kind {
+			case term.Ins:
+				v, method = a.V.Push(term.Ins), a.App.Method
+			case term.Del:
+				v, method = a.V.Push(term.Del), term.ExistsMethod
+			default:
+				v, method = a.V.Push(term.Mod), a.App.Method
+			}
+		default:
+			return 1
+		}
+		if v.Any {
+			// Wildcards scan every path; estimate pessimistically.
+			return 1 << 20
+		}
+		return 1 + base.CountVIDsWith(v.Path, method)
+	}
+}
+
+// planRule orders the body with the static estimator.
+func planRule(r term.Rule) plan { return planRuleCost(r, staticCost) }
+
+// planRuleCost orders the body greedily: filters run as soon as their
+// variables are bound; among generators the cheapest (per the estimator)
+// runs first, with source order breaking ties.
+func planRuleCost(r term.Rule, est costEstimator) plan {
+	n := len(r.Body)
+	var p plan
+	used := make([]bool, n)
+	bound := map[term.Var]bool{}
+	for len(p.order) < n {
+		pick := -1
+		// 1. Any evaluable filter or binding equality.
+		for i, l := range r.Body {
+			if used[i] {
+				continue
+			}
+			if l.Neg || isBuiltin(l) {
+				if filterReady(l, bound) {
+					pick = i
+					break
+				}
+				continue
+			}
+		}
+		// 2. The cheapest generator.
+		if pick < 0 {
+			best := -1
+			for i, l := range r.Body {
+				if used[i] || l.Neg || isBuiltin(l) {
+					continue
+				}
+				c := est(l, baseBound(l, bound))
+				if pick < 0 || c < best {
+					pick, best = i, c
+				}
+			}
+		}
+		// 3. Nothing evaluable: safety was violated; keep source order and
+		// let evaluation surface the unbound-variable error.
+		if pick < 0 {
+			for i := range r.Body {
+				if !used[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		used[pick] = true
+		p.order = append(p.order, pick)
+		for _, v := range binds(r.Body[pick]) {
+			bound[v] = true
+		}
+	}
+	for pos, i := range p.order {
+		if deltaSeedable(r.Body[i]) {
+			p.deltaPositions = append(p.deltaPositions, pos)
+		}
+	}
+	return p
+}
+
+func isBuiltin(l term.Literal) bool {
+	_, ok := l.Atom.(term.BuiltinAtom)
+	return ok
+}
+
+func baseBound(l term.Literal, bound map[term.Var]bool) bool {
+	var base term.ObjTerm
+	switch a := l.Atom.(type) {
+	case term.VersionAtom:
+		base = a.V.Base
+	case term.UpdateAtom:
+		base = a.V.Base
+	default:
+		return false
+	}
+	if v, ok := base.(term.Var); ok {
+		return bound[v]
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/term"
+)
+
+// RulePlan describes how the engine will evaluate one rule's body: the
+// literal order the planner chose and, for semi-naive iteration, which
+// positions are delta-seedable. It exists for the "verlog plan" command
+// and the planner ablation; the engine recomputes plans per stratum, so
+// this is the stratum-1 view of the given base.
+type RulePlan struct {
+	Rule string
+	// Literals holds the body literals in evaluation order.
+	Literals []string
+	// Costs holds the planner's cardinality estimate per literal, aligned
+	// with Literals (0 for filters and bound-base lookups).
+	Costs []int
+	// DeltaLiterals marks, aligned with Literals, the positions semi-naive
+	// iteration seeds from.
+	DeltaLiterals []bool
+}
+
+// String renders the plan compactly.
+func (rp RulePlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", rp.Rule)
+	for i, l := range rp.Literals {
+		marker := " "
+		if rp.DeltaLiterals[i] {
+			marker = "Δ"
+		}
+		fmt.Fprintf(&b, "  %d. %s %-40s (est %d)\n", i+1, marker, l, rp.Costs[i])
+	}
+	return b.String()
+}
+
+// ExplainPlans reports the evaluation order the statistics planner picks
+// for every rule of p against the given base (set static to see the
+// source-order planner instead).
+func ExplainPlans(base *objectbase.Base, p *term.Program, static bool) []RulePlan {
+	est := statsCost(base)
+	if static {
+		est = staticCost
+	}
+	out := make([]RulePlan, 0, len(p.Rules))
+	for ri, r := range p.Rules {
+		pl := planRuleCost(r, est)
+		rp := RulePlan{Rule: r.Label(ri)}
+		// Recompute per-literal estimates in plan order, tracking bound
+		// variables exactly as the planner does.
+		bound := map[term.Var]bool{}
+		delta := map[int]bool{}
+		for _, pos := range pl.deltaPositions {
+			delta[pos] = true
+		}
+		for pos, li := range pl.order {
+			l := r.Body[li]
+			cost := 0
+			if !l.Neg && !isBuiltin(l) {
+				cost = est(l, baseBound(l, bound))
+			}
+			rp.Literals = append(rp.Literals, l.String())
+			rp.Costs = append(rp.Costs, cost)
+			rp.DeltaLiterals = append(rp.DeltaLiterals, delta[pos])
+			for _, v := range binds(l) {
+				bound[v] = true
+			}
+		}
+		out = append(out, rp)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainPlans(t *testing.T) {
+	ob := mustBase(t, `
+a.isa -> item / val -> 1.
+b.isa -> item / val -> 2.
+c.isa -> item / val -> 3 / rare -> yes.
+`)
+	p := mustProgram(t, `
+find: ins[X].hit -> yes <- X.isa -> item, X.rare -> yes, X.val -> V.
+`)
+	plans := ExplainPlans(ob, p, false)
+	if len(plans) != 1 {
+		t.Fatalf("plans = %v", plans)
+	}
+	rp := plans[0]
+	if rp.Rule != "find" || len(rp.Literals) != 3 {
+		t.Fatalf("plan = %+v", rp)
+	}
+	// Statistics: the rare literal (1 candidate) runs first.
+	if !strings.Contains(rp.Literals[0], "rare") {
+		t.Errorf("statistics plan starts with %q", rp.Literals[0])
+	}
+	if rp.Costs[0] != 2 { // 1 + index count 1
+		t.Errorf("first cost = %d", rp.Costs[0])
+	}
+	// Static: source order, isa first.
+	static := ExplainPlans(ob, p, true)
+	if !strings.Contains(static[0].Literals[0], "isa") {
+		t.Errorf("static plan starts with %q", static[0].Literals[0])
+	}
+	// Rendering includes the estimates.
+	if out := rp.String(); !strings.Contains(out, "find:") || !strings.Contains(out, "(est") {
+		t.Errorf("String = %s", out)
+	}
+}
+
+func TestExplainPlansDeltaMarkers(t *testing.T) {
+	ob := mustBase(t, `x.isa -> person / parents -> y. y.isa -> person.`)
+	p := mustProgram(t, `
+step: ins[X].anc -> P <- ins(X).isa -> person / anc -> A, A.isa -> person / parents -> P.
+`)
+	rp := ExplainPlans(ob, p, false)[0]
+	deltas := 0
+	for _, d := range rp.DeltaLiterals {
+		if d {
+			deltas++
+		}
+	}
+	if deltas != 2 { // the two ins(X) literals
+		t.Errorf("delta positions = %v", rp.DeltaLiterals)
+	}
+}

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"sort"
+	"strings"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/term"
+	"verlog/internal/unify"
+)
+
+// Binding is one answer to a query: the bindings of the query's variables.
+type Binding map[term.Var]term.OID
+
+// String renders the binding deterministically, e.g. "E=phil, S=4600".
+func (b Binding) String() string {
+	keys := make([]string, 0, len(b))
+	for v := range b {
+		keys = append(keys, string(v))
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + b[term.Var(k)].String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Query evaluates a conjunction of body literals against an object base
+// (typically a fixpoint result, where every derived version is visible, or
+// a finalized base) and returns the distinct variable bindings, sorted.
+// Section 2.2 notes that "during an evaluation of an update-program all
+// versions created during that evaluation can be used to derive the
+// desired method values" — Query is that facility.
+func Query(base *objectbase.Base, body []term.Literal) ([]Binding, error) {
+	rule := term.Rule{Body: body, Name: "query"}
+	pl := planRule(rule)
+	m := &matcher{base: base}
+	vars := rule.Vars()
+
+	seen := map[string]bool{}
+	var out []Binding
+	s := unify.Subst{}
+	var tr unify.Trail
+	var rec func(step int) error
+	rec = func(step int) error {
+		if step == len(pl.order) {
+			// Materialize the answer now: the shared substitution is
+			// rolled back as matching backtracks.
+			b := Binding{}
+			for v := range vars {
+				if o, ok := s.Lookup(v); ok {
+					b[v] = o
+				}
+			}
+			key := b.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, b)
+			}
+			return nil
+		}
+		return m.matchLiteral(body[pl.order[step]], s, &tr, func() error {
+			return rec(step + 1)
+		})
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/term"
+	"verlog/internal/unify"
+)
+
+// Update is a fired ground update: an element of the set T¹_P(I) of
+// Section 3. For Mod, R is the old result and R2 the new one.
+type Update struct {
+	Kind term.UpdateKind
+	V    term.GVID // the version the update is performed on (inside [...])
+	Key  term.MethodKey
+	R    term.OID
+	R2   term.OID
+}
+
+// Target returns the version resulting from the update, Kind(V).
+func (u Update) Target() term.GVID { return u.V.Push(u.Kind) }
+
+func (u Update) String() string {
+	switch u.Kind {
+	case term.Mod:
+		return fmt.Sprintf("mod[%s].%s -> (%s, %s)", u.V, u.Key, u.R, u.R2)
+	default:
+		return fmt.Sprintf("%s[%s].%s -> %s", u.Kind, u.V, u.Key, u.R)
+	}
+}
+
+// compare orders updates for deterministic traces.
+func (u Update) compare(v Update) int {
+	if c := u.V.Compare(v.V); c != 0 {
+		return c
+	}
+	if u.Kind != v.Kind {
+		if u.Kind < v.Kind {
+			return -1
+		}
+		return 1
+	}
+	if u.Key.Method != v.Key.Method {
+		if u.Key.Method < v.Key.Method {
+			return -1
+		}
+		return 1
+	}
+	if c := u.R.Compare(v.R); c != 0 {
+		return c
+	}
+	return u.R2.Compare(v.R2)
+}
+
+// step1Rule enumerates the rule's body matches against the matcher's base
+// and emits every fired ground update that also passes the head-position
+// truth test of Section 3. The onFire callback receives the update (one
+// per expanded delete-all entry).
+func (e *engine) step1Rule(ri int, deltaPos int, delta []term.Fact, onFire func(u Update) error) error {
+	r := e.prog.Rules[ri]
+	pl := e.plans[ri]
+	// With a delta restriction, the restricted literal joins first — the
+	// essence of semi-naive evaluation — and the remaining literals follow
+	// in plan order. Moving a positive generator to the front only adds
+	// bindings, so every later filter still has its variables bound.
+	order := pl.order
+	if deltaPos >= 0 {
+		order = make([]int, 0, len(pl.order))
+		order = append(order, pl.order[deltaPos])
+		for i, li := range pl.order {
+			if i != deltaPos {
+				order = append(order, li)
+			}
+		}
+	}
+	s := unify.Subst{}
+	var tr unify.Trail
+	var rec func(step int) error
+	rec = func(step int) error {
+		if step == len(order) {
+			return e.fireHead(r, s, onFire)
+		}
+		l := r.Body[order[step]]
+		if deltaPos >= 0 && step == 0 {
+			return e.matchLiteralDelta(l, delta, s, &tr, func() error {
+				return rec(step + 1)
+			})
+		}
+		return e.m.matchLiteral(l, s, &tr, func() error {
+			return rec(step + 1)
+		})
+	}
+	if err := rec(0); err != nil {
+		return fmt.Errorf("eval: rule %s: %w", r.Label(ri), err)
+	}
+	return nil
+}
+
+// fireHead grounds the rule head under s, applies the head-position truth
+// definitions, and emits the resulting updates.
+func (e *engine) fireHead(r term.Rule, s unify.Subst, onFire func(u Update) error) error {
+	v, ok := s.ResolveVID(r.Head.V)
+	if !ok {
+		return fmt.Errorf("unbound version base in head %s", r.Head)
+	}
+	if r.Head.All {
+		// del[v].* expands into one delete per method application of v*,
+		// excluding the undeletable exists method.
+		vstar, ok := e.base.VStar(v)
+		if !ok {
+			return nil
+		}
+		var ups []Update
+		e.base.ForEachFactOf(vstar, func(f term.Fact) {
+			if f.IsExists() {
+				return
+			}
+			ups = append(ups, Update{Kind: term.Del, V: v, Key: f.Key(), R: f.Result})
+		})
+		sort.Slice(ups, func(i, j int) bool { return ups[i].compare(ups[j]) < 0 })
+		for _, u := range ups {
+			if err := onFire(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	key, ok := resolveKey(r.Head.App, s)
+	if !ok {
+		return fmt.Errorf("unbound argument in head %s", r.Head)
+	}
+	res, ok := s.ResolveOID(r.Head.App.Result)
+	if !ok {
+		return fmt.Errorf("unbound result in head %s", r.Head)
+	}
+	u := Update{Kind: r.Head.Kind, V: v, Key: key, R: res}
+	switch r.Head.Kind {
+	case term.Ins:
+		// An insert in head position is always true.
+	case term.Del, term.Mod:
+		// del[v].m -> r (and mod[v].m -> (r, r')) are true in head position
+		// iff v*.m -> r is in the base.
+		vstar, ok := e.base.VStar(v)
+		if !ok {
+			return nil
+		}
+		if !e.base.Has(term.Fact{V: vstar, Method: key.Method, Args: key.Args, Result: res}) {
+			return nil
+		}
+		if r.Head.Kind == term.Mod {
+			r2, ok := s.ResolveOID(r.Head.NewResult)
+			if !ok {
+				return fmt.Errorf("unbound new result in head %s", r.Head)
+			}
+			u.R2 = r2
+		}
+	}
+	return onFire(u)
+}
+
+// matchLiteralDelta matches a delta-seedable positive literal against the
+// facts added in the previous iteration instead of the full base.
+func (e *engine) matchLiteralDelta(l term.Literal, delta []term.Fact, s unify.Subst, tr *unify.Trail, k func() error) error {
+	var v term.VersionID
+	var app term.MethodApp
+	switch a := l.Atom.(type) {
+	case term.VersionAtom:
+		v, app = a.V, a.App
+	case term.UpdateAtom:
+		if a.Kind != term.Ins {
+			return fmt.Errorf("eval: literal %s is not delta-seedable", l)
+		}
+		v, app = a.V.Push(term.Ins), a.App
+	default:
+		return fmt.Errorf("eval: literal %s is not delta-seedable", l)
+	}
+	mark := tr.Mark()
+	for _, f := range delta {
+		if f.Method != app.Method || f.V.Path != v.Path {
+			continue
+		}
+		if len(app.Args) != f.Args.Len() {
+			continue
+		}
+		if tr.MatchObj(s, v.Base, f.V.Object) &&
+			tr.MatchArgs(s, app.Args, f.Args.Decode()) &&
+			tr.MatchObj(s, app.Result, f.Result) {
+			if err := k(); err != nil {
+				tr.Undo(s, mark)
+				return err
+			}
+		}
+		tr.Undo(s, mark)
+	}
+	return nil
+}
+
+// computeState performs steps 2 and 3 of T_P for one target version w:
+// copy the state of w (if active) or of v* (if only relevant) — or seed a
+// fresh object — then apply the fired updates: removals first (del and the
+// old halves of mod), then additions (ins and the new halves of mod).
+func (e *engine) computeState(w term.GVID, ups []Update) *objectbase.State {
+	var st *objectbase.State
+	switch {
+	case e.base.Exists(w):
+		st = e.base.StateOf(w).Clone()
+	default:
+		v := term.GVID{Object: w.Object, Path: w.Path[:w.Path.Len()-1]}
+		if vstar, ok := e.base.VStar(v); ok {
+			st = e.base.StateOf(vstar).Clone()
+		} else {
+			// Creation of a new object (extension; see DESIGN.md): seed the
+			// exists method so later updates can address the version.
+			st = objectbase.NewState()
+			st.Add(term.MethodKey{Method: term.ExistsMethod}, w.Object)
+		}
+	}
+	for _, u := range ups {
+		switch u.Kind {
+		case term.Del, term.Mod:
+			st.Remove(u.Key, u.R)
+		}
+	}
+	for _, u := range ups {
+		switch u.Kind {
+		case term.Ins:
+			st.Add(u.Key, u.R)
+		case term.Mod:
+			st.Add(u.Key, u.R2)
+		}
+	}
+	return st
+}

@@ -1,0 +1,58 @@
+package objectbase
+
+import (
+	"sort"
+
+	"verlog/internal/term"
+)
+
+// Diff is the difference between two object bases, as sorted fact lists.
+// Applying a diff to its "from" base yields its "to" base.
+type Diff struct {
+	Added   []term.Fact
+	Removed []term.Fact
+}
+
+// Compute returns the diff that transforms from into to.
+func Compute(from, to *Base) Diff {
+	var d Diff
+	for v, s := range to.states {
+		s.ForEach(func(k term.MethodKey, r term.OID) {
+			f := term.Fact{V: v, Method: k.Method, Args: k.Args, Result: r}
+			if !from.Has(f) {
+				d.Added = append(d.Added, f)
+			}
+		})
+	}
+	for v, s := range from.states {
+		s.ForEach(func(k term.MethodKey, r term.OID) {
+			f := term.Fact{V: v, Method: k.Method, Args: k.Args, Result: r}
+			if !to.Has(f) {
+				d.Removed = append(d.Removed, f)
+			}
+		})
+	}
+	sortFacts(d.Added)
+	sortFacts(d.Removed)
+	return d
+}
+
+func sortFacts(fs []term.Fact) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Compare(fs[j]) < 0 })
+}
+
+// Empty reports whether the diff changes nothing.
+func (d Diff) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// Apply applies the diff to b in place (removals first, then additions).
+func (d Diff) Apply(b *Base) {
+	for _, f := range d.Removed {
+		b.Remove(f)
+	}
+	for _, f := range d.Added {
+		b.Insert(f)
+	}
+}
+
+// Invert returns the reverse diff.
+func (d Diff) Invert() Diff { return Diff{Added: d.Removed, Removed: d.Added} }

@@ -1,0 +1,500 @@
+// Package objectbase implements the object base of the paper: a set of
+// ground version-terms (facts), indexed for the access paths the bottom-up
+// evaluator needs.
+//
+// A Base stores one State per version identity (VID). A State maps a method
+// key (method name + argument tuple) to its set of results; methods are
+// set-valued exactly as in Section 2.1 ("whenever an object base contains
+// several method-applications ... we consider the method to be set-valued").
+//
+// The reserved method exists (Section 3) is stored like any other fact:
+// every object o of a well-formed base carries o.exists -> o, and every
+// version copied from it carries v.exists -> o. EnsureObject seeds it.
+package objectbase
+
+import (
+	"sort"
+
+	"verlog/internal/term"
+)
+
+// State is the state of one version: all its method applications.
+type State struct {
+	apps map[term.MethodKey]map[term.OID]struct{}
+	size int
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{apps: make(map[term.MethodKey]map[term.OID]struct{})}
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	out := &State{apps: make(map[term.MethodKey]map[term.OID]struct{}, len(s.apps)), size: s.size}
+	for k, rs := range s.apps {
+		cp := make(map[term.OID]struct{}, len(rs))
+		for r := range rs {
+			cp[r] = struct{}{}
+		}
+		out.apps[k] = cp
+	}
+	return out
+}
+
+// Size returns the number of method applications in the state.
+func (s *State) Size() int { return s.size }
+
+// Empty reports whether the state holds no method applications at all.
+func (s *State) Empty() bool { return s.size == 0 }
+
+// OnlyExists reports whether the state holds nothing but exists
+// applications — the "fully deleted" shape of Section 5.
+func (s *State) OnlyExists() bool {
+	for k, rs := range s.apps {
+		if k.Method != term.ExistsMethod && len(rs) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Has reports whether the state contains the application key -> result.
+func (s *State) Has(key term.MethodKey, result term.OID) bool {
+	_, ok := s.apps[key][result]
+	return ok
+}
+
+// HasMethod reports whether any application of the given key is present.
+func (s *State) HasMethod(key term.MethodKey) bool { return len(s.apps[key]) > 0 }
+
+// Add inserts an application, reporting whether it was new.
+func (s *State) Add(key term.MethodKey, result term.OID) bool {
+	rs, ok := s.apps[key]
+	if !ok {
+		rs = make(map[term.OID]struct{}, 1)
+		s.apps[key] = rs
+	}
+	if _, dup := rs[result]; dup {
+		return false
+	}
+	rs[result] = struct{}{}
+	s.size++
+	return true
+}
+
+// Remove deletes an application, reporting whether it was present.
+func (s *State) Remove(key term.MethodKey, result term.OID) bool {
+	rs, ok := s.apps[key]
+	if !ok {
+		return false
+	}
+	if _, present := rs[result]; !present {
+		return false
+	}
+	delete(rs, result)
+	if len(rs) == 0 {
+		delete(s.apps, key)
+	}
+	s.size--
+	return true
+}
+
+// ForEach calls fn for every application in the state. Iteration order is
+// unspecified.
+func (s *State) ForEach(fn func(key term.MethodKey, result term.OID)) {
+	for k, rs := range s.apps {
+		for r := range rs {
+			fn(k, r)
+		}
+	}
+}
+
+// ForEachOfMethod calls fn for every application of the named method,
+// across all argument tuples.
+func (s *State) ForEachOfMethod(method string, fn func(key term.MethodKey, result term.OID)) {
+	for k, rs := range s.apps {
+		if k.Method != method {
+			continue
+		}
+		for r := range rs {
+			fn(k, r)
+		}
+	}
+}
+
+// ForEachResult calls fn for every result of the exact method key.
+func (s *State) ForEachResult(key term.MethodKey, fn func(result term.OID)) {
+	for r := range s.apps[key] {
+		fn(r)
+	}
+}
+
+// Equal reports whether two states hold the same applications.
+func (s *State) Equal(t *State) bool {
+	if s.size != t.size || len(s.apps) != len(t.apps) {
+		return false
+	}
+	for k, rs := range s.apps {
+		ts, ok := t.apps[k]
+		if !ok || len(ts) != len(rs) {
+			return false
+		}
+		for r := range rs {
+			if _, ok := ts[r]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+type pathMethod struct {
+	Path   term.Path
+	Method string
+}
+
+// Base is an object base: a set of ground version-terms.
+type Base struct {
+	states map[term.GVID]*State
+	// byPathMethod indexes, for every (VID path, method) pair, the set of
+	// VIDs that carry at least one application of that method. It serves
+	// body literals whose version-id-term has an unbound base, e.g.
+	// mod(E).sal -> S.
+	byPathMethod map[pathMethod]map[term.GVID]struct{}
+	size         int
+}
+
+// New returns an empty object base.
+func New() *Base {
+	return &Base{
+		states:       make(map[term.GVID]*State),
+		byPathMethod: make(map[pathMethod]map[term.GVID]struct{}),
+	}
+}
+
+// Clone returns a deep copy of the base.
+func (b *Base) Clone() *Base {
+	out := &Base{
+		states:       make(map[term.GVID]*State, len(b.states)),
+		byPathMethod: make(map[pathMethod]map[term.GVID]struct{}, len(b.byPathMethod)),
+		size:         b.size,
+	}
+	for v, s := range b.states {
+		out.states[v] = s.Clone()
+	}
+	for pm, vs := range b.byPathMethod {
+		cp := make(map[term.GVID]struct{}, len(vs))
+		for v := range vs {
+			cp[v] = struct{}{}
+		}
+		out.byPathMethod[pm] = cp
+	}
+	return out
+}
+
+// Size returns the number of facts in the base.
+func (b *Base) Size() int { return b.size }
+
+// Has reports whether the fact is in the base.
+func (b *Base) Has(f term.Fact) bool {
+	s, ok := b.states[f.V]
+	return ok && s.Has(f.Key(), f.Result)
+}
+
+// HasVersion reports whether the base holds any fact for v.
+func (b *Base) HasVersion(v term.GVID) bool {
+	s, ok := b.states[v]
+	return ok && !s.Empty()
+}
+
+// Exists reports whether v.exists -> o holds for some o, i.e. whether the
+// version "exists" in the sense of Section 3.
+func (b *Base) Exists(v term.GVID) bool {
+	s, ok := b.states[v]
+	return ok && s.HasMethod(term.MethodKey{Method: term.ExistsMethod})
+}
+
+// VStar returns v*, the largest subterm of v whose version exists in the
+// base (Section 3). ok is false when no subterm — not even the object
+// itself — exists.
+func (b *Base) VStar(v term.GVID) (term.GVID, bool) {
+	for i := v.Path.Len(); i >= 0; i-- {
+		cand := term.GVID{Object: v.Object, Path: v.Path[:i]}
+		if b.Exists(cand) {
+			return cand, true
+		}
+	}
+	return term.GVID{}, false
+}
+
+// Insert adds a fact, reporting whether it was new.
+func (b *Base) Insert(f term.Fact) bool {
+	s, ok := b.states[f.V]
+	if !ok {
+		s = NewState()
+		b.states[f.V] = s
+	}
+	if !s.Add(f.Key(), f.Result) {
+		return false
+	}
+	b.size++
+	pm := pathMethod{Path: f.V.Path, Method: f.Method}
+	vs, ok := b.byPathMethod[pm]
+	if !ok {
+		vs = make(map[term.GVID]struct{}, 1)
+		b.byPathMethod[pm] = vs
+	}
+	vs[f.V] = struct{}{}
+	return true
+}
+
+// Remove deletes a fact, reporting whether it was present.
+func (b *Base) Remove(f term.Fact) bool {
+	s, ok := b.states[f.V]
+	if !ok || !s.Remove(f.Key(), f.Result) {
+		return false
+	}
+	b.size--
+	if !s.HasAnyOfMethod(f.Method) {
+		pm := pathMethod{Path: f.V.Path, Method: f.Method}
+		if vs := b.byPathMethod[pm]; vs != nil {
+			delete(vs, f.V)
+			if len(vs) == 0 {
+				delete(b.byPathMethod, pm)
+			}
+		}
+	}
+	if s.Empty() {
+		delete(b.states, f.V)
+	}
+	return true
+}
+
+// HasAnyOfMethod reports whether the state has any application of the named
+// method, under any argument tuple.
+func (s *State) HasAnyOfMethod(method string) bool {
+	for k, rs := range s.apps {
+		if k.Method == method && len(rs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// EnsureObject seeds o.exists -> o, making o an object of the base.
+func (b *Base) EnsureObject(o term.OID) {
+	b.Insert(term.NewFact(term.GVID{Object: o}, term.ExistsMethod, o))
+}
+
+// SetState replaces the entire state of v. An empty or nil state removes
+// the version. It returns true when the base changed.
+func (b *Base) SetState(v term.GVID, st *State) bool {
+	old, had := b.states[v]
+	if st == nil || st.Empty() {
+		if !had {
+			return false
+		}
+		b.dropState(v, old)
+		return true
+	}
+	if had && old.Equal(st) {
+		return false
+	}
+	if had {
+		b.dropState(v, old)
+	}
+	b.states[v] = st
+	b.size += st.Size()
+	for k := range st.apps {
+		pm := pathMethod{Path: v.Path, Method: k.Method}
+		vs, ok := b.byPathMethod[pm]
+		if !ok {
+			vs = make(map[term.GVID]struct{}, 1)
+			b.byPathMethod[pm] = vs
+		}
+		vs[v] = struct{}{}
+	}
+	return true
+}
+
+func (b *Base) dropState(v term.GVID, old *State) {
+	b.size -= old.Size()
+	for k := range old.apps {
+		pm := pathMethod{Path: v.Path, Method: k.Method}
+		if vs := b.byPathMethod[pm]; vs != nil {
+			delete(vs, v)
+			if len(vs) == 0 {
+				delete(b.byPathMethod, pm)
+			}
+		}
+	}
+	delete(b.states, v)
+}
+
+// StateOf returns the state of v, or nil. The returned state must not be
+// mutated by callers; use Clone first.
+func (b *Base) StateOf(v term.GVID) *State { return b.states[v] }
+
+// ForEachFactOf calls fn for every fact of version v.
+func (b *Base) ForEachFactOf(v term.GVID, fn func(f term.Fact)) {
+	s, ok := b.states[v]
+	if !ok {
+		return
+	}
+	s.ForEach(func(k term.MethodKey, r term.OID) {
+		fn(term.Fact{V: v, Method: k.Method, Args: k.Args, Result: r})
+	})
+}
+
+// ForEachVIDWith calls fn for every VID with the given path that carries at
+// least one application of the named method. It serves patterns with an
+// unbound version base.
+func (b *Base) ForEachVIDWith(path term.Path, method string, fn func(v term.GVID)) {
+	for v := range b.byPathMethod[pathMethod{Path: path, Method: method}] {
+		fn(v)
+	}
+}
+
+// CountVIDsWith returns how many VIDs with the given path carry at least
+// one application of the named method — the cardinality estimate the
+// statistics-based join planner orders generators by.
+func (b *Base) CountVIDsWith(path term.Path, method string) int {
+	return len(b.byPathMethod[pathMethod{Path: path, Method: method}])
+}
+
+// ForEachVIDWithMethod calls fn for every VID, on any path, that carries
+// at least one application of the named method. It serves the any(...)
+// version wildcard of queries.
+func (b *Base) ForEachVIDWithMethod(method string, fn func(v term.GVID)) {
+	for pm, vs := range b.byPathMethod {
+		if pm.Method != method {
+			continue
+		}
+		for v := range vs {
+			fn(v)
+		}
+	}
+}
+
+// ForEachResult calls fn for each result r with v.method@args -> r in the
+// base.
+func (b *Base) ForEachResult(v term.GVID, key term.MethodKey, fn func(r term.OID)) {
+	if s, ok := b.states[v]; ok {
+		s.ForEachResult(key, fn)
+	}
+}
+
+// ForEachOfMethod calls fn for every application of the named method on v,
+// across argument tuples.
+func (b *Base) ForEachOfMethod(v term.GVID, method string, fn func(key term.MethodKey, r term.OID)) {
+	if s, ok := b.states[v]; ok {
+		s.ForEachOfMethod(method, fn)
+	}
+}
+
+// Versions returns all VIDs carrying facts, sorted.
+func (b *Base) Versions() []term.GVID {
+	out := make([]term.GVID, 0, len(b.states))
+	for v := range b.states {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Objects returns the OIDs of all objects: VIDs with empty path, sorted.
+func (b *Base) Objects() []term.OID {
+	var out []term.OID
+	for v := range b.states {
+		if v.IsObject() {
+			out = append(out, v.Object)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// ObjectsWithVersions returns the OIDs of all objects that have at least
+// one version fact anywhere in the base (including objects that only exist
+// as versions, e.g. freshly inserted ones), sorted.
+func (b *Base) ObjectsWithVersions() []term.OID {
+	seen := map[term.OID]bool{}
+	for v := range b.states {
+		seen[v.Object] = true
+	}
+	out := make([]term.OID, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// VersionsByObject returns every VID carrying facts, grouped by object,
+// each group sorted shallow to deep. It makes a single pass over the base;
+// prefer it over per-object VersionsOf calls in loops.
+func (b *Base) VersionsByObject() map[term.OID][]term.GVID {
+	out := make(map[term.OID][]term.GVID)
+	for v := range b.states {
+		out[v.Object] = append(out[v.Object], v)
+	}
+	for _, vs := range out {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+	}
+	return out
+}
+
+// VersionsOf returns all VIDs of object o carrying facts, sorted shallow to
+// deep.
+func (b *Base) VersionsOf(o term.OID) []term.GVID {
+	var out []term.GVID
+	for v := range b.states {
+		if v.Object == o {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Facts returns every fact in the base, sorted for deterministic output.
+func (b *Base) Facts() []term.Fact {
+	out := make([]term.Fact, 0, b.size)
+	for v, s := range b.states {
+		s.ForEach(func(k term.MethodKey, r term.OID) {
+			out = append(out, term.Fact{V: v, Method: k.Method, Args: k.Args, Result: r})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Equal reports whether two bases hold the same facts.
+func (b *Base) Equal(c *Base) bool {
+	if b.size != c.size || len(b.states) != len(c.states) {
+		return false
+	}
+	for v, s := range b.states {
+		t, ok := c.states[v]
+		if !ok || !s.Equal(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromFacts builds a base from facts and seeds exists for every object that
+// appears as the (path-less) subject of a fact, per Section 3.
+func FromFacts(facts []term.Fact) *Base {
+	b := New()
+	for _, f := range facts {
+		b.Insert(f)
+	}
+	for v := range b.states {
+		if v.IsObject() {
+			b.EnsureObject(v.Object)
+		}
+	}
+	return b
+}

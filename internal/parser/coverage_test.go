@@ -1,0 +1,147 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"verlog/internal/term"
+)
+
+func TestExprOperandKinds(t *testing.T) {
+	// Symbols and strings are legal expression operands (for equality).
+	p, err := Program(`r: ins[X].m -> a <- X.t -> V, V = mgr, X.u -> W, W = "str".`, "t")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lits := p.Rules[0].Body
+	b1 := lits[1].Atom.(term.BuiltinAtom)
+	if c, ok := b1.R.(term.ConstExpr); !ok || c.OID != term.Sym("mgr") {
+		t.Errorf("symbol operand = %v", b1.R)
+	}
+	b3 := lits[3].Atom.(term.BuiltinAtom)
+	if c, ok := b3.R.(term.ConstExpr); !ok || c.OID != term.Str("str") {
+		t.Errorf("string operand = %v", b3.R)
+	}
+}
+
+func TestExprParenAndUnary(t *testing.T) {
+	p, err := Program(`r: ins[X].m -> R <- X.t -> S, R = -(S + 1) * 2.`, "t")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := "r: ins[X].m -> R <- X.t -> S, R = -(S + 1) * 2.\n"
+	if got := FormatProgram(p); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestErrorMessagesNameTokens(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`r: ins[X].m -> <- X.t -> 1.`, "expected object term"},
+		{`r: ins[X].m -> a <- X.t -> 1, S' = .`, "expected expression"},
+		{`r: ins[X].m -> a <- X.t -> 1 ? 2.`, "unexpected character '?'"},
+		{`r: ins[X].m -> a <- X.t -> 1 X.u -> 2.`, "expected '.'"},
+		{`r: ins[X.m -> a.`, "expected ']'"},
+		{`r: ins[X].m a.`, "expected '->'"},
+		{`r: ins[X]m -> a.`, "expected '.'"},
+		{`r: mod[X].m -> (a b) <- X.t -> 1.`, "expected ','"},
+		{`x.m -> a / -> b.`, "expected identifier"},
+	}
+	for _, c := range cases {
+		var err error
+		if strings.HasPrefix(c.src, "x.") {
+			_, err = Facts(c.src, "t")
+		} else {
+			_, err = Program(c.src, "t")
+		}
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %q, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestConstraintsParsing(t *testing.T) {
+	cs, err := Constraints(`
+nonneg: E.isa -> empl, E.sal -> S, S < 0.
+no_self: E.boss -> E.
+`, "c")
+	if err != nil {
+		t.Fatalf("Constraints: %v", err)
+	}
+	if len(cs) != 2 || cs[0].Name != "nonneg" || cs[1].Name != "no_self" {
+		t.Fatalf("constraints = %+v", cs)
+	}
+	if got := cs[0].String(); got != "E.isa -> empl, E.sal -> S, S < 0." {
+		t.Errorf("String = %q", got)
+	}
+	if cs[0].Label(0) != "nonneg" {
+		t.Errorf("Label = %q", cs[0].Label(0))
+	}
+	if _, err := Constraints(`E.isa -> `, "c"); err == nil {
+		t.Errorf("bad constraint accepted")
+	}
+	if _, err := Constraints(`E.isa -> empl`, "c"); err == nil {
+		t.Errorf("missing period accepted")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	if _, err := Query(`E.sal -> S. extra`, "q"); err == nil || !strings.Contains(err.Error(), "after query") {
+		t.Errorf("trailing tokens accepted: %v", err)
+	}
+}
+
+func TestSyntaxErrorRendering(t *testing.T) {
+	_, err := Program("ins[X].m -> @", "somefile.vlg")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.File != "somefile.vlg" || se.Line != 1 || se.Col == 0 {
+		t.Errorf("position = %+v", se)
+	}
+	// The empty-file fallback.
+	se2 := &SyntaxError{Line: 1, Col: 2, Msg: "m"}
+	if !strings.HasPrefix(se2.Error(), "input:1:2") {
+		t.Errorf("fallback rendering = %q", se2.Error())
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Program("r: ins[X].m -> a <-\n   X.t -> ^.", "pos.vlg")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "pos.vlg:2:") {
+		t.Errorf("error lacks line 2 position: %v", err)
+	}
+}
+
+func TestRuleArrowVariants(t *testing.T) {
+	a, err := Program(`r: ins[X].m -> v <- X.t -> 1 & X.u -> 2.`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Program(`r: ins[X].m -> v :- X.t -> 1, X.u -> 2.`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatProgram(a) != FormatProgram(b) {
+		t.Errorf("arrow/conjunction variants differ:\n%s\n%s", FormatProgram(a), FormatProgram(b))
+	}
+}
+
+func TestNotKeyword(t *testing.T) {
+	a, _ := Program(`r: ins[X].m -> v <- X.t -> 1, not X.skip -> yes.`, "t")
+	b, _ := Program(`r: ins[X].m -> v <- X.t -> 1, !X.skip -> yes.`, "t")
+	if FormatProgram(a) != FormatProgram(b) {
+		t.Errorf("not/! differ")
+	}
+}

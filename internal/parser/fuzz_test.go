@@ -1,0 +1,96 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parser must never panic, and anything it accepts must
+// survive a format/reparse round trip. The seed corpora run in ordinary
+// `go test`; use `go test -fuzz=FuzzProgram ./internal/parser` to explore.
+
+func FuzzProgram(f *testing.F) {
+	seeds := []string{
+		"",
+		"r: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, S' = S * 1.1.",
+		"del[mod(E)].* <- mod(E).isa -> empl.",
+		"ins[X].anc -> P <- ins(X).isa -> person / anc -> A, A.parents -> P.",
+		"ins[x].m@1,\"two\",three -> 4.5.",
+		"r: ins[X].m -> a <- !del[mod(X)].k -> b, X.t -> 1, not X.u -> 2.",
+		"% comment only",
+		"r: ins[X].m -> a <- X.n -> N, N >= -3, M = N / 2, M != 7.",
+		"broken [",
+		"ins[X].m -> ",
+		"\x00\x01\x02",
+		"r: ins[any(X)].m -> a.",
+		strings.Repeat("ins(", 100) + "x" + strings.Repeat(")", 100) + ".m -> 1.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Program(src, "fuzz")
+		if err != nil {
+			return
+		}
+		text := FormatProgram(p)
+		p2, err := Program(text, "fuzz-reparse")
+		if err != nil {
+			t.Fatalf("canonical output rejected: %v\ninput: %q\noutput: %q", err, src, text)
+		}
+		if FormatProgram(p2) != text {
+			t.Fatalf("canonical form unstable:\nfirst: %q\nsecond: %q", text, FormatProgram(p2))
+		}
+	})
+}
+
+func FuzzFacts(f *testing.F) {
+	seeds := []string{
+		"",
+		"henry.sal -> 250.",
+		"mod(henry).salary@2026, \"July\" -> 275.5.",
+		"x.a -> 1 / b -> \"two\" / c -> -3.",
+		"ins(del(mod(x))).m -> y.",
+		"x.m -> .",
+		"1.5.2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		facts, err := Facts(src, "fuzz")
+		if err != nil {
+			return
+		}
+		var text strings.Builder
+		for _, fact := range facts {
+			text.WriteString(fact.String())
+			text.WriteString(".\n")
+		}
+		back, err := Facts(text.String(), "fuzz-reparse")
+		if err != nil {
+			t.Fatalf("canonical facts rejected: %v\n%q", err, text.String())
+		}
+		if len(back) != len(facts) {
+			t.Fatalf("fact count changed: %d -> %d", len(facts), len(back))
+		}
+	})
+}
+
+func FuzzQuery(f *testing.F) {
+	seeds := []string{
+		"E.sal -> S, S > 4500.",
+		"any(bob).sal -> S.",
+		"!del[mod(E)].isa -> empl, mod(E).sal -> S.",
+		"X = 1 + 2 * 3.",
+		"",
+		"?",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must not panic; errors are fine.
+		_, _ = Query(src, "fuzz")
+	})
+}

@@ -1,0 +1,378 @@
+// Package parser implements the concrete syntax of the verlog language:
+// a lexer, a recursive-descent parser for update programs and object-base
+// files, and a canonical pretty-printer.
+//
+// The concrete syntax follows the paper with ASCII spellings:
+//
+//	mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S,
+//	                          S' = S * 1.1 + 200.
+//	del[mod(E)].* <- mod(E).isa -> empl / boss -> B / sal -> SE,
+//	                 mod(B).isa -> empl / sal -> SB, SE > SB.
+//	ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500,
+//	                          !del[mod(E)].isa -> empl.
+//
+// Deviations from the paper's typography, all documented in README.md:
+// rules use "<-" (or ":-") instead of the long arrow; conjunction is ","
+// (or "&"); negation is "!" (or "not"); the delete-all form "del[V]:" is
+// written "del[V].*"; variables begin with an upper-case letter and may
+// contain "'" (so the paper's S' is legal); comments run from "%" or "#"
+// to end of line.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind uint8
+
+const (
+	tEOF       tokenKind = iota
+	tIdent               // lower-case identifier: henry, empl, ins, sal
+	tVar                 // upper-case identifier: E, S, S'
+	tNumber              // 250, 1.1, -3 is lexed as '-' then number
+	tString              // "hello"
+	tDot                 // .
+	tComma               // ,
+	tAt                  // @
+	tArrow               // ->
+	tRuleArrow           // <- or :-
+	tLParen              // (
+	tRParen              // )
+	tLBrack              // [
+	tRBrack              // ]
+	tSlash               // /
+	tBang                // ! (also the keyword "not")
+	tAmp                 // & (conjunction, same as comma)
+	tStar                // *
+	tPlus                // +
+	tMinus               // -
+	tLt                  // <
+	tLe                  // <=
+	tGt                  // >
+	tGe                  // >=
+	tEq                  // =
+	tNe                  // !=
+	tColon               // : (rule labels)
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tVar:
+		return "variable"
+	case tNumber:
+		return "number"
+	case tString:
+		return "string"
+	case tDot:
+		return "'.'"
+	case tComma:
+		return "','"
+	case tAt:
+		return "'@'"
+	case tArrow:
+		return "'->'"
+	case tRuleArrow:
+		return "'<-'"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tLBrack:
+		return "'['"
+	case tRBrack:
+		return "']'"
+	case tSlash:
+		return "'/'"
+	case tBang:
+		return "'!'"
+	case tAmp:
+		return "'&'"
+	case tStar:
+		return "'*'"
+	case tPlus:
+		return "'+'"
+	case tMinus:
+		return "'-'"
+	case tLt:
+		return "'<'"
+	case tLe:
+		return "'<='"
+	case tGt:
+		return "'>'"
+	case tGe:
+		return "'>='"
+	case tEq:
+		return "'='"
+	case tNe:
+		return "'!='"
+	case tColon:
+		return "':'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tIdent, tVar, tNumber:
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	case tString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return t.kind.String()
+	}
+}
+
+// A SyntaxError reports a lexical or grammatical error with its position.
+type SyntaxError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	file := e.File
+	if file == "" {
+		file = "input"
+	}
+	return fmt.Sprintf("%s:%d:%d: %s", file, e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src, file string) *lexer {
+	return &lexer{src: src, file: file, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return &SyntaxError{File: l.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '%' || c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	mk := func(k tokenKind, text string, n int) (token, error) {
+		l.advance(n)
+		return token{kind: k, text: text, line: line, col: col}, nil
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	switch c {
+	case '.':
+		return mk(tDot, ".", 1)
+	case ',':
+		return mk(tComma, ",", 1)
+	case '@':
+		return mk(tAt, "@", 1)
+	case '(':
+		return mk(tLParen, "(", 1)
+	case ')':
+		return mk(tRParen, ")", 1)
+	case '[':
+		return mk(tLBrack, "[", 1)
+	case ']':
+		return mk(tRBrack, "]", 1)
+	case '/':
+		return mk(tSlash, "/", 1)
+	case '&':
+		return mk(tAmp, "&", 1)
+	case '*':
+		return mk(tStar, "*", 1)
+	case '+':
+		return mk(tPlus, "+", 1)
+	case '-':
+		if l.peekByteAt(1) == '>' {
+			return mk(tArrow, "->", 2)
+		}
+		return mk(tMinus, "-", 1)
+	case '<':
+		if l.peekByteAt(1) == '-' {
+			return mk(tRuleArrow, "<-", 2)
+		}
+		if l.peekByteAt(1) == '=' {
+			return mk(tLe, "<=", 2)
+		}
+		return mk(tLt, "<", 1)
+	case '>':
+		if l.peekByteAt(1) == '=' {
+			return mk(tGe, ">=", 2)
+		}
+		return mk(tGt, ">", 1)
+	case '=':
+		return mk(tEq, "=", 1)
+	case '!':
+		if l.peekByteAt(1) == '=' {
+			return mk(tNe, "!=", 2)
+		}
+		return mk(tBang, "!", 1)
+	case ':':
+		if l.peekByteAt(1) == '-' {
+			return mk(tRuleArrow, ":-", 2)
+		}
+		return mk(tColon, ":", 1)
+	case '"':
+		return l.lexString(line, col)
+	}
+	if c >= '0' && c <= '9' {
+		return l.lexNumber(line, col)
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if isIdentStart(r) {
+		return l.lexIdent(line, col)
+	}
+	return token{}, l.errorf(line, col, "unexpected character %q", r)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || r == '\'' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent(line, col int) (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentCont(r) {
+			break
+		}
+		l.advance(sz)
+	}
+	text := l.src[start:l.pos]
+	first, _ := utf8.DecodeRuneInString(text)
+	kind := tIdent
+	if unicode.IsUpper(first) || first == '_' {
+		kind = tVar
+	}
+	if text == "not" {
+		return token{kind: tBang, text: text, line: line, col: col}, nil
+	}
+	return token{kind: kind, text: text, line: line, col: col}, nil
+}
+
+func (l *lexer) lexNumber(line, col int) (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.advance(1)
+	}
+	// Consume a decimal point only when a digit follows, so that the final
+	// period of "x.sal -> 250." terminates the fact.
+	if l.peekByte() == '.' && l.peekByteAt(1) >= '0' && l.peekByteAt(1) <= '9' {
+		l.advance(1)
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.advance(1)
+		}
+	} else if l.peekByte() == 'r' && l.peekByteAt(1) >= '0' && l.peekByteAt(1) <= '9' {
+		// Exact rational literal NrD (652r7 = 652/7), the printable form
+		// for denominators no decimal can express. A digit must follow
+		// the r, so this never consumes an identifier that merely starts
+		// with r.
+		l.advance(1)
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.advance(1)
+		}
+	}
+	return token{kind: tNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+}
+
+// lexString scans a double-quoted string literal and decodes it with the
+// full Go escape syntax (strconv.Unquote), so that the canonical printer —
+// which uses strconv.Quote — always round-trips, including control
+// characters and non-ASCII escapes.
+func (l *lexer) lexString(line, col int) (token, error) {
+	start := l.pos
+	l.advance(1) // opening quote
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf(line, col, "unterminated string")
+		}
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.advance(1)
+			raw := l.src[start:l.pos]
+			text, err := strconv.Unquote(raw)
+			if err != nil {
+				return token{}, l.errorf(line, col, "bad string literal %s: %v", raw, err)
+			}
+			return token{kind: tString, text: text, line: line, col: col}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated string escape")
+			}
+			l.advance(2)
+		case '\n':
+			return token{}, l.errorf(line, col, "newline in string")
+		default:
+			l.advance(1)
+		}
+	}
+}

@@ -1,0 +1,774 @@
+package parser
+
+import (
+	"fmt"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/term"
+)
+
+// Program parses an update program. file is used in error messages only.
+func Program(src, file string) (*term.Program, error) {
+	p, err := newParser(src, file)
+	if err != nil {
+		return nil, err
+	}
+	prog := &term.Program{}
+	for p.tok.kind != tEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// Facts parses an object-base file into ground facts.
+func Facts(src, file string) ([]term.Fact, error) {
+	p, err := newParser(src, file)
+	if err != nil {
+		return nil, err
+	}
+	var out []term.Fact
+	for p.tok.kind != tEOF {
+		fs, err := p.parseFactClause()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return out, nil
+}
+
+// ObjectBase parses an object-base file and seeds exists facts for every
+// object, per Section 3.
+func ObjectBase(src, file string) (*objectbase.Base, error) {
+	fs, err := Facts(src, file)
+	if err != nil {
+		return nil, err
+	}
+	return objectbase.FromFacts(fs), nil
+}
+
+// Derived parses a program of derived (query-only) rules, whose heads are
+// version-terms instead of update-terms:
+//
+//	senior: E.rank -> senior <- E.isa -> empl, E.sal -> S, S > 4000.
+func Derived(src, file string) (*term.DerivedProgram, error) {
+	p, err := newParser(src, file)
+	if err != nil {
+		return nil, err
+	}
+	prog := &term.DerivedProgram{}
+	for p.tok.kind != tEOF {
+		r, err := p.parseDerivedRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseDerivedRule() (term.DerivedRule, error) {
+	var r term.DerivedRule
+	r.Line = p.tok.line
+	if p.tok.kind == tIdent && p.peek.kind == tColon {
+		if _, ok := updateKind(p.tok.text); !ok {
+			r.Name = p.tok.text
+			if err := p.advance(); err != nil {
+				return r, err
+			}
+			if err := p.advance(); err != nil {
+				return r, err
+			}
+		}
+	}
+	at := p.tok
+	atoms, err := p.parseVersionAtoms()
+	if err != nil {
+		return r, err
+	}
+	if len(atoms) != 1 {
+		return r, p.errorf(at, "a derived-rule head cannot use the '/' shorthand")
+	}
+	r.Head = atoms[0].(term.VersionAtom)
+	if r.Head.App.Method == term.ExistsMethod {
+		return r, p.errorf(at, "the system method %q may not be derived", term.ExistsMethod)
+	}
+	if p.tok.kind == tRuleArrow {
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+		for {
+			lits, err := p.parseLiteral()
+			if err != nil {
+				return r, err
+			}
+			r.Body = append(r.Body, lits...)
+			if p.tok.kind == tComma || p.tok.kind == tAmp {
+				if err := p.advance(); err != nil {
+					return r, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tDot); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// Constraints parses a file of integrity constraints in denial form, one
+// per clause:
+//
+//	nonneg: E.sal -> S, S < 0.
+//	no_self_boss: E.boss -> E.
+func Constraints(src, file string) ([]term.Constraint, error) {
+	p, err := newParser(src, file)
+	if err != nil {
+		return nil, err
+	}
+	var out []term.Constraint
+	for p.tok.kind != tEOF {
+		var c term.Constraint
+		c.Line = p.tok.line
+		if p.tok.kind == tIdent && p.peek.kind == tColon {
+			if _, ok := updateKind(p.tok.text); !ok {
+				c.Name = p.tok.text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for {
+			lits, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			c.Body = append(c.Body, lits...)
+			if p.tok.kind == tComma || p.tok.kind == tAmp {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tDot); err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Query parses a conjunction of body literals (a query), optionally
+// terminated by a period.
+func Query(src, file string) ([]term.Literal, error) {
+	p, err := newParser(src, file)
+	if err != nil {
+		return nil, err
+	}
+	var out []term.Literal
+	for {
+		lits, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lits...)
+		if p.tok.kind == tComma || p.tok.kind == tAmp {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind == tDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errorf(p.tok, "unexpected %s after query", p.tok)
+	}
+	return out, nil
+}
+
+type parser struct {
+	lex  *lexer
+	tok  token // current token
+	peek token // one token of lookahead
+}
+
+func newParser(src, file string) (*parser, error) {
+	p := &parser{lex: newLexer(src, file)}
+	var err error
+	if p.tok, err = p.lex.next(); err != nil {
+		return nil, err
+	}
+	if p.peek, err = p.lex.next(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	p.tok = p.peek
+	var err error
+	p.peek, err = p.lex.next()
+	return err
+}
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return &SyntaxError{File: p.lex.file, Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errorf(p.tok, "expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// updateKind interprets an identifier token as an update function symbol.
+func updateKind(text string) (term.UpdateKind, bool) {
+	switch text {
+	case "ins":
+		return term.Ins, true
+	case "del":
+		return term.Del, true
+	case "mod":
+		return term.Mod, true
+	default:
+		return 0, false
+	}
+}
+
+// parseRule parses [label ':'] head [ '<-' body ] '.'.
+func (p *parser) parseRule() (term.Rule, error) {
+	var r term.Rule
+	r.Line = p.tok.line
+	if p.tok.kind == tIdent && p.peek.kind == tColon {
+		if _, ok := updateKind(p.tok.text); !ok {
+			r.Name = p.tok.text
+			if err := p.advance(); err != nil {
+				return r, err
+			}
+			if err := p.advance(); err != nil { // the ':'
+				return r, err
+			}
+		}
+	}
+	head, err := p.parseUpdateAtom()
+	if err != nil {
+		return r, err
+	}
+	r.Head = head
+	if head.App.Method == term.ExistsMethod {
+		return r, p.errorf(p.tok, "the system method %q may not occur in a rule head", term.ExistsMethod)
+	}
+	if p.tok.kind == tRuleArrow {
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+		for {
+			lits, err := p.parseLiteral()
+			if err != nil {
+				return r, err
+			}
+			r.Body = append(r.Body, lits...)
+			if p.tok.kind == tComma || p.tok.kind == tAmp {
+				if err := p.advance(); err != nil {
+					return r, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tDot); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// parseFactClause parses a ground fact clause versionID '.' app {'/' app} '.'
+// and returns one fact per app.
+func (p *parser) parseFactClause() ([]term.Fact, error) {
+	at := p.tok
+	vid, err := p.parseVersionID()
+	if err != nil {
+		return nil, err
+	}
+	if !vid.Ground() {
+		return nil, p.errorf(at, "object-base facts must be ground, found %s", vid)
+	}
+	if _, err := p.expect(tDot); err != nil {
+		return nil, err
+	}
+	var out []term.Fact
+	for {
+		at := p.tok
+		app, err := p.parseMethodApp()
+		if err != nil {
+			return nil, err
+		}
+		if !app.Ground() {
+			return nil, p.errorf(at, "object-base facts must be ground")
+		}
+		args := make([]term.OID, len(app.Args))
+		for i, a := range app.Args {
+			args[i] = a.(term.OID)
+		}
+		out = append(out, term.Fact{
+			V:      vid.GVID(),
+			Method: app.Method,
+			Args:   term.EncodeOIDs(args),
+			Result: app.Result.(term.OID),
+		})
+		if p.tok.kind == tSlash {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tDot); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLiteral parses one (possibly negated) atom. A positive version-term
+// with '/' shorthand expands into several literals.
+func (p *parser) parseLiteral() ([]term.Literal, error) {
+	neg := false
+	if p.tok.kind == tBang {
+		neg = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.tok.kind == tIdent && p.peek.kind == tLBrack:
+		if _, ok := updateKind(p.tok.text); !ok {
+			return nil, p.errorf(p.tok, "expected ins, del or mod before '[', found %q", p.tok.text)
+		}
+		ua, err := p.parseUpdateAtom()
+		if err != nil {
+			return nil, err
+		}
+		if ua.All {
+			return nil, p.errorf(p.tok, "the delete-all form is only allowed in rule heads")
+		}
+		return []term.Literal{{Neg: neg, Atom: ua}}, nil
+	case p.isVersionAtomStart():
+		atoms, err := p.parseVersionAtoms()
+		if err != nil {
+			return nil, err
+		}
+		if neg && len(atoms) > 1 {
+			return nil, p.errorf(p.tok, "a negated version-term cannot use the '/' shorthand")
+		}
+		out := make([]term.Literal, len(atoms))
+		for i, a := range atoms {
+			out[i] = term.Literal{Neg: neg && i == 0, Atom: a}
+		}
+		return out, nil
+	default:
+		b, err := p.parseBuiltin()
+		if err != nil {
+			return nil, err
+		}
+		return []term.Literal{{Neg: neg, Atom: b}}, nil
+	}
+}
+
+// isVersionAtomStart reports whether the current position begins a
+// version-term: an update functor applied with '(', or an identifier or
+// variable directly followed by '.'.
+func (p *parser) isVersionAtomStart() bool {
+	if p.tok.kind == tIdent && p.peek.kind == tLParen {
+		if _, ok := updateKind(p.tok.text); ok || p.tok.text == "any" {
+			return true
+		}
+	}
+	if (p.tok.kind == tIdent || p.tok.kind == tVar) && p.peek.kind == tDot {
+		return true
+	}
+	return false
+}
+
+// parseVersionAtoms parses V '.' app {'/' app}.
+func (p *parser) parseVersionAtoms() ([]term.Atom, error) {
+	vid, err := p.parseVersionID()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tDot); err != nil {
+		return nil, err
+	}
+	var out []term.Atom
+	for {
+		app, err := p.parseMethodApp()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, term.VersionAtom{V: vid, App: app})
+		if p.tok.kind == tSlash {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return out, nil
+	}
+}
+
+// parseVersionID parses kind '(' ... ')' nesting around an object-id-term,
+// or the any(base) version wildcard.
+func (p *parser) parseVersionID() (term.VersionID, error) {
+	if p.tok.kind == tIdent && p.peek.kind == tLParen {
+		if k, ok := updateKind(p.tok.text); ok {
+			at := p.tok
+			if err := p.advance(); err != nil { // functor
+				return term.VersionID{}, err
+			}
+			if err := p.advance(); err != nil { // '('
+				return term.VersionID{}, err
+			}
+			inner, err := p.parseVersionID()
+			if err != nil {
+				return term.VersionID{}, err
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return term.VersionID{}, err
+			}
+			if inner.Any {
+				return term.VersionID{}, p.errorf(at, "the any(...) wildcard cannot be nested in %s(...)", k)
+			}
+			return inner.Push(k), nil
+		}
+		if p.tok.text == "any" {
+			at := p.tok
+			if err := p.advance(); err != nil { // 'any'
+				return term.VersionID{}, err
+			}
+			if err := p.advance(); err != nil { // '('
+				return term.VersionID{}, err
+			}
+			inner, err := p.parseVersionID()
+			if err != nil {
+				return term.VersionID{}, err
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return term.VersionID{}, err
+			}
+			if inner.Any || inner.Path.Len() > 0 {
+				return term.VersionID{}, p.errorf(at, "any(...) takes a plain object term")
+			}
+			return term.VersionID{Base: inner.Base, Any: true}, nil
+		}
+	}
+	base, err := p.parseObjTerm()
+	if err != nil {
+		return term.VersionID{}, err
+	}
+	return term.VersionID{Base: base}, nil
+}
+
+// parseObjTerm parses a variable or an OID literal.
+func (p *parser) parseObjTerm() (term.ObjTerm, error) {
+	switch p.tok.kind {
+	case tVar:
+		v := term.Var(p.tok.text)
+		return v, p.advance()
+	case tIdent:
+		o := term.Sym(p.tok.text)
+		return o, p.advance()
+	case tString:
+		o := term.Str(p.tok.text)
+		return o, p.advance()
+	case tNumber:
+		r, err := term.ParseRat(p.tok.text)
+		if err != nil {
+			return nil, p.errorf(p.tok, "%v", err)
+		}
+		return term.FromRat(r), p.advance()
+	case tMinus:
+		if p.peek.kind != tNumber {
+			return nil, p.errorf(p.tok, "expected number after '-'")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := term.ParseRat(p.tok.text)
+		if err != nil {
+			return nil, p.errorf(p.tok, "%v", err)
+		}
+		return term.FromRat(r.Neg()), p.advance()
+	default:
+		return nil, p.errorf(p.tok, "expected object term, found %s", p.tok)
+	}
+}
+
+// parseMethodApp parses method ['@' arglist] '->' result.
+func (p *parser) parseMethodApp() (term.MethodApp, error) {
+	var app term.MethodApp
+	m, err := p.expect(tIdent)
+	if err != nil {
+		return app, err
+	}
+	app.Method = m.text
+	if p.tok.kind == tAt {
+		if err := p.advance(); err != nil {
+			return app, err
+		}
+		for {
+			a, err := p.parseObjTerm()
+			if err != nil {
+				return app, err
+			}
+			app.Args = append(app.Args, a)
+			if p.tok.kind == tComma {
+				if err := p.advance(); err != nil {
+					return app, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tArrow); err != nil {
+		return app, err
+	}
+	app.Result, err = p.parseObjTerm()
+	return app, err
+}
+
+// parseUpdateAtom parses kind '[' V ']' '.' and either '*' (delete-all) or
+// a method application, with a result pair for mod.
+func (p *parser) parseUpdateAtom() (term.UpdateAtom, error) {
+	var ua term.UpdateAtom
+	kt := p.tok
+	if kt.kind != tIdent {
+		return ua, p.errorf(kt, "expected ins, del or mod, found %s", kt)
+	}
+	k, ok := updateKind(kt.text)
+	if !ok {
+		return ua, p.errorf(kt, "expected ins, del or mod, found %q", kt.text)
+	}
+	ua.Kind = k
+	if err := p.advance(); err != nil {
+		return ua, err
+	}
+	if _, err := p.expect(tLBrack); err != nil {
+		return ua, err
+	}
+	vid, err := p.parseVersionID()
+	if err != nil {
+		return ua, err
+	}
+	if vid.Any {
+		return ua, p.errorf(kt, "the any(...) wildcard is not allowed in update-terms")
+	}
+	ua.V = vid
+	if _, err := p.expect(tRBrack); err != nil {
+		return ua, err
+	}
+	if _, err := p.expect(tDot); err != nil {
+		return ua, err
+	}
+	if p.tok.kind == tStar {
+		if k != term.Del {
+			return ua, p.errorf(p.tok, "the '.*' (delete-all) form requires del, found %s", k)
+		}
+		ua.All = true
+		return ua, p.advance()
+	}
+	m, err := p.expect(tIdent)
+	if err != nil {
+		return ua, err
+	}
+	ua.App.Method = m.text
+	if p.tok.kind == tAt {
+		if err := p.advance(); err != nil {
+			return ua, err
+		}
+		for {
+			a, err := p.parseObjTerm()
+			if err != nil {
+				return ua, err
+			}
+			ua.App.Args = append(ua.App.Args, a)
+			if p.tok.kind == tComma {
+				if err := p.advance(); err != nil {
+					return ua, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tArrow); err != nil {
+		return ua, err
+	}
+	if k == term.Mod {
+		if _, err := p.expect(tLParen); err != nil {
+			return ua, p.errorf(p.tok, "a modify needs a result pair (old, new)")
+		}
+		old, err := p.parseObjTerm()
+		if err != nil {
+			return ua, err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return ua, err
+		}
+		nw, err := p.parseObjTerm()
+		if err != nil {
+			return ua, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return ua, err
+		}
+		ua.App.Result = old
+		ua.NewResult = nw
+		return ua, nil
+	}
+	ua.App.Result, err = p.parseObjTerm()
+	return ua, err
+}
+
+// parseBuiltin parses expr cmpop expr.
+func (p *parser) parseBuiltin() (term.BuiltinAtom, error) {
+	var b term.BuiltinAtom
+	l, err := p.parseExpr()
+	if err != nil {
+		return b, err
+	}
+	var op term.CmpOp
+	switch p.tok.kind {
+	case tEq:
+		op = term.OpEq
+	case tNe:
+		op = term.OpNe
+	case tLt:
+		op = term.OpLt
+	case tLe:
+		op = term.OpLe
+	case tGt:
+		op = term.OpGt
+	case tGe:
+		op = term.OpGe
+	default:
+		return b, p.errorf(p.tok, "expected comparison operator, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return b, err
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return b, err
+	}
+	return term.BuiltinAtom{Op: op, L: l, R: r}, nil
+}
+
+// parseExpr parses an additive expression.
+func (p *parser) parseExpr() (term.Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tPlus || p.tok.kind == tMinus {
+		op := term.OpAdd
+		if p.tok.kind == tMinus {
+			op = term.OpSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = term.BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseTerm parses a multiplicative expression.
+func (p *parser) parseTerm() (term.Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tStar || p.tok.kind == tSlash {
+		op := term.OpMul
+		if p.tok.kind == tSlash {
+			op = term.OpDiv
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = term.BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseFactor parses a unary expression or parenthesized group or operand.
+func (p *parser) parseFactor() (term.Expr, error) {
+	switch p.tok.kind {
+	case tMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return term.NegExpr{E: e}, nil
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tVar:
+		v := term.Var(p.tok.text)
+		return term.VarExpr{V: v}, p.advance()
+	case tNumber:
+		r, err := term.ParseRat(p.tok.text)
+		if err != nil {
+			return nil, p.errorf(p.tok, "%v", err)
+		}
+		return term.ConstExpr{OID: term.FromRat(r)}, p.advance()
+	case tIdent:
+		o := term.Sym(p.tok.text)
+		return term.ConstExpr{OID: o}, p.advance()
+	case tString:
+		o := term.Str(p.tok.text)
+		return term.ConstExpr{OID: o}, p.advance()
+	default:
+		return nil, p.errorf(p.tok, "expected expression, found %s", p.tok)
+	}
+}

@@ -1,0 +1,52 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func BenchmarkParseProgram(b *testing.B) {
+	src := `
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, !E.pos -> mgr, S' = S * 1.1.
+rule3: del[mod(E)].* <- mod(E).isa -> empl / boss -> B / sal -> SE, mod(B).isa -> empl / sal -> SB, SE > SB.
+rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[mod(E)].isa -> empl.
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Program(src, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseFacts(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&sb, "e%d.isa -> empl / sal -> %d / boss -> m%d.\n", i, 1000+i, i%10)
+	}
+	src := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Facts(src, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormatProgram(b *testing.B) {
+	p, err := Program(`
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
+rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[mod(E)].isa -> empl.
+`, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FormatProgram(p)
+	}
+}

@@ -1,0 +1,244 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"verlog/internal/term"
+)
+
+// enterpriseProgram is the four-rule program of Section 2.3 of the paper.
+const enterpriseProgram = `
+% Each employee gets a 10% raise, managers an extra $200; employees who
+% out-earn a superior are fired; survivors above $4500 join class hpe.
+rule1: mod[E].sal -> (S, S') <-
+    E.isa -> empl / pos -> mgr / sal -> S,
+    S' = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S') <-
+    E.isa -> empl / sal -> S,
+    !E.pos -> mgr,
+    S' = S * 1.1.
+rule3: del[mod(E)].* <-
+    mod(E).isa -> empl / boss -> B / sal -> SE,
+    mod(B).isa -> empl / sal -> SB,
+    SE > SB.
+rule4: ins[mod(E)].isa -> hpe <-
+    mod(E).isa -> empl / sal -> S,
+    S > 4500,
+    !del[mod(E)].isa -> empl.
+`
+
+func TestParseEnterpriseProgram(t *testing.T) {
+	p, err := Program(enterpriseProgram, "enterprise.vlg")
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if len(p.Rules) != 4 {
+		t.Fatalf("got %d rules, want 4", len(p.Rules))
+	}
+	r1 := p.Rules[0]
+	if r1.Name != "rule1" {
+		t.Errorf("rule1 name = %q", r1.Name)
+	}
+	if r1.Head.Kind != term.Mod {
+		t.Errorf("rule1 head kind = %v, want mod", r1.Head.Kind)
+	}
+	if got := r1.Head.V.String(); got != "E" {
+		t.Errorf("rule1 head VID = %s, want E", got)
+	}
+	// The '/' shorthand must expand into three separate literals.
+	if len(r1.Body) != 4 {
+		t.Fatalf("rule1 body has %d literals, want 4 (3 expanded + builtin): %v", len(r1.Body), r1.Body)
+	}
+	r3 := p.Rules[2]
+	if !r3.Head.All || r3.Head.Kind != term.Del {
+		t.Errorf("rule3 head should be delete-all, got %v", r3.Head)
+	}
+	if got := r3.Head.V.String(); got != "mod(E)" {
+		t.Errorf("rule3 head VID = %s, want mod(E)", got)
+	}
+	r4 := p.Rules[3]
+	last := r4.Body[len(r4.Body)-1]
+	if !last.Neg {
+		t.Errorf("rule4 last literal should be negated: %v", last)
+	}
+	if ua, ok := last.Atom.(term.UpdateAtom); !ok || ua.Kind != term.Del {
+		t.Errorf("rule4 last literal should be a del update-term: %v", last)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Program(enterpriseProgram, "enterprise.vlg")
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	text := FormatProgram(p)
+	p2, err := Program(text, "roundtrip.vlg")
+	if err != nil {
+		t.Fatalf("reparse of canonical output failed: %v\n%s", err, text)
+	}
+	text2 := FormatProgram(p2)
+	if text != text2 {
+		t.Errorf("canonical form not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text, text2)
+	}
+}
+
+func TestParseObjectBase(t *testing.T) {
+	const src = `
+phil.isa -> empl / pos -> mgr / sal -> 4000.
+bob.isa -> empl / boss -> phil / sal -> 4200.
+`
+	ob, err := ObjectBase(src, "ob.vlg")
+	if err != nil {
+		t.Fatalf("ObjectBase: %v", err)
+	}
+	// 6 explicit facts + 2 seeded exists facts.
+	if ob.Size() != 8 {
+		t.Fatalf("size = %d, want 8\n%s", ob.Size(), FormatFacts(ob, true))
+	}
+	phil := term.Sym("phil")
+	if !ob.Has(term.NewFact(term.GV(phil), "sal", term.Int(4000))) {
+		t.Errorf("missing phil.sal -> 4000")
+	}
+	if !ob.Has(term.NewFact(term.GV(phil), term.ExistsMethod, phil)) {
+		t.Errorf("missing seeded phil.exists -> phil")
+	}
+}
+
+func TestParseFactWithVersionAndArgs(t *testing.T) {
+	const src = `mod(henry).salary@2026, "July" -> 275.5.`
+	fs, err := Facts(src, "f.vlg")
+	if err != nil {
+		t.Fatalf("Facts: %v", err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("got %d facts, want 1", len(fs))
+	}
+	f := fs[0]
+	if f.V.String() != "mod(henry)" || f.Method != "salary" {
+		t.Errorf("bad fact %v", f)
+	}
+	args := f.Args.Decode()
+	if len(args) != 2 || args[0] != term.Int(2026) || args[1] != term.Str("July") {
+		t.Errorf("bad args %v", args)
+	}
+	if f.Result != term.Num(551, 2) {
+		t.Errorf("result = %v, want 275.5", f.Result)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"exists in head", `ins[X].exists -> X <- X.isa -> a.`, "may not occur in a rule head"},
+		{"delete-all with ins", `ins[X].* <- X.isa -> a.`, "requires del"},
+		{"delete-all in body", `ins[X].a -> b <- del[X].*.`, "only allowed in rule heads"},
+		{"mod without pair", `mod[X].sal -> 5 <- X.isa -> a.`, "result pair"},
+		{"negated shorthand", `ins[X].a -> b <- !X.a -> b / c -> d.`, "'/' shorthand"},
+		{"missing period", `ins[X].a -> b`, "expected '.'"},
+		{"bad functor", `foo[X].a -> b.`, "expected ins, del or mod"},
+		{"variable in fact", `X.isa -> empl.`, "must be ground"},
+		{"unterminated string", `x.name -> "abc.`, "unterminated string"},
+		{"stray char", `x.name -> ^.`, "unexpected character"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var err error
+			if c.name == "variable in fact" || c.name == "unterminated string" {
+				_, err = Facts(c.src, "t.vlg")
+			} else {
+				_, err = Program(c.src, "t.vlg")
+			}
+			if c.name == "stray char" {
+				_, err = Facts(c.src, "t.vlg")
+			}
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseHypotheticalProgram(t *testing.T) {
+	// Section 2.3 second example, with the paper's typo in rule2 corrected
+	// to mod[mod(E)].sal -> (S', S).
+	const src = `
+rule1: mod[E].sal -> (S, S') <- E.sal -> S / factor -> F, S' = S * F.
+rule2: mod[mod(E)].sal -> (S', S) <- mod(E).sal -> S', E.sal -> S.
+rule3: ins[mod(mod(peter))].richest -> no <-
+       mod(E).sal -> SE, mod(peter).sal -> SP, SE > SP.
+rule4: ins[ins(mod(mod(peter)))].richest -> yes <-
+       !ins(mod(mod(peter))).richest -> no.
+`
+	p, err := Program(src, "hypothetical.vlg")
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if len(p.Rules) != 4 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+	if got := p.Rules[1].Head.V.String(); got != "mod(E)" {
+		t.Errorf("rule2 head base VID = %s, want mod(E)", got)
+	}
+	if got := p.Rules[3].Head.Target().String(); got != "ins(ins(mod(mod(peter))))" {
+		t.Errorf("rule4 target = %s", got)
+	}
+	// rule4 body: negated version atom over a deep VID.
+	l := p.Rules[3].Body[0]
+	if !l.Neg {
+		t.Fatalf("rule4 body literal not negated")
+	}
+	va := l.Atom.(term.VersionAtom)
+	if va.V.String() != "ins(mod(mod(peter)))" {
+		t.Errorf("rule4 body VID = %s", va.V)
+	}
+}
+
+func TestParseRecursiveAncestors(t *testing.T) {
+	const src = `
+ins[X].anc -> P <- X.isa -> person / parents -> P.
+ins[X].anc -> P <- ins(X).isa -> person / anc -> A,
+                   A.isa -> person / parents -> P.
+`
+	p, err := Program(src, "anc.vlg")
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+	// Second rule's first literal refers to ins(X).
+	va := p.Rules[1].Body[0].Atom.(term.VersionAtom)
+	if va.V.String() != "ins(X)" {
+		t.Errorf("body VID = %s", va.V)
+	}
+}
+
+func TestExprPrecedenceRoundTrip(t *testing.T) {
+	cases := []string{
+		`ins[X].v -> R <- X.a -> S, R = S * 1.1 + 200.`,
+		`ins[X].v -> R <- X.a -> S, R = (S + 2) * 3.`,
+		`ins[X].v -> R <- X.a -> S, R = S - 1 - 2.`,
+		`ins[X].v -> R <- X.a -> S, R = S / 2 / 3.`,
+		`ins[X].v -> R <- X.a -> S, R = -S + 4.`,
+		`ins[X].v -> R <- X.a -> S, R = S - (1 - 2).`,
+	}
+	for _, src := range cases {
+		p, err := Program(src, "e.vlg")
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		out := FormatProgram(p)
+		p2, err := Program(out, "e2.vlg")
+		if err != nil {
+			t.Fatalf("reparse %q: %v", out, err)
+		}
+		if FormatProgram(p2) != out {
+			t.Errorf("not canonical: %q -> %q", out, FormatProgram(p2))
+		}
+	}
+}

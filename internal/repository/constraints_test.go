@@ -1,0 +1,111 @@
+package repository
+
+import (
+	"errors"
+	"testing"
+
+	"verlog/internal/parser"
+	"verlog/internal/term"
+)
+
+func newRepo(t *testing.T, baseSrc string) *Repository {
+	t.Helper()
+	initial, err := parser.ObjectBase(baseSrc, "init.vlg")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := Init(t.TempDir()+"/repo", initial)
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	return r
+}
+
+func prog(t *testing.T, src string) *term.Program {
+	t.Helper()
+	p, err := parser.Program(src, "p.vlg")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestConstraintsBlockViolatingUpdate(t *testing.T) {
+	r := newRepo(t, `henry.isa -> empl / sal -> 100.`)
+	if err := r.SetConstraints(`
+nonneg: E.isa -> empl, E.sal -> S, S < 0.
+`); err != nil {
+		t.Fatalf("SetConstraints: %v", err)
+	}
+
+	// A legal raise commits.
+	if _, err := r.Apply(prog(t, `r: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S + 50.`)); err != nil {
+		t.Fatalf("legal apply: %v", err)
+	}
+
+	// A cut below zero is rejected and not committed.
+	_, err := r.Apply(prog(t, `r: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S - 500.`))
+	var cv *ConstraintViolationError
+	if !errors.As(err, &cv) {
+		t.Fatalf("err = %v, want ConstraintViolationError", err)
+	}
+	if cv.Constraint != "nonneg" || len(cv.Witnesses) != 1 {
+		t.Errorf("violation = %+v", cv)
+	}
+	// Head still holds the pre-violation salary; journal has one entry.
+	head, err := r.Head()
+	if err != nil {
+		t.Fatalf("Head: %v", err)
+	}
+	if !head.Has(term.NewFact(term.GVID{Object: term.Sym("henry")}, "sal", term.Int(150))) {
+		t.Errorf("head changed despite violation:\n%s", parser.FormatFacts(head, false))
+	}
+	if n, _ := r.Len(); n != 1 {
+		t.Errorf("journal length = %d, want 1", n)
+	}
+}
+
+func TestSetConstraintsRejectsViolatedHead(t *testing.T) {
+	r := newRepo(t, `henry.isa -> empl / sal -> -5.`)
+	err := r.SetConstraints(`nonneg: E.isa -> empl, E.sal -> S, S < 0.`)
+	if err == nil {
+		t.Fatalf("constraints accepted against violating head")
+	}
+}
+
+func TestSetConstraintsRejectsBadSyntax(t *testing.T) {
+	r := newRepo(t, `a.t -> 1.`)
+	if err := r.SetConstraints(`broken ->`); err == nil {
+		t.Errorf("bad syntax accepted")
+	}
+}
+
+func TestConstraintsSurviveReopen(t *testing.T) {
+	r := newRepo(t, `a.n -> 1.`)
+	if err := r.SetConstraints(`cap: X.n -> N, N > 10.`); err != nil {
+		t.Fatalf("SetConstraints: %v", err)
+	}
+	r2, err := Open(r.Dir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	cs, err := r2.Constraints()
+	if err != nil || len(cs) != 1 || cs[0].Name != "cap" {
+		t.Fatalf("Constraints after reopen = %v, %v", cs, err)
+	}
+	_, err = r2.Apply(prog(t, `r: mod[X].n -> (N, N') <- X.n -> N, N' = N * 20.`))
+	var cv *ConstraintViolationError
+	if !errors.As(err, &cv) {
+		t.Errorf("err = %v, want ConstraintViolationError", err)
+	}
+}
+
+func TestNoConstraintsMeansNoChecks(t *testing.T) {
+	r := newRepo(t, `a.n -> 1.`)
+	if cs, err := r.Constraints(); err != nil || cs != nil {
+		t.Fatalf("Constraints = %v, %v", cs, err)
+	}
+	if _, err := r.Apply(prog(t, `r: mod[X].n -> (N, N') <- X.n -> N, N' = N - 100.`)); err != nil {
+		t.Errorf("apply without constraints: %v", err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package repository manages an object base on disk together with the log
+// of update-programs applied to it. It implements the long-term-evolution
+// side of versioning that Section 1 of the paper calls complementary to
+// the per-update versions: each applied program is one evolution step, and
+// any past state can be reconstructed by replaying the journal.
+//
+// Layout of a repository directory:
+//
+//	snapshot.bin  — the initial object base (state 0)
+//	head.bin      — the current object base
+//	journal.jsonl — one JSON entry per applied program, with its diff
+package repository
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"verlog/internal/core"
+	"verlog/internal/eval"
+	"verlog/internal/objectbase"
+	"verlog/internal/parser"
+	"verlog/internal/storage"
+	"verlog/internal/term"
+)
+
+const (
+	snapshotFile    = "snapshot.bin"
+	headFile        = "head.bin"
+	journalFile     = "journal.jsonl"
+	constraintsFile = "constraints.vlg"
+)
+
+// Entry is one journal record: an applied program and its effect.
+type Entry struct {
+	// Seq numbers applied programs from 1.
+	Seq int `json:"seq"`
+	// Program is the canonical text of the applied program.
+	Program string `json:"program"`
+	// Added and Removed are the fact-level diff on the updated base.
+	Added   []storage.FactRecord `json:"added,omitempty"`
+	Removed []storage.FactRecord `json:"removed,omitempty"`
+	// Fired is the number of ground updates the evaluation fired.
+	Fired int `json:"fired"`
+	// Strata is the number of strata of the program.
+	Strata int `json:"strata"`
+}
+
+// Repository is an object base under journal control.
+type Repository struct {
+	dir string
+}
+
+// Init creates a repository at dir holding the initial base.
+func Init(dir string, initial *objectbase.Base) (*Repository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err == nil {
+		return nil, fmt.Errorf("repository: %s already contains a repository", dir)
+	}
+	r := &Repository{dir: dir}
+	if err := r.writeBase(snapshotFile, initial); err != nil {
+		return nil, err
+	}
+	if err := r.writeBase(headFile, initial); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, journalFile), nil, 0o644); err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	return r, nil
+}
+
+// Open opens an existing repository.
+func Open(dir string) (*Repository, error) {
+	for _, f := range []string{snapshotFile, headFile, journalFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			return nil, fmt.Errorf("repository: %s is not a repository (missing %s)", dir, f)
+		}
+	}
+	return &Repository{dir: dir}, nil
+}
+
+// Dir returns the repository directory.
+func (r *Repository) Dir() string { return r.dir }
+
+func (r *Repository) writeBase(name string, b *objectbase.Base) error {
+	tmp := filepath.Join(r.dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := storage.SaveBinary(f, b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(r.dir, name)); err != nil {
+		return fmt.Errorf("repository: %w", err)
+	}
+	return nil
+}
+
+func (r *Repository) readBase(name string) (*objectbase.Base, error) {
+	f, err := os.Open(filepath.Join(r.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	defer f.Close()
+	return storage.LoadBinary(f)
+}
+
+// Head returns the current object base.
+func (r *Repository) Head() (*objectbase.Base, error) { return r.readBase(headFile) }
+
+// Initial returns the state-0 object base.
+func (r *Repository) Initial() (*objectbase.Base, error) { return r.readBase(snapshotFile) }
+
+// Entries reads the full journal.
+func (r *Repository) Entries() ([]Entry, error) {
+	f, err := os.Open(filepath.Join(r.dir, journalFile))
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("repository: corrupted journal entry %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	return out, nil
+}
+
+// Len returns the number of applied programs.
+func (r *Repository) Len() (int, error) {
+	es, err := r.Entries()
+	if err != nil {
+		return 0, err
+	}
+	return len(es), nil
+}
+
+// ConstraintViolationError reports an update whose result satisfies an
+// integrity-constraint denial; the update was not committed.
+type ConstraintViolationError struct {
+	Constraint string
+	Witnesses  []eval.Binding
+}
+
+func (e *ConstraintViolationError) Error() string {
+	extra := ""
+	if len(e.Witnesses) > 0 {
+		extra = fmt.Sprintf(" (e.g. %s)", e.Witnesses[0])
+	}
+	return fmt.Sprintf("repository: update rejected: constraint %s violated by %d binding(s)%s",
+		e.Constraint, len(e.Witnesses), extra)
+}
+
+// SetConstraints installs integrity constraints (denial form, concrete
+// syntax; see parser.Constraints). Every subsequent Apply verifies the
+// updated base against them and refuses to commit on violation. The
+// current head must already satisfy them.
+func (r *Repository) SetConstraints(src string) error {
+	cs, err := parser.Constraints(src, constraintsFile)
+	if err != nil {
+		return err
+	}
+	head, err := r.Head()
+	if err != nil {
+		return err
+	}
+	if err := checkConstraints(head, cs); err != nil {
+		return fmt.Errorf("repository: current head already violates constraints: %w", err)
+	}
+	return os.WriteFile(filepath.Join(r.dir, constraintsFile), []byte(src), 0o644)
+}
+
+// Constraints returns the installed constraints (nil if none).
+func (r *Repository) Constraints() ([]term.Constraint, error) {
+	src, err := os.ReadFile(filepath.Join(r.dir, constraintsFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	return parser.Constraints(string(src), constraintsFile)
+}
+
+func checkConstraints(base *objectbase.Base, cs []term.Constraint) error {
+	for i, c := range cs {
+		witnesses, err := eval.Query(base, c.Body)
+		if err != nil {
+			return fmt.Errorf("repository: constraint %s: %w", c.Label(i), err)
+		}
+		if len(witnesses) > 0 {
+			return &ConstraintViolationError{Constraint: c.Label(i), Witnesses: witnesses}
+		}
+	}
+	return nil
+}
+
+// Apply evaluates p on the current head, verifies the installed integrity
+// constraints against the result, appends the journal entry and advances
+// the head to the updated object base. On a constraint violation nothing
+// is committed. It returns the full evaluation result.
+func (r *Repository) Apply(p *term.Program, opts ...core.Option) (*eval.Result, error) {
+	head, err := r.Head()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.New(opts...).Apply(head, p)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := r.Constraints()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkConstraints(res.Final, cs); err != nil {
+		return nil, err
+	}
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	diff := objectbase.Compute(head, res.Final)
+	added, removed := storage.EncodeDiff(diff)
+	entry := Entry{
+		Seq:     n + 1,
+		Program: parser.FormatProgram(p),
+		Added:   added,
+		Removed: removed,
+		Fired:   res.Fired,
+		Strata:  res.Assignment.NumStrata(),
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	jf, err := os.OpenFile(filepath.Join(r.dir, journalFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if _, err := jf.Write(append(line, '\n')); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if err := jf.Close(); err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if err := r.writeBase(headFile, res.Final); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// VerifyError reports a repository whose journal replay does not
+// reproduce its head — corruption of one of the files.
+type VerifyError struct {
+	Replayed, Head int // fact counts, for the message
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("repository: journal replay (%d facts) does not reproduce the head (%d facts); the repository is corrupted", e.Replayed, e.Head)
+}
+
+// Verify replays the whole journal from the initial snapshot and checks
+// that the result equals the head — the repository's integrity check.
+func (r *Repository) Verify() error {
+	entries, err := r.Entries()
+	if err != nil {
+		return err
+	}
+	replayed, err := r.At(len(entries))
+	if err != nil {
+		return err
+	}
+	head, err := r.Head()
+	if err != nil {
+		return err
+	}
+	if !replayed.Equal(head) {
+		return &VerifyError{Replayed: replayed.Size(), Head: head.Size()}
+	}
+	return nil
+}
+
+// Compact collapses the repository onto its current head: the head becomes
+// the new initial snapshot and the journal is emptied. Earlier states are
+// no longer reconstructable; Verify is run first so a corrupted repository
+// is never compacted.
+func (r *Repository) Compact() error {
+	if err := r.Verify(); err != nil {
+		return err
+	}
+	head, err := r.Head()
+	if err != nil {
+		return err
+	}
+	if err := r.writeBase(snapshotFile, head); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(r.dir, journalFile), nil, 0o644); err != nil {
+		return fmt.Errorf("repository: %w", err)
+	}
+	return nil
+}
+
+// ErrNoSuchState reports a time-travel target beyond the journal.
+var ErrNoSuchState = errors.New("repository: no such state")
+
+// At reconstructs the object base after the first seq programs (seq 0 is
+// the initial base) by replaying journal diffs.
+func (r *Repository) At(seq int) (*objectbase.Base, error) {
+	if seq < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchState, seq)
+	}
+	base, err := r.Initial()
+	if err != nil {
+		return nil, err
+	}
+	if seq == 0 {
+		return base, nil
+	}
+	entries, err := r.Entries()
+	if err != nil {
+		return nil, err
+	}
+	if seq > len(entries) {
+		return nil, fmt.Errorf("%w: %d (journal has %d)", ErrNoSuchState, seq, len(entries))
+	}
+	for _, e := range entries[:seq] {
+		d, err := storage.DecodeDiff(e.Added, e.Removed)
+		if err != nil {
+			return nil, err
+		}
+		d.Apply(base)
+	}
+	return base, nil
+}

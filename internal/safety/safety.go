@@ -1,0 +1,171 @@
+// Package safety checks update-rules for safety in the sense of Ullman
+// (Principles of Database and Knowledge-Base Systems, Vol. I), adapted to
+// the verlog language: every variable of a rule must be limited, i.e.
+//
+//   - it occurs in a positive body version-term or update-term (at the base
+//     of the version-id-term, as a method argument, or as a result), or
+//   - it is equated, via the built-in =, with an expression all of whose
+//     variables are limited.
+//
+// Safe rules guarantee that only finitely many ground instances fire and
+// that negated literals and comparisons are fully bound when evaluated —
+// the property Section 2.1 of the paper relies on for termination.
+//
+// The package also re-checks the structural invariants the parser enforces
+// (no exists in heads, delete-all only with del, modify carries a result
+// pair), so programs constructed programmatically get the same guarantees.
+package safety
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"verlog/internal/term"
+)
+
+// RuleError describes a safety violation in one rule.
+type RuleError struct {
+	Rule  string // rule label
+	Index int    // rule position in the program
+	Msg   string
+}
+
+func (e *RuleError) Error() string {
+	return fmt.Sprintf("safety: rule %s: %s", e.Rule, e.Msg)
+}
+
+// Program checks every rule of p and returns all violations joined.
+func Program(p *term.Program) error {
+	var errs []error
+	for i, r := range p.Rules {
+		if err := check(r, i); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Rule checks a single rule.
+func Rule(r term.Rule) error { return check(r, 0) }
+
+func check(r term.Rule, index int) error {
+	fail := func(format string, args ...any) error {
+		return &RuleError{Rule: r.Label(index), Index: index, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	// Structural invariants.
+	if r.Head.All && r.Head.Kind != term.Del {
+		return fail("delete-all head requires del, found %s", r.Head.Kind)
+	}
+	if !r.Head.All {
+		if r.Head.App.Method == term.ExistsMethod {
+			return fail("the system method %q may not occur in a rule head", term.ExistsMethod)
+		}
+		if r.Head.Kind == term.Mod && r.Head.NewResult == nil {
+			return fail("modify head needs a result pair (old, new)")
+		}
+		if r.Head.Kind != term.Mod && r.Head.NewResult != nil {
+			return fail("only modify heads carry a result pair")
+		}
+	}
+	if r.Head.V.Any {
+		return fail("the any(...) wildcard is not allowed in update-rules")
+	}
+	for _, l := range r.Body {
+		switch a := l.Atom.(type) {
+		case term.UpdateAtom:
+			if a.All {
+				return fail("delete-all is only allowed in rule heads")
+			}
+			if a.V.Any {
+				return fail("the any(...) wildcard is not allowed in update-rules")
+			}
+		case term.VersionAtom:
+			if a.V.Any {
+				return fail("the any(...) wildcard is only allowed in queries and derived rules")
+			}
+		}
+	}
+
+	// Limitedness analysis.
+	limited := map[term.Var]bool{}
+	mark := func(t term.ObjTerm) {
+		if v, ok := t.(term.Var); ok {
+			limited[v] = true
+		}
+	}
+	for _, l := range r.Body {
+		if l.Neg {
+			continue
+		}
+		switch a := l.Atom.(type) {
+		case term.VersionAtom:
+			mark(a.V.Base)
+			for _, arg := range a.App.Args {
+				mark(arg)
+			}
+			mark(a.App.Result)
+		case term.UpdateAtom:
+			mark(a.V.Base)
+			for _, arg := range a.App.Args {
+				mark(arg)
+			}
+			mark(a.App.Result)
+			if a.NewResult != nil {
+				mark(a.NewResult)
+			}
+		}
+	}
+	// Propagate through = built-ins until a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, l := range r.Body {
+			if l.Neg {
+				continue
+			}
+			b, ok := l.Atom.(term.BuiltinAtom)
+			if !ok || b.Op != term.OpEq {
+				continue
+			}
+			if v, ok := singleVar(b.L); ok && !limited[v] && allLimited(b.R, limited) {
+				limited[v] = true
+				changed = true
+			}
+			if v, ok := singleVar(b.R); ok && !limited[v] && allLimited(b.L, limited) {
+				limited[v] = true
+				changed = true
+			}
+		}
+	}
+
+	var unlimited []string
+	for v := range r.Vars() {
+		if !limited[v] {
+			unlimited = append(unlimited, string(v))
+		}
+	}
+	if len(unlimited) > 0 {
+		sort.Strings(unlimited)
+		return fail("unlimited variable(s) %s: every variable must occur in a positive body version- or update-term, or be equated to a bound expression", strings.Join(unlimited, ", "))
+	}
+	return nil
+}
+
+func singleVar(e term.Expr) (term.Var, bool) {
+	v, ok := e.(term.VarExpr)
+	if !ok {
+		return "", false
+	}
+	return v.V, true
+}
+
+func allLimited(e term.Expr, limited map[term.Var]bool) bool {
+	for _, v := range term.ExprVars(e, nil) {
+		if !limited[v] {
+			return false
+		}
+	}
+	return true
+}

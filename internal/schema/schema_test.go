@@ -1,0 +1,172 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"verlog/internal/core"
+	"verlog/internal/objectbase"
+	"verlog/internal/parser"
+)
+
+const enterpriseSchema = `
+empl.sal  -> num.
+empl.pos  -> sym.
+empl.boss -> empl.
+empl.name -> str.
+hpe.sal   -> num.
+`
+
+func mustSchema(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, err := Parse(src, "schema.vlg")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func mustBase(t *testing.T, src string) *objectbase.Base {
+	t.Helper()
+	b, err := parser.ObjectBase(src, "ob.vlg")
+	if err != nil {
+		t.Fatalf("parse base: %v", err)
+	}
+	return b
+}
+
+func TestSchemaParse(t *testing.T) {
+	s := mustSchema(t, enterpriseSchema)
+	if got := s.Classes(); len(got) != 2 || got[0] != "empl" || got[1] != "hpe" {
+		t.Errorf("Classes = %v", got)
+	}
+}
+
+func TestSchemaParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{`empl.sal -> num. empl.sal -> str.`, "declared twice"},
+		{`empl.boss -> manager.`, "undeclared class"},
+		{`mod(empl).sal -> num.`, "class.method -> type"},
+		{`empl.rate@2026 -> num.`, "class.method -> type"},
+		{`empl.sal -> 5.`, "must be symbols"},
+		{`empl.exists -> sym.`, "needs no declaration"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src, "s"); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) err = %v, want mention of %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestSchemaCheckConforming(t *testing.T) {
+	s := mustSchema(t, enterpriseSchema)
+	base := mustBase(t, `
+phil.isa -> empl / pos -> mgr / sal -> 4000 / name -> "Phil".
+bob.isa -> empl / boss -> phil / sal -> 4200.
+cat.species -> feline.   % unclassed: ignored
+`)
+	if vs := s.Check(base, Options{}); len(vs) != 0 {
+		t.Errorf("violations on conforming base: %v", vs)
+	}
+}
+
+func TestSchemaCheckViolations(t *testing.T) {
+	s := mustSchema(t, enterpriseSchema)
+	base := mustBase(t, `
+phil.isa -> empl / sal -> lots.
+bob.isa -> empl / boss -> nobody / name -> 42.
+eva.isa -> empl / boss -> cat.
+cat.species -> feline.
+`)
+	vs := s.Check(base, Options{})
+	var msgs []string
+	for _, v := range vs {
+		msgs = append(msgs, v.String())
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"phil (class empl): sal -> lots does not conform to num",
+		"bob (class empl): boss -> nobody does not conform to empl",
+		"bob (class empl): name -> 42 does not conform to str",
+		"eva (class empl): boss -> cat does not conform to empl",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing violation %q in:\n%s", want, joined)
+		}
+	}
+	if len(vs) != 4 {
+		t.Errorf("got %d violations, want 4:\n%s", len(vs), joined)
+	}
+}
+
+func TestSchemaRequireDeclared(t *testing.T) {
+	s := mustSchema(t, enterpriseSchema)
+	base := mustBase(t, `phil.isa -> empl / hobby -> chess / sal -> 10.`)
+	if vs := s.Check(base, Options{}); len(vs) != 0 {
+		t.Errorf("open schema flagged undeclared method: %v", vs)
+	}
+	vs := s.Check(base, Options{RequireDeclared: true})
+	if len(vs) != 1 || !strings.Contains(vs[0].String(), "hobby is not declared") {
+		t.Errorf("closed schema: %v", vs)
+	}
+}
+
+// TestEvolutionReport: the Section 2.4 observation — after the enterprise
+// update, class hpe gains members/methods and (in a typed world) the
+// schema would have to follow.
+func TestEvolutionReport(t *testing.T) {
+	s := mustSchema(t, `
+empl.sal -> num.
+empl.pos -> sym.
+empl.boss -> empl.
+hpe.sal  -> num.
+hpe.pos  -> sym.
+`)
+	before := mustBase(t, `
+phil.isa -> empl / pos -> mgr / sal -> 4000.
+bob.isa -> empl / boss -> phil / sal -> 4200.
+`)
+	prog, err := parser.Program(`
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, !E.pos -> mgr, S' = S * 1.1.
+rule3: del[mod(E)].* <- mod(E).isa -> empl / boss -> B / sal -> SE, mod(B).isa -> empl / sal -> SB, SE > SB.
+rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[mod(E)].isa -> empl.
+`, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New().Apply(before, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := s.EvolutionReport(before, res.Final)
+	// Class hpe had no members before; now phil carries sal and pos.
+	var hpe *Evolution
+	for i := range evs {
+		if evs[i].Class == "hpe" {
+			hpe = &evs[i]
+		}
+	}
+	if hpe == nil {
+		t.Fatalf("no hpe evolution in %v", evs)
+	}
+	if strings.Join(hpe.Gained, ",") != "pos,sal" {
+		t.Errorf("hpe gained %v", hpe.Gained)
+	}
+	// Class empl lost boss: its only carrier (bob) was fired.
+	var empl *Evolution
+	for i := range evs {
+		if evs[i].Class == "empl" {
+			empl = &evs[i]
+		}
+	}
+	if empl == nil || strings.Join(empl.Lost, ",") != "boss" {
+		t.Errorf("empl evolution = %+v", empl)
+	}
+	// The updated base still conforms to the schema.
+	if vs := s.Check(res.Final, Options{}); len(vs) != 0 {
+		t.Errorf("updated base violates schema: %v", vs)
+	}
+}

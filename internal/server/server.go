@@ -1,0 +1,437 @@
+// Package server exposes a journaled verlog repository over HTTP, making
+// the update language usable as a small object-base server: clients POST
+// update-programs and queries in the concrete syntax and receive JSON.
+//
+// Endpoints (all under /v1):
+//
+//	GET  /v1/head                  the current object base (text format)
+//	GET  /v1/state?n=N             the base after the first N programs
+//	GET  /v1/log                   journal summary (JSON)
+//	GET  /v1/history?object=NAME   version history of the last run — see POST /v1/apply
+//	GET  /v1/stats                 head-base summary (JSON)
+//	POST /v1/explain               provenance of facts in the last run's fixpoint
+//	GET  /v1/constraints           installed constraints (text)
+//	POST /v1/constraints           install constraints (text body)
+//	POST /v1/check                 check a program (text body) -> strata
+//	POST /v1/query                 evaluate a query (text body) -> bindings
+//	POST /v1/apply                 apply an update-program (text body)
+//
+// Mutating requests are serialized by a mutex; the repository performs one
+// update transaction at a time, exactly as Section 2.2 treats a program as
+// one mapping from old to new object base.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"verlog/internal/core"
+	"verlog/internal/eval"
+	"verlog/internal/objectbase"
+	"verlog/internal/parser"
+	"verlog/internal/repository"
+	"verlog/internal/term"
+)
+
+// maxBodySize bounds request bodies (programs, queries, constraints).
+const maxBodySize = 16 << 20
+
+// Server handles HTTP requests against one repository.
+type Server struct {
+	repo *repository.Repository
+	mux  *http.ServeMux
+	// mu serializes apply/constraint installs and guards lastResult.
+	mu sync.Mutex
+	// lastResult retains the most recent apply's fixpoint for /v1/history.
+	lastResult *eval.Result
+}
+
+// New returns a handler serving the repository.
+func New(repo *repository.Repository) *Server {
+	s := &Server{repo: repo, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/head", s.handleHead)
+	s.mux.HandleFunc("GET /v1/state", s.handleState)
+	s.mux.HandleFunc("GET /v1/log", s.handleLog)
+	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/constraints", s.handleGetConstraints)
+	s.mux.HandleFunc("POST /v1/constraints", s.handleSetConstraints)
+	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func readBody(r *http.Request) (string, error) {
+	b, err := io.ReadAll(io.LimitReader(r.Body, maxBodySize+1))
+	if err != nil {
+		return "", err
+	}
+	if len(b) > maxBodySize {
+		return "", fmt.Errorf("server: request body exceeds %d bytes", maxBodySize)
+	}
+	return string(b), nil
+}
+
+// statusFor maps domain errors to HTTP statuses: syntax, safety and
+// stratification problems are the client's fault; constraint violations
+// are a conflict; the rest is internal.
+func statusFor(err error) int {
+	var se *parser.SyntaxError
+	var cv *repository.ConstraintViolationError
+	switch {
+	case errors.As(err, &se):
+		return http.StatusBadRequest
+	case errors.As(err, &cv):
+		return http.StatusConflict
+	default:
+		var le *eval.LinearityError
+		if errors.As(err, &le) {
+			return http.StatusUnprocessableEntity
+		}
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHead(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, err := s.repo.Head()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, parser.FormatFacts(head, false))
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad state number %q", r.URL.Query().Get("n")))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base, err := s.repo.At(n)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, repository.ErrNoSuchState) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, parser.FormatFacts(base, false))
+}
+
+// logEntry is the journal summary row.
+type logEntry struct {
+	Seq     int    `json:"seq"`
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	Fired   int    `json:"fired"`
+	Strata  int    `json:"strata"`
+	Program string `json:"program"`
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := s.repo.Entries()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]logEntry, len(entries))
+	for i, e := range entries {
+		out[i] = logEntry{
+			Seq: e.Seq, Added: len(e.Added), Removed: len(e.Removed),
+			Fired: e.Fired, Strata: e.Strata, Program: e.Program,
+		}
+	}
+	writeJSON(w, out)
+}
+
+// historyStep is the JSON rendering of one version stage.
+type historyStep struct {
+	Version string   `json:"version"`
+	Kind    string   `json:"kind,omitempty"`
+	State   []string `json:"state"`
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	object := r.URL.Query().Get("object")
+	if object == "" {
+		writeError(w, http.StatusBadRequest, errors.New("server: missing ?object="))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastResult == nil {
+		writeError(w, http.StatusNotFound, errors.New("server: no apply has run in this session; history needs the fixpoint of the last update"))
+		return
+	}
+	steps := eval.History(s.lastResult.Result, term.Sym(object))
+	out := make([]historyStep, len(steps))
+	for i, st := range steps {
+		h := historyStep{Version: st.V.String(), State: factStrings(st.State)}
+		if st.V.Path.Len() > 0 {
+			h.Kind = st.Kind.String()
+		}
+		h.Added = factStrings(st.Added)
+		h.Removed = factStrings(st.Removed)
+		out[i] = h
+	}
+	writeJSON(w, out)
+}
+
+func factStrings(fs []term.Fact) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// statsResponse summarizes the head base.
+type statsResponse struct {
+	Facts    int               `json:"facts"`
+	Objects  int               `json:"objects"`
+	Versions int               `json:"versions"`
+	MaxDepth int               `json:"max_depth"`
+	Methods  []methodStatEntry `json:"methods"`
+}
+
+type methodStatEntry struct {
+	Method   string `json:"method"`
+	Facts    int    `json:"facts"`
+	Versions int    `json:"versions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, err := s.repo.Head()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	st := objectbase.CollectStats(head)
+	resp := statsResponse{
+		Facts: st.Facts, Objects: st.Objects, Versions: st.Versions, MaxDepth: st.MaxDepth,
+	}
+	for _, m := range st.Methods {
+		resp.Methods = append(resp.Methods, methodStatEntry{Method: m.Method, Facts: m.Facts, Versions: m.Versions})
+	}
+	writeJSON(w, resp)
+}
+
+// explainEntry is one explained fact.
+type explainEntry struct {
+	Fact        string `json:"fact"`
+	Provenance  string `json:"provenance"`
+	Explanation string `json:"explanation"`
+}
+
+// handleExplain explains facts (text body, fact syntax) against the
+// fixpoint of the most recent apply.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	src, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	facts, err := parser.Facts(src, "request")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastResult == nil {
+		writeError(w, http.StatusNotFound, errors.New("server: no apply has run in this session; explain needs the traced fixpoint of the last update"))
+		return
+	}
+	out := make([]explainEntry, 0, len(facts))
+	for _, f := range facts {
+		e := s.lastResult.Explain(f)
+		out = append(out, explainEntry{
+			Fact:        f.String(),
+			Provenance:  e.Kind.String(),
+			Explanation: e.String(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleGetConstraints(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, err := s.repo.Constraints()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for i, c := range cs {
+		if c.Name != "" {
+			fmt.Fprintf(w, "%s: ", c.Name)
+		}
+		fmt.Fprintln(w, c.String())
+		_ = i
+	}
+}
+
+func (s *Server) handleSetConstraints(w http.ResponseWriter, r *http.Request) {
+	src, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.repo.SetConstraints(src); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	cs, _ := s.repo.Constraints()
+	writeJSON(w, map[string]int{"installed": len(cs)})
+}
+
+// checkResponse reports a program's analysis.
+type checkResponse struct {
+	Rules  int      `json:"rules"`
+	Strata []string `json:"strata"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	src, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := parser.Program(src, "request")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	a, err := core.New().Check(p)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	labels := p.RuleLabels()
+	resp := checkResponse{Rules: len(p.Rules)}
+	for _, stratum := range a.Strata {
+		names := ""
+		for i, ri := range stratum {
+			if i > 0 {
+				names += ", "
+			}
+			names += labels[ri]
+		}
+		resp.Strata = append(resp.Strata, names)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, err := s.repo.Head()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	bindings, err := core.Query(head, src)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	out := make([]map[string]string, len(bindings))
+	for i, b := range bindings {
+		row := map[string]string{}
+		for v, o := range b {
+			row[string(v)] = o.String()
+		}
+		out[i] = row
+	}
+	writeJSON(w, out)
+}
+
+// applyResponse reports a committed update.
+type applyResponse struct {
+	State  int   `json:"state"`
+	Fired  int   `json:"fired"`
+	Strata int   `json:"strata"`
+	Facts  int   `json:"facts"`
+	Iters  []int `json:"iterations"`
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	src, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := parser.Program(src, "request")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Trace so that /v1/history and /v1/explain can answer for this run.
+	res, err := s.repo.Apply(p, core.WithTrace())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.lastResult = res
+	n, err := s.repo.Len()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, applyResponse{
+		State:  n,
+		Fired:  res.Fired,
+		Strata: res.Assignment.NumStrata(),
+		Facts:  res.Final.Size(),
+		Iters:  res.Iterations,
+	})
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"verlog/internal/parser"
+	"verlog/internal/repository"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *repository.Repository) {
+	t.Helper()
+	initial, err := parser.ObjectBase(`
+phil.isa -> empl / pos -> mgr / sal -> 4000.
+bob.isa -> empl / boss -> phil / sal -> 4200.
+`, "init.vlg")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	repo, err := repository.Init(t.TempDir()+"/repo", initial)
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	ts := httptest.NewServer(New(repo))
+	t.Cleanup(ts.Close)
+	return ts, repo
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+const enterpriseUpdate = `
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, !E.pos -> mgr, S' = S * 1.1.
+rule3: del[mod(E)].* <- mod(E).isa -> empl / boss -> B / sal -> SE, mod(B).isa -> empl / sal -> SB, SE > SB.
+rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[mod(E)].isa -> empl.
+`
+
+func TestServerLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Head shows the initial base.
+	code, body := get(t, ts.URL+"/v1/head")
+	if code != 200 || !strings.Contains(body, "phil.sal -> 4000.") {
+		t.Fatalf("head: %d %s", code, body)
+	}
+
+	// Check the program.
+	code, body = post(t, ts.URL+"/v1/check", enterpriseUpdate)
+	if code != 200 {
+		t.Fatalf("check: %d %s", code, body)
+	}
+	var chk struct {
+		Rules  int      `json:"rules"`
+		Strata []string `json:"strata"`
+	}
+	if err := json.Unmarshal([]byte(body), &chk); err != nil || chk.Rules != 4 || len(chk.Strata) != 3 {
+		t.Errorf("check response: %s", body)
+	}
+
+	// Apply it.
+	code, body = post(t, ts.URL+"/v1/apply", enterpriseUpdate)
+	if code != 200 {
+		t.Fatalf("apply: %d %s", code, body)
+	}
+	var ar struct {
+		State, Fired, Strata, Facts int
+	}
+	if err := json.Unmarshal([]byte(body), &ar); err != nil || ar.State != 1 || ar.Fired != 6 {
+		t.Errorf("apply response: %s", body)
+	}
+
+	// Head now reflects the update; bob is gone.
+	code, body = get(t, ts.URL+"/v1/head")
+	if code != 200 || !strings.Contains(body, "phil.sal -> 4600.") || strings.Contains(body, "bob") {
+		t.Errorf("head after apply: %d %s", code, body)
+	}
+
+	// Query through the server.
+	code, body = post(t, ts.URL+"/v1/query", `E.isa -> hpe.`)
+	if code != 200 || !strings.Contains(body, `"E":"phil"`) {
+		t.Errorf("query: %d %s", code, body)
+	}
+
+	// Time travel.
+	code, body = get(t, ts.URL+"/v1/state?n=0")
+	if code != 200 || !strings.Contains(body, "bob.sal -> 4200.") {
+		t.Errorf("state 0: %d %s", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/v1/state?n=7"); code != 404 {
+		t.Errorf("state 7 code = %d, want 404", code)
+	}
+
+	// Log.
+	code, body = get(t, ts.URL+"/v1/log")
+	if code != 200 || !strings.Contains(body, `"seq":1`) {
+		t.Errorf("log: %d %s", code, body)
+	}
+
+	// History of the last run.
+	code, body = get(t, ts.URL+"/v1/history?object=bob")
+	if code != 200 || !strings.Contains(body, "del(mod(bob))") {
+		t.Errorf("history: %d %s", code, body)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Syntax error -> 400.
+	if code, _ := post(t, ts.URL+"/v1/apply", "ins[X].m -> "); code != 400 {
+		t.Errorf("syntax error code = %d", code)
+	}
+	// Unsafe program -> 400 (wrapped safety error is not a syntax error but
+	// still the client's fault; it maps to 500 unless recognized — the
+	// handler parses first, then Check runs inside Apply).
+	code, body := post(t, ts.URL+"/v1/apply", "r: ins[X].m -> Y <- X.isa -> empl.")
+	if code == 200 {
+		t.Errorf("unsafe program accepted: %s", body)
+	}
+	// Bad query -> 400.
+	if code, _ := post(t, ts.URL+"/v1/query", "E.sal -> "); code != 400 {
+		t.Errorf("bad query code = %d", code)
+	}
+	// History before any apply -> 404.
+	if code, _ := get(t, ts.URL+"/v1/history?object=phil"); code != 404 {
+		t.Errorf("history without apply code = %d", code)
+	}
+	// Missing object param -> 400.
+	if code, _ := get(t, ts.URL+"/v1/history"); code != 400 {
+		t.Errorf("history without object code = %d", code)
+	}
+	// Bad state number -> 400.
+	if code, _ := get(t, ts.URL+"/v1/state?n=abc"); code != 400 {
+		t.Errorf("bad state code = %d", code)
+	}
+}
+
+func TestServerConstraints(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	code, body := post(t, ts.URL+"/v1/constraints", `nonneg: E.isa -> empl, E.sal -> S, S < 0.`)
+	if code != 200 || !strings.Contains(body, `"installed":1`) {
+		t.Fatalf("set constraints: %d %s", code, body)
+	}
+	code, body = get(t, ts.URL+"/v1/constraints")
+	if code != 200 || !strings.Contains(body, "nonneg:") {
+		t.Errorf("get constraints: %d %s", code, body)
+	}
+	// A violating update is rejected with 409 and not committed.
+	code, _ = post(t, ts.URL+"/v1/apply", `r: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S - 99999.`)
+	if code != 409 {
+		t.Errorf("violating apply code = %d, want 409", code)
+	}
+	code, body = get(t, ts.URL+"/v1/head")
+	if code != 200 || !strings.Contains(body, "phil.sal -> 4000.") {
+		t.Errorf("head changed after rejected apply: %s", body)
+	}
+}
+
+func TestServerLinearityViolation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, body := post(t, ts.URL+"/v1/apply", `
+ra: mod[X].sal -> (S, S) <- X.isa -> empl, X.sal -> S.
+rb: del[X].sal -> S <- X.isa -> empl, X.sal -> S.
+`)
+	if code != 422 {
+		t.Errorf("linearity violation code = %d (%s), want 422", code, body)
+	}
+}
+
+func TestServerStatsAndExplain(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, body := get(t, ts.URL+"/v1/stats")
+	if code != 200 || !strings.Contains(body, `"objects":2`) {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	// Explain before any apply: 404.
+	if code, _ := post(t, ts.URL+"/v1/explain", "phil.sal -> 4000."); code != 404 {
+		t.Errorf("explain without apply = %d", code)
+	}
+	if code, body := post(t, ts.URL+"/v1/apply", enterpriseUpdate); code != 200 {
+		t.Fatalf("apply: %d %s", code, body)
+	}
+	code, body = post(t, ts.URL+"/v1/explain", "ins(mod(phil)).isa -> hpe. ins(mod(phil)).pos -> mgr.")
+	if code != 200 {
+		t.Fatalf("explain: %d %s", code, body)
+	}
+	var entries []struct {
+		Fact, Provenance, Explanation string
+	}
+	if err := json.Unmarshal([]byte(body), &entries); err != nil || len(entries) != 2 {
+		t.Fatalf("explain body: %s (%v)", body, err)
+	}
+	if entries[0].Provenance != "update" || !strings.Contains(entries[0].Explanation, "rule4") {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Provenance != "copy" {
+		t.Errorf("entry 1 = %+v", entries[1])
+	}
+	// Bad fact syntax: 400.
+	if code, _ := post(t, ts.URL+"/v1/explain", "broken ->"); code != 400 {
+		t.Errorf("bad explain body accepted")
+	}
+}

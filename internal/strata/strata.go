@@ -1,0 +1,336 @@
+// Package strata computes the stratification of an update-program required
+// by Section 4 of the paper. Rules are partitioned into strata so that
+// bottom-up evaluation stratum by stratum reaches the fixpoint.
+//
+// With every construct [V] replaced by (V), the four conditions are, for
+// rules r (the observer) and r' (the producer):
+//
+//	(a) r has head (V): every r' whose head version-id-term unifies with a
+//	    subterm of V is strictly lower. (Once a state is copied it must not
+//	    change any further.)
+//	(b) r has a positive body atom with version-id-term V: every r' whose
+//	    head unifies with a subterm of V is at most as high.
+//	(c) as (b) for negated body atoms, but strictly lower.
+//	(d) r has a body atom with version-id-term del(V) (resp. mod(V)):
+//	    every r' whose head is del(V') (resp. mod(V')) with V and V'
+//	    unifiable is strictly lower. (Delete/modify shrink states; their
+//	    observers must run after them.)
+//
+// Unification is sorted (package unify): variables denote OIDs only.
+//
+// Interpretation note for (d): the producer side reads "whose head contains
+// a version-id-term del(V')". We take both sides at the outermost functor
+// of the respective version-id-term. This is the reading under which the
+// paper's own examples receive exactly the stratifications the paper
+// states; the inner-subterm hazards are covered by condition (a) on the
+// producers of the enclosing versions.
+package strata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"verlog/internal/term"
+	"verlog/internal/unify"
+)
+
+// Cond identifies which stratification condition induced an edge.
+type Cond byte
+
+// The four conditions of Section 4.
+const (
+	CondA Cond = 'a'
+	CondB Cond = 'b'
+	CondC Cond = 'c'
+	CondD Cond = 'd'
+)
+
+// Edge is one precedence constraint: stratum(From) <= stratum(To), strictly
+// when Strict.
+type Edge struct {
+	From   int // producer rule index
+	To     int // observer rule index
+	Strict bool
+	Cond   Cond
+}
+
+// Assignment is a computed stratification.
+type Assignment struct {
+	// Level holds the 0-based stratum of each rule.
+	Level []int
+	// Strata lists rule indexes per stratum, in rule order.
+	Strata [][]int
+	// Edges holds the full constraint set, for diagnostics.
+	Edges []Edge
+}
+
+// NumStrata returns the number of strata.
+func (a *Assignment) NumStrata() int { return len(a.Strata) }
+
+// String renders the strata as "{rule1, rule2}; {rule3}" using labels.
+func (a *Assignment) Format(labels []string) string {
+	var b strings.Builder
+	for i, s := range a.Strata {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteByte('{')
+		for j, r := range s {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(labels[r])
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// NotStratifiableError reports a cycle through a strict constraint.
+type NotStratifiableError struct {
+	// Cycle holds rule indexes forming a strongly connected component that
+	// contains a strict edge.
+	Cycle []int
+	// Strict is one strict edge inside the component.
+	Strict Edge
+	Labels []string
+}
+
+func (e *NotStratifiableError) Error() string {
+	names := make([]string, len(e.Cycle))
+	for i, r := range e.Cycle {
+		names[i] = e.Labels[r]
+	}
+	return fmt.Sprintf(
+		"strata: program is not stratifiable: rules {%s} are mutually recursive but condition (%c) requires %s strictly below %s",
+		strings.Join(names, ", "), e.Strict.Cond, e.Labels[e.Strict.From], e.Labels[e.Strict.To])
+}
+
+// bodyVID is a version-id-term occurring in a rule body with its polarity.
+type bodyVID struct {
+	v   term.VersionID
+	neg bool
+}
+
+// headVID returns the head's version-id-term with [V] replaced by (V).
+func headVID(r term.Rule) term.VersionID { return r.Head.Target() }
+
+// bodyVIDs returns the version-id-terms of all body atoms (update-terms
+// with [V] replaced by (V)); built-ins contribute none.
+func bodyVIDs(r term.Rule) []bodyVID {
+	var out []bodyVID
+	for _, l := range r.Body {
+		switch a := l.Atom.(type) {
+		case term.VersionAtom:
+			out = append(out, bodyVID{v: a.V, neg: l.Neg})
+		case term.UpdateAtom:
+			out = append(out, bodyVID{v: a.Target(), neg: l.Neg})
+		}
+	}
+	return out
+}
+
+// Stratify computes a stratification of p fulfilling conditions (a)-(d),
+// or reports that none exists.
+func Stratify(p *term.Program) (*Assignment, error) {
+	n := len(p.Rules)
+	heads := make([]term.VersionID, n)
+	for i, r := range p.Rules {
+		heads[i] = headVID(r)
+	}
+
+	type edgeKey struct {
+		from, to int
+		strict   bool
+		cond     Cond
+	}
+	seen := map[edgeKey]bool{}
+	var edges []Edge
+	add := func(from, to int, strict bool, cond Cond) {
+		k := edgeKey{from, to, strict, cond}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		edges = append(edges, Edge{From: from, To: to, Strict: strict, Cond: cond})
+	}
+
+	for to, r := range p.Rules {
+		// (a): producers of any subterm of the head's V strictly below.
+		for _, sub := range r.Head.V.Subterms() {
+			for from := range p.Rules {
+				if unify.VersionIDs(heads[from], sub) {
+					add(from, to, true, CondA)
+				}
+			}
+		}
+		for _, bv := range bodyVIDs(r) {
+			// (b)/(c): producers of any subterm of a body VID.
+			for _, sub := range bv.v.Subterms() {
+				for from := range p.Rules {
+					if unify.VersionIDs(heads[from], sub) {
+						add(from, to, bv.neg, condBC(bv.neg))
+					}
+				}
+			}
+			// (d): del/mod producers of the version the body VID results
+			// from, matched at the outermost functor.
+			outer := bv.v.Path.Outer()
+			if outer != term.Del && outer != term.Mod {
+				continue
+			}
+			inner := term.VersionID{Base: bv.v.Base, Path: bv.v.Path[:bv.v.Path.Len()-1]}
+			for from := range p.Rules {
+				if heads[from].Path.Outer() != outer {
+					continue
+				}
+				hInner := term.VersionID{Base: heads[from].Base, Path: heads[from].Path[:heads[from].Path.Len()-1]}
+				if unify.VersionIDs(hInner, inner) {
+					add(from, to, true, CondD)
+				}
+			}
+		}
+	}
+
+	return Solve(n, edges, p.RuleLabels())
+}
+
+func condBC(neg bool) Cond {
+	if neg {
+		return CondC
+	}
+	return CondB
+}
+
+// Solve finds minimal stratum levels satisfying a constraint-edge set over
+// n rules, or reports a strict edge inside a strongly connected component.
+// It is exported so that other stratified fragments (e.g. package derived)
+// can reuse the solver with their own edge construction.
+func Solve(n int, edges []Edge, labels []string) (*Assignment, error) {
+	// Tarjan SCC over all edges.
+	adj := make([][]int, n)
+	for i, e := range edges {
+		adj[e.From] = append(adj[e.From], i)
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var counter, ncomp int
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, ei := range adj[v] {
+			w := edges[ei].To
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+
+	// Reject strict edges within a component.
+	for _, e := range edges {
+		if e.Strict && comp[e.From] == comp[e.To] {
+			var cycle []int
+			for v := 0; v < n; v++ {
+				if comp[v] == comp[e.From] {
+					cycle = append(cycle, v)
+				}
+			}
+			return nil, &NotStratifiableError{Cycle: cycle, Strict: e, Labels: labels}
+		}
+	}
+
+	// Longest-path levels on the condensation. Tarjan numbers components in
+	// reverse topological order: every edge goes from a higher component id
+	// to a lower or equal one, so iterating component ids downward is a
+	// topological order of the condensation.
+	compLevel := make([]int, ncomp)
+	type cedge struct {
+		to     int
+		strict bool
+	}
+	cadj := make([][]cedge, ncomp)
+	for _, e := range edges {
+		if comp[e.From] != comp[e.To] {
+			cadj[comp[e.From]] = append(cadj[comp[e.From]], cedge{to: comp[e.To], strict: e.Strict})
+		}
+	}
+	for c := ncomp - 1; c >= 0; c-- {
+		for _, e := range cadj[c] {
+			need := compLevel[c]
+			if e.strict {
+				need++
+			}
+			if compLevel[e.to] < need {
+				compLevel[e.to] = need
+			}
+		}
+	}
+
+	a := &Assignment{Level: make([]int, n), Edges: edges}
+	maxLevel := 0
+	for v := 0; v < n; v++ {
+		a.Level[v] = compLevel[comp[v]]
+		if a.Level[v] > maxLevel {
+			maxLevel = a.Level[v]
+		}
+	}
+	// Compact level numbers (they are already dense by construction of
+	// longest paths, but guard against gaps).
+	used := map[int]bool{}
+	for _, l := range a.Level {
+		used[l] = true
+	}
+	var levels []int
+	for l := range used {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	remap := map[int]int{}
+	for i, l := range levels {
+		remap[l] = i
+	}
+	for v := range a.Level {
+		a.Level[v] = remap[a.Level[v]]
+	}
+	a.Strata = make([][]int, len(levels))
+	for v := 0; v < n; v++ {
+		a.Strata[a.Level[v]] = append(a.Strata[a.Level[v]], v)
+	}
+	return a, nil
+}

@@ -1,0 +1,182 @@
+package term
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExistsMethod is the reserved system method of Section 3: every object o of
+// the input object base carries o.exists -> o, the method survives every
+// update (delete-all skips it, copies propagate it), and it may not occur in
+// rule heads. It is what keeps fully-deleted versions addressable.
+const ExistsMethod = "exists"
+
+// MethodApp is a method application m@A1,...,Ak -> R with k >= 0 arguments.
+// Arguments and the result are object-id-terms: the paper allows only OIDs,
+// never VIDs, on argument and result positions.
+type MethodApp struct {
+	Method string
+	Args   []ObjTerm
+	Result ObjTerm
+}
+
+// Ground reports whether every argument and the result are OIDs.
+func (m MethodApp) Ground() bool {
+	for _, a := range m.Args {
+		if !IsGround(a) {
+			return false
+		}
+	}
+	return IsGround(m.Result)
+}
+
+// String renders "m@a1,...,ak -> r".
+func (m MethodApp) String() string {
+	var b strings.Builder
+	b.WriteString(m.Method)
+	for i, a := range m.Args {
+		if i == 0 {
+			b.WriteByte('@')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(" -> ")
+	b.WriteString(m.Result.String())
+	return b.String()
+}
+
+// argsString renders only the "@a1,...,ak" part (empty for k = 0).
+func argsString(args []ObjTerm) string {
+	if len(args) == 0 {
+		return ""
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return "@" + strings.Join(parts, ",")
+}
+
+// Atom is a version-term, an update-term, or a built-in comparison.
+type Atom interface {
+	fmt.Stringer
+	isAtom()
+}
+
+// VersionAtom is a version-term V.m@A1,...,Ak -> R: it asks whether the
+// version denoted by V has the given property (Section 2.1).
+type VersionAtom struct {
+	V   VersionID
+	App MethodApp
+}
+
+func (VersionAtom) isAtom() {}
+
+func (a VersionAtom) String() string {
+	return a.V.String() + "." + a.App.String()
+}
+
+// UpdateAtom is an update-term: ins[V].m@Args -> R, del[V].m@Args -> R,
+// mod[V].m@Args -> (R, R'), or the delete-all shorthand del[V]. of
+// Section 2.3. It expresses a transition from the state of V to the state
+// of kind(V).
+type UpdateAtom struct {
+	Kind UpdateKind
+	V    VersionID
+	// App holds the method application; for Mod, App.Result is the old
+	// result and NewResult the new one. Unused when All is set.
+	App MethodApp
+	// NewResult is R' of a modify; nil otherwise.
+	NewResult ObjTerm
+	// All marks the delete-all form del[V]. (Kind must be Del).
+	All bool
+}
+
+func (UpdateAtom) isAtom() {}
+
+// Target returns the version-id-term denoting the version that results from
+// the update, i.e. kind(V). This is the "[V] replaced by (V)" reading used
+// by the stratification conditions and by body-position truth.
+func (a UpdateAtom) Target() VersionID { return a.V.Push(a.Kind) }
+
+func (a UpdateAtom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Kind.String())
+	b.WriteByte('[')
+	b.WriteString(a.V.String())
+	b.WriteByte(']')
+	b.WriteByte('.')
+	if a.All {
+		b.WriteByte('*')
+		return b.String()
+	}
+	b.WriteString(a.App.Method)
+	b.WriteString(argsString(a.App.Args))
+	b.WriteString(" -> ")
+	if a.Kind == Mod {
+		fmt.Fprintf(&b, "(%s, %s)", a.App.Result, a.NewResult)
+	} else {
+		b.WriteString(a.App.Result.String())
+	}
+	return b.String()
+}
+
+// CmpOp is a built-in comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota // =
+	OpNe              // !=
+	OpLt              // <
+	OpLe              // <=
+	OpGt              // >
+	OpGe              // >=
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(o))
+	}
+}
+
+// BuiltinAtom is an arithmetic comparison between two expressions, e.g.
+// S' = S*1.1 + 200 or SE > SB.
+type BuiltinAtom struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+func (BuiltinAtom) isAtom() {}
+
+func (a BuiltinAtom) String() string {
+	return a.L.String() + " " + a.Op.String() + " " + a.R.String()
+}
+
+// Literal is a possibly negated atom.
+type Literal struct {
+	Neg  bool
+	Atom Atom
+}
+
+func (l Literal) String() string {
+	if l.Neg {
+		return "!" + l.Atom.String()
+	}
+	return l.Atom.String()
+}

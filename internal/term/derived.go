@@ -1,0 +1,102 @@
+package term
+
+import "strings"
+
+// DerivedRule is a query-only rule V.m@Args -> R <- Body: it derives
+// method applications instead of performing updates. Derived methods are
+// the generalization Section 6 of the paper leaves as future work ("we do
+// not see any principal problems"); verlog ships them as a documented
+// extension. Derived rules never modify the stored object base — they are
+// evaluated on demand into a virtual extension (package derived).
+type DerivedRule struct {
+	Head VersionAtom
+	Body []Literal
+	// Name is an optional label used in diagnostics.
+	Name string
+	// Line is the 1-based source line, 0 if synthetic.
+	Line int
+}
+
+// Label returns the rule's name or a positional fallback.
+func (r DerivedRule) Label(index int) string {
+	u := Rule{Name: r.Name, Line: r.Line}
+	return u.Label(index)
+}
+
+// String renders the rule in concrete syntax.
+func (r DerivedRule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Head.String())
+	if len(r.Body) > 0 {
+		b.WriteString(" <- ")
+		for i, l := range r.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(l.String())
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Vars returns the set of variables occurring anywhere in the rule.
+func (r DerivedRule) Vars() map[Var]bool {
+	u := Rule{Body: append([]Literal{{Atom: r.Head}}, r.Body...)}
+	// Rule.Vars ignores head; feed the head as a pseudo body literal.
+	u.Head = UpdateAtom{Kind: Ins, V: NewVersionID(Sym("_")), App: MethodApp{Method: "_", Result: Sym("_")}}
+	return u.Vars()
+}
+
+// Constraint is an integrity constraint in denial form: a conjunction of
+// body literals that must have no answers in a consistent object base.
+// Constraints guard repository commits (package repository): an update
+// whose result satisfies a denial is rejected.
+type Constraint struct {
+	Name string
+	Body []Literal
+	Line int
+}
+
+// Label returns the constraint's name or a positional fallback.
+func (c Constraint) Label(index int) string {
+	u := Rule{Name: c.Name, Line: c.Line}
+	return u.Label(index)
+}
+
+// String renders the constraint in concrete syntax.
+func (c Constraint) String() string {
+	var b strings.Builder
+	for i, l := range c.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// DerivedProgram is a set of derived rules.
+type DerivedProgram struct {
+	Rules []DerivedRule
+}
+
+// String renders the program, one rule per line.
+func (p *DerivedProgram) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RuleLabels returns a label per rule.
+func (p *DerivedProgram) RuleLabels() []string {
+	out := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		out[i] = r.Label(i)
+	}
+	return out
+}

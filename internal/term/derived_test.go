@@ -1,0 +1,67 @@
+package term
+
+import "testing"
+
+func TestDerivedRuleBasics(t *testing.T) {
+	r := DerivedRule{
+		Head: VersionAtom{
+			V:   NewVersionID(Var("E")),
+			App: MethodApp{Method: "rank", Result: Sym("senior")},
+		},
+		Body: []Literal{
+			{Atom: VersionAtom{V: NewVersionID(Var("E")), App: MethodApp{Method: "sal", Result: Var("S")}}},
+			{Atom: BuiltinAtom{Op: OpGt, L: VarExpr{V: "S"}, R: ConstExpr{OID: Int(4000)}}},
+		},
+		Name: "senior",
+	}
+	if got := r.String(); got != "E.rank -> senior <- E.sal -> S, S > 4000." {
+		t.Errorf("String = %q", got)
+	}
+	vars := r.Vars()
+	if !vars["E"] || !vars["S"] || len(vars) != 2 {
+		t.Errorf("Vars = %v", vars)
+	}
+	if r.Label(0) != "senior" || (DerivedRule{}).Label(1) != "rule#2" {
+		t.Errorf("labels broken")
+	}
+	p := &DerivedProgram{Rules: []DerivedRule{r, {}}}
+	labels := p.RuleLabels()
+	if labels[0] != "senior" || labels[1] != "rule#2" {
+		t.Errorf("RuleLabels = %v", labels)
+	}
+}
+
+func TestDerivedRuleFactForm(t *testing.T) {
+	r := DerivedRule{Head: VersionAtom{
+		V:   NewVersionID(Sym("x")),
+		App: MethodApp{Method: "m", Result: Sym("a")},
+	}}
+	if got := r.String(); got != "x.m -> a." {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConstraintBasics(t *testing.T) {
+	c := Constraint{
+		Name: "nonneg",
+		Body: []Literal{
+			{Atom: VersionAtom{V: NewVersionID(Var("E")), App: MethodApp{Method: "sal", Result: Var("S")}}},
+			{Atom: BuiltinAtom{Op: OpLt, L: VarExpr{V: "S"}, R: ConstExpr{OID: Int(0)}}},
+		},
+	}
+	if got := c.String(); got != "E.sal -> S, S < 0." {
+		t.Errorf("String = %q", got)
+	}
+	if c.Label(3) != "nonneg" || (Constraint{Line: 9}).Label(0) != "rule@line9" {
+		t.Errorf("labels broken")
+	}
+}
+
+func TestDerivedProgramString(t *testing.T) {
+	p := &DerivedProgram{Rules: []DerivedRule{
+		{Head: VersionAtom{V: NewVersionID(Sym("x")), App: MethodApp{Method: "m", Result: Sym("a")}}},
+	}}
+	if got := p.String(); got != "x.m -> a.\n" {
+		t.Errorf("String = %q", got)
+	}
+}

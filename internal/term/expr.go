@@ -1,0 +1,105 @@
+package term
+
+import "fmt"
+
+// ArithOp is a built-in arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota // +
+	OpSub                // -
+	OpMul                // *
+	OpDiv                // /
+)
+
+func (o ArithOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("ArithOp(%d)", uint8(o))
+	}
+}
+
+func (o ArithOp) precedence() int {
+	switch o {
+	case OpMul, OpDiv:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Expr is an arithmetic expression over OIDs and variables. Expressions
+// occur only inside built-in atoms.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// ConstExpr is a literal OID (a number for arithmetic, or a symbol/string
+// for equality tests).
+type ConstExpr struct{ OID OID }
+
+// VarExpr is a variable occurrence.
+type VarExpr struct{ V Var }
+
+// BinExpr is a binary arithmetic operation.
+type BinExpr struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// NegExpr is unary minus.
+type NegExpr struct{ E Expr }
+
+func (ConstExpr) isExpr() {}
+func (VarExpr) isExpr()   {}
+func (BinExpr) isExpr()   {}
+func (NegExpr) isExpr()   {}
+
+func (e ConstExpr) String() string { return e.OID.String() }
+func (e VarExpr) String() string   { return string(e.V) }
+
+func (e NegExpr) String() string { return "-" + parenthesize(e.E, 3) }
+
+func (e BinExpr) String() string {
+	// Render with minimal parentheses: parenthesize a child whose top-level
+	// operator binds less tightly than this one (or equally, on the right,
+	// for the non-associative - and /).
+	l := parenthesize(e.L, e.Op.precedence())
+	rp := e.Op.precedence()
+	if e.Op == OpSub || e.Op == OpDiv {
+		rp++
+	}
+	r := parenthesize(e.R, rp)
+	return l + " " + e.Op.String() + " " + r
+}
+
+func parenthesize(e Expr, min int) string {
+	if b, ok := e.(BinExpr); ok && b.Op.precedence() < min {
+		return "(" + b.String() + ")"
+	}
+	return e.String()
+}
+
+// ExprVars appends the variables occurring in e to dst.
+func ExprVars(e Expr, dst []Var) []Var {
+	switch x := e.(type) {
+	case VarExpr:
+		return append(dst, x.V)
+	case BinExpr:
+		return ExprVars(x.R, ExprVars(x.L, dst))
+	case NegExpr:
+		return ExprVars(x.E, dst)
+	default:
+		return dst
+	}
+}

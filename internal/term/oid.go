@@ -1,0 +1,144 @@
+// Package term defines the abstract syntax of the verlog update language:
+// object identities (OIDs), variables, version identities (VIDs), method
+// applications, version- and update-terms, built-in atoms, literals, rules
+// and programs. It follows Section 2.1 of Kramer/Lausen/Saake (VLDB 1992).
+//
+// Design notes:
+//
+//   - Values are modelled as specific OIDs, exactly as in the paper. An OID
+//     is either a symbol (henry, empl), an exact rational number (250,
+//     11/10), or a string. Numbers are exact rationals so that programs such
+//     as the paper's salary update (S' = S*1.1 + 200) reproduce the paper's
+//     results (4600, not 4600.000000000001).
+//
+//   - Version-id-terms are always chains of the unary function symbols ins,
+//     del, mod applied to an object-id-term. They are therefore represented
+//     as a base term plus a Path: a byte string of update kinds, innermost
+//     first. Subterm testing becomes prefix testing, and ground VIDs are
+//     comparable values usable as map keys.
+package term
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sort classifies an OID. The paper does not type values; sorts exist only
+// so that the built-in arithmetic knows which OIDs are numbers.
+type Sort uint8
+
+// OID sorts.
+const (
+	SortSym Sort = iota // plain symbol such as henry or empl
+	SortNum             // exact rational number
+	SortStr             // quoted string value
+)
+
+func (s Sort) String() string {
+	switch s {
+	case SortSym:
+		return "sym"
+	case SortNum:
+		return "num"
+	case SortStr:
+		return "str"
+	default:
+		return fmt.Sprintf("Sort(%d)", uint8(s))
+	}
+}
+
+// OID is an object identity (an element of the set O of the paper).
+// The zero value is the empty symbol and is not a valid OID.
+// OID is a comparable value type and may be used as a map key.
+type OID struct {
+	sort Sort
+	sym  string // payload for SortSym and SortStr
+	num  Rat    // payload for SortNum
+}
+
+// Sym returns the symbol OID with the given name.
+func Sym(name string) OID { return OID{sort: SortSym, sym: name} }
+
+// Str returns the string-valued OID with the given contents.
+func Str(s string) OID { return OID{sort: SortStr, sym: s} }
+
+// Int returns the numeric OID for the given integer.
+func Int(i int64) OID { return OID{sort: SortNum, num: RatInt(i)} }
+
+// Num returns the numeric OID for the rational num/den. It panics if den is
+// zero.
+func Num(num, den int64) OID { return OID{sort: SortNum, num: MakeRat(num, den)} }
+
+// FromRat returns the numeric OID holding r.
+func FromRat(r Rat) OID { return OID{sort: SortNum, num: r} }
+
+// Sort reports the sort of the OID.
+func (o OID) Sort() Sort { return o.sort }
+
+// IsNum reports whether the OID is a number.
+func (o OID) IsNum() bool { return o.sort == SortNum }
+
+// Rat returns the numeric value of the OID. It panics unless IsNum.
+func (o OID) Rat() Rat {
+	if o.sort != SortNum {
+		panic("term: Rat on non-numeric OID " + o.String())
+	}
+	return o.num
+}
+
+// Name returns the symbol name or string payload. It panics on numbers.
+func (o OID) Name() string {
+	if o.sort == SortNum {
+		panic("term: Name on numeric OID " + o.String())
+	}
+	return o.sym
+}
+
+// IsZero reports whether o is the (invalid) zero OID.
+func (o OID) IsZero() bool { return o == OID{} }
+
+// String renders the OID in the concrete syntax of the language.
+func (o OID) String() string {
+	switch o.sort {
+	case SortSym:
+		return o.sym
+	case SortNum:
+		return o.num.String()
+	case SortStr:
+		return strconv.Quote(o.sym)
+	default:
+		return fmt.Sprintf("OID(%d,%q)", o.sort, o.sym)
+	}
+}
+
+// Compare orders OIDs totally: numbers first (by value), then symbols, then
+// strings (both lexicographically). The order is used only for deterministic
+// output, never by the semantics.
+func (o OID) Compare(p OID) int {
+	if o.sort != p.sort {
+		if sortRank(o.sort) < sortRank(p.sort) {
+			return -1
+		}
+		return 1
+	}
+	switch o.sort {
+	case SortNum:
+		return o.num.Compare(p.num)
+	default:
+		return strings.Compare(o.sym, p.sym)
+	}
+}
+
+// sortRank orders the sorts for Compare: numbers, then symbols, then
+// strings.
+func sortRank(s Sort) int {
+	switch s {
+	case SortNum:
+		return 0
+	case SortSym:
+		return 1
+	default:
+		return 2
+	}
+}

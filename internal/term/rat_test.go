@@ -1,0 +1,253 @@
+package term
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Rat
+		want string
+	}{
+		{"int", RatInt(42), "42"},
+		{"neg int", RatInt(-7), "-7"},
+		{"zero", RatInt(0), "0"},
+		{"half", MakeRat(1, 2), "0.5"},
+		{"tenth", MakeRat(1, 10), "0.1"},
+		{"eleven tenths", MakeRat(11, 10), "1.1"},
+		{"reduced", MakeRat(4, 8), "0.5"},
+		{"neg den", MakeRat(1, -2), "-0.5"},
+		{"third", MakeRat(1, 3), "1r3"},
+		{"neg third", MakeRat(-2, 6), "-1r3"},
+		{"25 hundredths", MakeRat(25, 100), "0.25"},
+		{"trailing zeros trimmed", MakeRat(1500, 1000), "1.5"},
+	}
+	for _, c := range cases {
+		if got := c.got.String(); got != c.want {
+			t.Errorf("%s: String() = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRatArithmetic(t *testing.T) {
+	cases := []struct {
+		got  Rat
+		want Rat
+	}{
+		{RatInt(4000).Mul(MakeRat(11, 10)).Add(RatInt(200)), RatInt(4600)},
+		{RatInt(250).Mul(MakeRat(11, 10)), RatInt(275)},
+		{MakeRat(1, 3).Add(MakeRat(1, 6)), MakeRat(1, 2)},
+		{MakeRat(1, 3).Sub(MakeRat(1, 3)), RatInt(0)},
+		{MakeRat(3, 4).Mul(MakeRat(4, 3)), RatInt(1)},
+		{RatInt(-5).Neg(), RatInt(5)},
+		{MakeRat(7, 2).Sub(RatInt(4)), MakeRat(-1, 2)},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: got %s, want %s", i, c.got, c.want)
+		}
+	}
+	q, ok := RatInt(7).Div(RatInt(2))
+	if !ok || q != MakeRat(7, 2) {
+		t.Errorf("7/2 = %v, %v", q, ok)
+	}
+	if _, ok := RatInt(1).Div(RatInt(0)); ok {
+		t.Errorf("division by zero succeeded")
+	}
+}
+
+func TestRatZeroValueBehavesAsZero(t *testing.T) {
+	var z Rat
+	if z.String() != "0" || !z.IsInt() || z.Int() != 0 {
+		t.Errorf("zero Rat misbehaves: %q", z.String())
+	}
+	if got := z.Add(RatInt(3)); got != RatInt(3) {
+		t.Errorf("0 + 3 = %s", got)
+	}
+	if z.Compare(RatInt(0)) != 0 {
+		t.Errorf("zero Rat != 0")
+	}
+}
+
+func TestRatCompare(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		want int
+	}{
+		{RatInt(1), RatInt(2), -1},
+		{RatInt(2), RatInt(1), 1},
+		{MakeRat(1, 3), MakeRat(1, 3), 0},
+		{MakeRat(1, 3), MakeRat(1, 2), -1},
+		{RatInt(-1), RatInt(1), -1},
+		{MakeRat(-1, 2), MakeRat(-1, 3), -1},
+		// Values whose cross products overflow int64: the comparison must
+		// still be exact (it runs in 128 bits).
+		{MakeRat(math.MaxInt64, 2), MakeRat(math.MaxInt64-1, 2), 1},
+		{MakeRat(math.MaxInt64, 3), MakeRat(math.MaxInt64, 2), -1},
+		{MakeRat(-math.MaxInt64, 2), MakeRat(math.MaxInt64, 2), -1},
+	}
+	for i, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("case %d: Compare(%s, %s) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("case %d: Compare(%s, %s) = %d, want %d", i, c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestParseRat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Rat
+	}{
+		{"0", RatInt(0)},
+		{"250", RatInt(250)},
+		{"-3", RatInt(-3)},
+		{"1.1", MakeRat(11, 10)},
+		{"275.5", MakeRat(551, 2)},
+		{"-0.5", MakeRat(-1, 2)},
+		{"0.25", MakeRat(1, 4)},
+		{"10.00", RatInt(10)},
+	}
+	for _, c := range cases {
+		got, err := ParseRat(c.in)
+		if err != nil {
+			t.Errorf("ParseRat(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseRat(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1.", "1.2.3", "1.-2", ".", "--2"} {
+		if _, err := ParseRat(bad); err == nil {
+			t.Errorf("ParseRat(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseRatStringRoundTrip(t *testing.T) {
+	// String output of any rational with power-of-ten-compatible
+	// denominator parses back to the same value.
+	f := func(n int64, dExp uint8) bool {
+		den := int64(1)
+		for i := uint8(0); i < dExp%6; i++ {
+			den *= 10
+		}
+		n = n % 1_000_000_000
+		r := MakeRat(n, den)
+		back, err := ParseRat(r.String())
+		return err == nil && back == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatFieldLaws(t *testing.T) {
+	// Commutativity, associativity and distributivity on a bounded domain
+	// (values stay well inside int64).
+	small := func(a int32, dExp uint8) Rat {
+		den := int64(1)
+		for i := uint8(0); i < dExp%3; i++ {
+			den *= 10
+		}
+		return MakeRat(int64(a%1000), den)
+	}
+	comm := func(a1 int32, d1 uint8, a2 int32, d2 uint8) bool {
+		x, y := small(a1, d1), small(a2, d2)
+		return x.Add(y) == y.Add(x) && x.Mul(y) == y.Mul(x)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	assoc := func(a1 int32, d1 uint8, a2 int32, d2 uint8, a3 int32, d3 uint8) bool {
+		x, y, z := small(a1, d1), small(a2, d2), small(a3, d3)
+		return x.Add(y).Add(z) == x.Add(y.Add(z)) && x.Mul(y).Mul(z) == x.Mul(y.Mul(z))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+	distr := func(a1 int32, d1 uint8, a2 int32, d2 uint8, a3 int32, d3 uint8) bool {
+		x, y, z := small(a1, d1), small(a2, d2), small(a3, d3)
+		return x.Mul(y.Add(z)) == x.Mul(y).Add(x.Mul(z))
+	}
+	if err := quick.Check(distr, nil); err != nil {
+		t.Errorf("distributivity: %v", err)
+	}
+	subInverse := func(a1 int32, d1 uint8, a2 int32, d2 uint8) bool {
+		x, y := small(a1, d1), small(a2, d2)
+		return x.Sub(y).Add(y) == x
+	}
+	if err := quick.Check(subInverse, nil); err != nil {
+		t.Errorf("sub/add inverse: %v", err)
+	}
+}
+
+func TestRatOverflowDetected(t *testing.T) {
+	check := func(name string, fn func()) {
+		t.Helper()
+		var err error
+		func() {
+			defer RecoverOverflow(&err)
+			fn()
+		}()
+		if !errors.Is(err, ErrRatOverflow) {
+			t.Errorf("%s: err = %v, want ErrRatOverflow", name, err)
+		}
+	}
+	big := RatInt(math.MaxInt64 / 2)
+	check("add", func() { big.Add(big).Add(big) })
+	check("mul", func() { big.Mul(RatInt(4)) })
+	check("deep denominator", func() {
+		r := MakeRat(11, 10)
+		for i := 0; i < 64; i++ {
+			r = r.Mul(MakeRat(11, 10)).Add(RatInt(1))
+		}
+	})
+	check("div by min", func() { RatInt(1).Div(RatInt(math.MinInt64)) })
+}
+
+func TestRecoverOverflowRepanicsOthers(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Errorf("foreign panic was swallowed")
+		}
+	}()
+	var err error
+	defer RecoverOverflow(&err)
+	panic("boom")
+}
+
+func TestRatFloat(t *testing.T) {
+	if f := MakeRat(1, 2).Float(); f != 0.5 {
+		t.Errorf("Float = %v", f)
+	}
+	if !RatInt(3).IsInt() || RatInt(3).Int() != 3 {
+		t.Errorf("IsInt/Int broken")
+	}
+	if MakeRat(1, 2).IsInt() {
+		t.Errorf("1/2 reported as int")
+	}
+}
+
+func TestRationalLiteralRoundTrip(t *testing.T) {
+	cases := []Rat{MakeRat(652, 7), MakeRat(-1, 3), MakeRat(22, 7)}
+	for _, r := range cases {
+		back, err := ParseRat(r.String())
+		if err != nil || back != r {
+			t.Errorf("round trip %s: %v, %v", r, back, err)
+		}
+	}
+	if _, err := ParseRat("1r0"); err == nil {
+		t.Errorf("zero denominator accepted")
+	}
+	if _, err := ParseRat("r3"); err == nil {
+		t.Errorf("missing numerator accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package unify
+
+import "verlog/internal/term"
+
+// Trail records variable bindings so that backtracking search can undo
+// them instead of cloning the substitution at every branch point. The
+// evaluator binds through the trail while exploring one branch and rolls
+// back to a mark when the branch is exhausted; profiling showed per-branch
+// cloning dominated evaluation cost.
+type Trail struct {
+	vars []term.Var
+}
+
+// Mark returns the current trail position.
+func (t *Trail) Mark() int { return len(t.vars) }
+
+// Undo removes from s every binding recorded after mark.
+func (t *Trail) Undo(s Subst, mark int) {
+	for i := len(t.vars) - 1; i >= mark; i-- {
+		delete(s, t.vars[i])
+	}
+	t.vars = t.vars[:mark]
+}
+
+// Bind binds v to o in s, recording the binding. It reports false when v
+// is already bound to a different OID. A nil trail binds without
+// recording.
+func (t *Trail) Bind(s Subst, v term.Var, o term.OID) bool {
+	if bound, ok := s[v]; ok {
+		return bound == o
+	}
+	s[v] = o
+	if t != nil {
+		t.vars = append(t.vars, v)
+	}
+	return true
+}
+
+// MatchObj unifies pattern p with the ground OID o under s, recording any
+// new binding on the trail.
+func (t *Trail) MatchObj(s Subst, p term.ObjTerm, o term.OID) bool {
+	switch x := p.(type) {
+	case term.OID:
+		return x == o
+	case term.Var:
+		return t.Bind(s, x, o)
+	default:
+		return false
+	}
+}
+
+// MatchArgs unifies argument patterns with ground OIDs under s, recording
+// new bindings. On failure, bindings made so far remain recorded — callers
+// undo to their mark.
+func (t *Trail) MatchArgs(s Subst, pats []term.ObjTerm, args []term.OID) bool {
+	if len(pats) != len(args) {
+		return false
+	}
+	for i, p := range pats {
+		if !t.MatchObj(s, p, args[i]) {
+			return false
+		}
+	}
+	return true
+}

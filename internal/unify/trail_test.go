@@ -1,0 +1,83 @@
+package unify
+
+import (
+	"testing"
+
+	"verlog/internal/term"
+)
+
+func TestTrailBindAndUndo(t *testing.T) {
+	s := Subst{}
+	var tr Trail
+	m0 := tr.Mark()
+	if !tr.Bind(s, "X", term.Int(1)) {
+		t.Fatalf("bind failed")
+	}
+	m1 := tr.Mark()
+	if !tr.Bind(s, "Y", term.Int(2)) || !tr.Bind(s, "Z", term.Int(3)) {
+		t.Fatalf("binds failed")
+	}
+	if len(s) != 3 {
+		t.Fatalf("s = %v", s)
+	}
+	tr.Undo(s, m1)
+	if len(s) != 1 || s["X"] != term.Int(1) {
+		t.Errorf("partial undo: %v", s)
+	}
+	tr.Undo(s, m0)
+	if len(s) != 0 {
+		t.Errorf("full undo: %v", s)
+	}
+}
+
+func TestTrailBindConflict(t *testing.T) {
+	s := Subst{"X": term.Int(1)}
+	var tr Trail
+	if tr.Bind(s, "X", term.Int(2)) {
+		t.Errorf("conflicting bind succeeded")
+	}
+	if !tr.Bind(s, "X", term.Int(1)) {
+		t.Errorf("consistent bind failed")
+	}
+	// A consistent re-bind must not be recorded: undoing should not remove
+	// the pre-existing binding.
+	tr.Undo(s, 0)
+	if s["X"] != term.Int(1) {
+		t.Errorf("pre-existing binding removed by undo: %v", s)
+	}
+}
+
+func TestTrailNilBindsWithoutRecording(t *testing.T) {
+	s := Subst{}
+	var tr *Trail
+	if !tr.Bind(s, "X", term.Int(1)) {
+		t.Fatalf("nil-trail bind failed")
+	}
+	if s["X"] != term.Int(1) {
+		t.Errorf("binding lost")
+	}
+}
+
+func TestTrailMatchObjAndArgs(t *testing.T) {
+	s := Subst{}
+	var tr Trail
+	if !tr.MatchObj(s, term.Var("A"), term.Sym("x")) {
+		t.Fatalf("MatchObj var failed")
+	}
+	if !tr.MatchObj(s, term.Sym("k"), term.Sym("k")) || tr.MatchObj(s, term.Sym("k"), term.Sym("l")) {
+		t.Errorf("MatchObj ground broken")
+	}
+	mark := tr.Mark()
+	ok := tr.MatchArgs(s, []term.ObjTerm{term.Var("B"), term.Var("B")}, []term.OID{term.Int(1), term.Int(2)})
+	if ok {
+		t.Errorf("inconsistent MatchArgs succeeded")
+	}
+	// Partial binding of B is rolled back by the caller's Undo.
+	tr.Undo(s, mark)
+	if _, bound := s["B"]; bound {
+		t.Errorf("partial binding survived undo")
+	}
+	if s["A"] != term.Sym("x") {
+		t.Errorf("unrelated binding lost")
+	}
+}

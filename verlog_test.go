@@ -1,0 +1,127 @@
+package verlog_test
+
+import (
+	"strings"
+	"testing"
+
+	"verlog"
+)
+
+func TestPublicAPIFlow(t *testing.T) {
+	ob, err := verlog.ParseObjectBase(`
+phil.isa -> empl / pos -> mgr / sal -> 4000.
+bob.isa -> empl / boss -> phil / sal -> 4200.
+`)
+	if err != nil {
+		t.Fatalf("ParseObjectBase: %v", err)
+	}
+	prog, err := verlog.ParseProgram(`
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, !E.pos -> mgr, S' = S * 1.1.
+rule3: del[mod(E)].* <- mod(E).isa -> empl / boss -> B / sal -> SE, mod(B).isa -> empl / sal -> SB, SE > SB.
+rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[mod(E)].isa -> empl.
+`)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+
+	strat, err := verlog.Check(prog)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if strat.NumStrata() != 3 {
+		t.Errorf("NumStrata = %d", strat.NumStrata())
+	}
+
+	res, err := verlog.Apply(ob, prog, verlog.WithTrace())
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(res.Trace) != 6 {
+		t.Errorf("trace length = %d, want 6", len(res.Trace))
+	}
+	out := verlog.FormatObjectBase(res.Final)
+	for _, want := range []string{"phil.sal -> 4600.", "phil.isa -> hpe."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "bob") {
+		t.Errorf("bob should be fired:\n%s", out)
+	}
+
+	bindings, err := verlog.Query(res.Result, `mod(E).sal -> S, S > 4500.`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(bindings) != 2 {
+		t.Errorf("bindings = %v", bindings)
+	}
+}
+
+func TestPublicAPIDiff(t *testing.T) {
+	a, _ := verlog.ParseObjectBase(`x.m -> 1.`)
+	b, _ := verlog.ParseObjectBase(`x.m -> 2.`)
+	d := verlog.ComputeDiff(a, b)
+	if len(d.Added) != 1 || len(d.Removed) != 1 {
+		t.Errorf("diff = %+v", d)
+	}
+}
+
+func TestPublicAPIRepository(t *testing.T) {
+	dir := t.TempDir() + "/repo"
+	ob, _ := verlog.ParseObjectBase(`x.n -> 1.`)
+	repo, err := verlog.InitRepository(dir, ob)
+	if err != nil {
+		t.Fatalf("InitRepository: %v", err)
+	}
+	p, _ := verlog.ParseProgram(`r: mod[X].n -> (N, N') <- X.n -> N, N' = N + 1.`)
+	if _, err := repo.Apply(p); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	reopened, err := verlog.OpenRepository(dir)
+	if err != nil {
+		t.Fatalf("OpenRepository: %v", err)
+	}
+	head, err := reopened.Head()
+	if err != nil {
+		t.Fatalf("Head: %v", err)
+	}
+	got, err := verlog.Query(head, `x.n -> N.`)
+	if err != nil || len(got) != 1 || got[0].String() != "N=2" {
+		t.Errorf("head query = %v, %v", got, err)
+	}
+}
+
+func TestParseErrorsNameTheSource(t *testing.T) {
+	_, err := verlog.ParseProgramFile(`ins[X].m -> `, "broken.vlg")
+	if err == nil || !strings.Contains(err.Error(), "broken.vlg") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = verlog.ParseObjectBaseFile(`x.m -> .`, "ob.vlg")
+	if err == nil || !strings.Contains(err.Error(), "ob.vlg") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOIDConstructors(t *testing.T) {
+	if verlog.Sym("a").String() != "a" || verlog.Int(3).String() != "3" || verlog.Str("x").String() != `"x"` {
+		t.Errorf("constructors broken")
+	}
+	ob := verlog.NewObjectBase()
+	if ob.Size() != 0 {
+		t.Errorf("new base not empty")
+	}
+}
+
+func TestFormatProgramRoundTrip(t *testing.T) {
+	p, _ := verlog.ParseProgram(`r: ins[X].m -> a <- X.t -> 1, !X.skip -> yes.`)
+	text := verlog.FormatProgram(p)
+	p2, err := verlog.ParseProgram(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if verlog.FormatProgram(p2) != text {
+		t.Errorf("not canonical")
+	}
+}
