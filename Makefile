@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The gate: everything a change must pass before it lands.
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/bench/
+
+clean:
+	$(GO) clean ./...

@@ -9,31 +9,72 @@ package client
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 )
 
-// Client talks to one verlog server.
+// Defaults for the client's resilience knobs.
+const (
+	// DefaultTimeout bounds one HTTP attempt end to end (the server's
+	// write timeout is 5 minutes; applies can evaluate for a while).
+	DefaultTimeout = 2 * time.Minute
+	// DefaultRetries is how many times a transiently-failed request is
+	// retried after the first attempt.
+	DefaultRetries = 2
+	// DefaultBackoff is the wait before the first retry; it doubles per
+	// attempt.
+	DefaultBackoff = 250 * time.Millisecond
+)
+
+// Client talks to one verlog server. Requests that fail transiently
+// (connection errors, per-attempt timeouts, 429/502/503/504) are retried
+// with exponential backoff. Retrying Apply is safe because every Apply
+// call carries an Idempotency-Key the server deduplicates against the
+// journal: an update that did commit before the connection died is not
+// fired twice, the recorded result is replayed.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	retries int
+	backoff time.Duration
 }
 
 // Option configures a Client.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transports).
+// WithHTTPClient substitutes the underlying *http.Client (transports,
+// custom TLS, its Timeout replaces the default per-attempt timeout).
 func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithTimeout sets the per-attempt timeout (DefaultTimeout otherwise).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithRetry sets how many times a transient failure is retried and the
+// initial backoff, which doubles per attempt. retries = 0 disables
+// retrying.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+}
 
 // New returns a client for the server at baseURL (e.g.
 // "http://localhost:8487").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		http:    &http.Client{Timeout: DefaultTimeout},
+		retries: DefaultRetries,
+		backoff: DefaultBackoff,
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -50,7 +91,63 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("verlog server: %d: %s", e.StatusCode, e.Message)
 }
 
+// retryable reports whether an attempt's failure is worth retrying: any
+// transport-level error (the outer context is checked separately), plus
+// the overload/gateway statuses. Domain errors (4xx, plain 500) are not.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.StatusCode {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// newIdempotencyKey returns a fresh random key for one logical apply.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal; fall back to a
+		// key that disables deduplication rather than panicking.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
 func (c *Client) do(ctx context.Context, method, path, body string) ([]byte, error) {
+	return c.doKey(ctx, method, path, body, "")
+}
+
+// doKey issues one request with retries. idemKey, when non-empty, is sent
+// as the Idempotency-Key header on every attempt so the server can
+// deduplicate a retry of a request that actually committed.
+func (c *Client) doKey(ctx context.Context, method, path, body, idemKey string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, err := c.attempt(ctx, method, path, body, idemKey)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if attempt >= c.retries || !retryable(err) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		wait := c.backoff << attempt
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, lastErr
+		case <-t.C:
+		}
+	}
+}
+
+func (c *Client) attempt(ctx context.Context, method, path, body, idemKey string) ([]byte, error) {
 	var rdr io.Reader
 	if body != "" {
 		rdr = strings.NewReader(body)
@@ -61,6 +158,9 @@ func (c *Client) do(ctx context.Context, method, path, body string) ([]byte, err
 	}
 	if body != "" {
 		req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -116,18 +216,31 @@ func (c *Client) Log(ctx context.Context) ([]LogEntry, error) {
 	return out, json.Unmarshal(b, &out)
 }
 
-// ApplyResult reports a committed update.
+// ApplyResult reports a committed update. Replayed is true when the
+// server recognized the request's Idempotency-Key and returned the
+// already-committed entry instead of firing the update again.
 type ApplyResult struct {
-	State  int   `json:"state"`
-	Fired  int   `json:"fired"`
-	Strata int   `json:"strata"`
-	Facts  int   `json:"facts"`
-	Iters  []int `json:"iterations"`
+	State    int   `json:"state"`
+	Fired    int   `json:"fired"`
+	Strata   int   `json:"strata"`
+	Facts    int   `json:"facts"`
+	Iters    []int `json:"iterations"`
+	Replayed bool  `json:"replayed"`
 }
 
-// Apply sends an update-program (concrete syntax) and commits it.
+// Apply sends an update-program (concrete syntax) and commits it. A fresh
+// Idempotency-Key is generated for the call so that automatic retries of
+// a dropped connection cannot commit the update twice.
 func (c *Client) Apply(ctx context.Context, program string) (*ApplyResult, error) {
-	b, err := c.do(ctx, http.MethodPost, "/v1/apply", program)
+	return c.ApplyWithKey(ctx, program, newIdempotencyKey())
+}
+
+// ApplyWithKey is Apply with a caller-chosen idempotency key: two applies
+// carrying the same key commit one journal entry, and the second returns
+// the recorded result with Replayed set. An empty key disables
+// deduplication.
+func (c *Client) ApplyWithKey(ctx context.Context, program, key string) (*ApplyResult, error) {
+	b, err := c.doKey(ctx, http.MethodPost, "/v1/apply", program, key)
 	if err != nil {
 		return nil, err
 	}

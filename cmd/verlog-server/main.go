@@ -52,6 +52,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("verlog-server: %v", err)
 	}
+	if rec := repo.Recovery(); rec.Clean() {
+		log.Printf("opened repository %s: clean, %d journal entries", *dir, rec.Entries)
+	} else {
+		log.Printf("opened repository %s: RECOVERED — %s", *dir, rec)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(repo),

@@ -1,0 +1,284 @@
+package fsio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	gofs "io/fs"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error every operation returns once an injected crash
+// has fired. Code under test must propagate it (wrapped is fine); the
+// crash sweep uses errors.Is to tell an injected crash from a real bug.
+var ErrInjected = errors.New("fsio: injected crash (simulated power loss)")
+
+// Fault is a filesystem that dies at a chosen operation, modeling power
+// loss. It operates on real paths (so a test can reopen the directory
+// with OS afterwards) with write-through semantics plus durability
+// tracking: for every file it has written, it remembers how many leading
+// bytes were made durable by Sync. When the failpoint fires, each tracked
+// file is truncated back to its durable prefix — unsynced data is lost
+// exactly as it would be on a real power cut — and all later operations
+// return ErrInjected.
+//
+// Simplifications versus real hardware: renames and removes become
+// durable immediately (the repository nevertheless issues the SyncDir
+// calls a real crash would need), and a torn write persists the first
+// half of the dying write along with earlier unsynced bytes of the same
+// file, modeling an interrupted flush.
+type Fault struct {
+	mu      sync.Mutex
+	count   int
+	failAt  int
+	tear    bool
+	crashed bool
+	durable map[string]int64
+}
+
+// NewFault returns a fault filesystem with no failpoint armed.
+func NewFault() *Fault { return &Fault{durable: make(map[string]int64)} }
+
+// FailAt arms the failpoint: the n-th durable operation (1-based) crashes
+// the filesystem. With tear set, a crash landing on a write persists half
+// of that write, producing a torn record. n <= 0 disarms.
+func (f *Fault) FailAt(n int, tear bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt, f.tear = n, tear
+}
+
+// Count reports how many fault points have been passed so far. A run with
+// the failpoint disarmed measures how many points a workload has.
+func (f *Fault) Count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// Crashed reports whether the failpoint has fired.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step passes one fault point; f.mu must be held. It returns ErrInjected
+// if the filesystem is dead or dies at this point.
+func (f *Fault) step() error {
+	if f.crashed {
+		return ErrInjected
+	}
+	f.count++
+	if f.failAt > 0 && f.count >= f.failAt {
+		f.crashNow()
+		return ErrInjected
+	}
+	return nil
+}
+
+// crashNow drops all unsynced data; f.mu must be held.
+func (f *Fault) crashNow() {
+	f.crashed = true
+	for path, n := range f.durable {
+		// Missing files (already renamed or removed) are fine to skip.
+		if st, err := os.Stat(path); err == nil && st.Size() > n {
+			os.Truncate(path, n)
+		}
+	}
+}
+
+// dead reports (under lock) whether the filesystem has crashed; reads use
+// it so a workload cannot keep observing state after its power was cut.
+func (f *Fault) dead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	return nil
+}
+
+type faultFile struct {
+	fault *Fault
+	name  string
+	f     *os.File
+	size  int64
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	f := w.fault
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrInjected
+	}
+	f.count++
+	if f.failAt > 0 && f.count >= f.failAt {
+		if f.tear && len(p) > 1 {
+			if n, err := w.f.Write(p[:len(p)/2]); err == nil {
+				// The interrupted flush pushed everything up to and
+				// including the torn half onto the platter.
+				f.durable[w.name] = w.size + int64(n)
+			}
+		}
+		f.crashNow()
+		return 0, ErrInjected
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+func (w *faultFile) Sync() error {
+	f := w.fault
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	f.durable[w.name] = w.size
+	return nil
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }
+
+// Create implements FS.
+func (f *Fault) Create(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	file, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f.durable[name] = 0
+	return &faultFile{fault: f, name: name, f: file}, nil
+}
+
+// Append implements FS.
+func (f *Fault) Append(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	file, err := os.OpenFile(name, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := file.Stat()
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	// Pre-existing bytes we never saw are assumed durable; bytes we wrote
+	// without syncing keep their recorded exposure.
+	if _, ok := f.durable[name]; !ok {
+		f.durable[name] = st.Size()
+	}
+	return &faultFile{fault: f, name: name, f: file, size: st.Size()}, nil
+}
+
+// Rename implements FS.
+func (f *Fault) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	if d, ok := f.durable[oldpath]; ok {
+		f.durable[newpath] = d
+		delete(f.durable, oldpath)
+	} else if st, err := os.Stat(newpath); err == nil {
+		f.durable[newpath] = st.Size()
+	}
+	return nil
+}
+
+// Remove implements FS.
+func (f *Fault) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	delete(f.durable, name)
+	return nil
+}
+
+// Truncate implements FS. Like the OS implementation it syncs, so the new
+// size is durable.
+func (f *Fault) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	if err := os.Truncate(name, size); err != nil {
+		return err
+	}
+	f.durable[name] = size
+	return nil
+}
+
+// SyncDir implements FS. Renames are already durable in this model (see
+// the type comment), so only the fault point matters.
+func (f *Fault) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.step()
+}
+
+// Open implements FS.
+func (f *Fault) Open(name string) (io.ReadCloser, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return os.Open(name)
+}
+
+// ReadFile implements FS.
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(name)
+}
+
+// Stat implements FS.
+func (f *Fault) Stat(name string) (gofs.FileInfo, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return os.Stat(name)
+}
+
+// ReadDir implements FS.
+func (f *Fault) ReadDir(dir string) ([]string, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return OS.ReadDir(dir)
+}
+
+var _ FS = (*Fault)(nil)
+
+// String aids test logging.
+func (f *Fault) String() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return fmt.Sprintf("fault(at=%d tear=%v count=%d crashed=%v)", f.failAt, f.tear, f.count, f.crashed)
+}

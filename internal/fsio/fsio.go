@@ -1,0 +1,121 @@
+// Package fsio is the small filesystem abstraction under the repository's
+// durability layer. It exposes exactly the operations the journal and the
+// snapshot writer need — create, append, sync, rename, remove, truncate,
+// directory sync — behind an interface with two implementations:
+//
+//   - OS: the real filesystem with real fsync semantics.
+//   - Fault: the real filesystem plus an injectable failpoint that
+//     simulates power loss for crash-safety tests (package repository's
+//     crash sweep). Every durable operation is one fault point; at the
+//     chosen point the "machine dies": data written but never synced is
+//     dropped, the dying write can be torn mid-record, and every later
+//     operation fails with ErrInjected.
+//
+// The split is what makes the repository's fsync discipline testable: the
+// crash sweep runs a workload once per fault point and asserts that
+// reopening the directory always recovers a consistent state.
+package fsio
+
+import (
+	"errors"
+	"io"
+	gofs "io/fs"
+	"os"
+	"syscall"
+)
+
+// File is a writable file handle. Sync must not return until the data is
+// durable on the underlying device.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface of the durability layer. Reads never need
+// fault points (a reopened process only sees what survived), but they go
+// through the interface too so a faulted run observes its own disk state.
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Append opens an existing file for appending.
+	Append(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// ReadFile returns the contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Stat describes name.
+	Stat(name string) (gofs.FileInfo, error)
+	// ReadDir lists the entry names of dir.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate resizes name to size and makes the new size durable.
+	Truncate(name string, size int64) error
+	// SyncDir makes directory entries (creates, renames, removes) durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Stat(name string) (gofs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(des))
+	for i, de := range des {
+		names[i] = de.Name()
+	}
+	return names, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error {
+	if err := os.Truncate(name, size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(name, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems cannot sync directories; the rename itself is
+		// still ordered after the file sync, which is the part that matters.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

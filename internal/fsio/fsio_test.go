@@ -1,0 +1,182 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, fs FS, name, data string, sync bool) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatalf("Create %s: %v", name, err)
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatalf("Write %s: %v", name, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("Sync %s: %v", name, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close %s: %v", name, err)
+	}
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "a.txt")
+	write(t, OS, name, "hello", true)
+	if err := OS.Rename(name, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	b, err := OS.ReadFile(filepath.Join(dir, "b.txt"))
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	names, err := OS.ReadDir(dir)
+	if err != nil || len(names) != 1 || names[0] != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := OS.Truncate(filepath.Join(dir, "b.txt"), 2); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	b, _ = OS.ReadFile(filepath.Join(dir, "b.txt"))
+	if string(b) != "he" {
+		t.Fatalf("after truncate = %q", b)
+	}
+}
+
+// TestFaultDropsUnsynced: a crash after an unsynced write reverts the file
+// to its last synced prefix; a synced write survives.
+func TestFaultDropsUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault()
+	synced := filepath.Join(dir, "synced")
+	loose := filepath.Join(dir, "loose")
+	write(t, f, synced, "durable", true)
+	write(t, f, loose, "gone", false)
+	// Arm the failpoint at the very next operation.
+	f.FailAt(f.Count()+1, false)
+	if _, err := f.Create(filepath.Join(dir, "next")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed Create err = %v, want ErrInjected", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if b, _ := os.ReadFile(synced); string(b) != "durable" {
+		t.Errorf("synced file = %q", b)
+	}
+	if b, _ := os.ReadFile(loose); string(b) != "" {
+		t.Errorf("unsynced file survived crash: %q", b)
+	}
+	// Everything after the crash fails, including reads.
+	if _, err := f.ReadFile(synced); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-crash read err = %v", err)
+	}
+	if err := f.Rename(synced, loose); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-crash rename err = %v", err)
+	}
+}
+
+// TestFaultTear: a crash landing on a write with tear set persists half of
+// that write.
+func TestFaultTear(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault()
+	name := filepath.Join(dir, "a")
+	h, err := f.Create(name)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	f.FailAt(f.Count()+1, true)
+	if _, err := h.Write([]byte("abcdefgh")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	h.Close()
+	if b, _ := os.ReadFile(name); string(b) != "abcd" {
+		t.Errorf("torn file = %q, want %q", b, "abcd")
+	}
+}
+
+// TestFaultAppendKeepsDurablePrefix: appends after a sync are lost in a
+// crash, the synced prefix survives.
+func TestFaultAppendKeepsDurablePrefix(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault()
+	name := filepath.Join(dir, "log")
+	write(t, f, name, "one\n", true)
+	a, err := f.Append(name)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := a.Write([]byte("two\n")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	a.Close()
+	f.FailAt(f.Count()+1, false)
+	f.SyncDir(dir)
+	if b, _ := os.ReadFile(name); string(b) != "one\n" {
+		t.Errorf("log after crash = %q, want %q", b, "one\n")
+	}
+}
+
+// TestFaultRenameTransfersTracking: the durable prefix follows the file
+// across a rename (the tmp-then-rename pattern).
+func TestFaultRenameTransfersTracking(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault()
+	tmp := filepath.Join(dir, "x.tmp")
+	final := filepath.Join(dir, "x")
+	write(t, f, tmp, "payload", true)
+	if err := f.Rename(tmp, final); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	f.FailAt(f.Count()+1, false)
+	f.SyncDir(dir)
+	if b, _ := os.ReadFile(final); string(b) != "payload" {
+		t.Errorf("renamed file after crash = %q", b)
+	}
+}
+
+// TestFaultUnsyncedRenameIsTruncated: renaming an unsynced file and then
+// crashing loses the unsynced bytes — the hazard fsync-before-rename
+// guards against.
+func TestFaultUnsyncedRenameIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault()
+	tmp := filepath.Join(dir, "y.tmp")
+	final := filepath.Join(dir, "y")
+	write(t, f, tmp, "payload", false)
+	if err := f.Rename(tmp, final); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	f.FailAt(f.Count()+1, false)
+	f.SyncDir(dir)
+	if b, _ := os.ReadFile(final); string(b) != "" {
+		t.Errorf("unsynced renamed file survived crash: %q", b)
+	}
+}
+
+// TestFaultCountIsStable: the same workload passes the same number of
+// fault points, so a sweep can enumerate them.
+func TestFaultCountIsStable(t *testing.T) {
+	run := func() int {
+		dir := t.TempDir()
+		f := NewFault()
+		write(t, f, filepath.Join(dir, "a"), "1", true)
+		write(t, f, filepath.Join(dir, "b"), "2", false)
+		f.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "c"))
+		f.SyncDir(dir)
+		return f.Count()
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Fatalf("counts differ: %d vs %d", a, b)
+	}
+}

@@ -6,21 +6,35 @@
 //
 // Layout of a repository directory:
 //
-//	snapshot.bin  — the initial object base (state 0)
-//	head.bin      — the current object base
-//	journal.jsonl — one JSON entry per applied program, with its diff
+//	snapshot.bin  — the object base the journal starts from
+//	head.bin      — the current object base (a cache; see below)
+//	journal.jsonl — one checksummed record per applied program, with its diff
+//
+// Durability contract: an update is applied exactly when its journal
+// record has been written and fsynced. The head file is only a cache of
+// "snapshot + journal replay" and is reconstructed from those two files
+// whenever Open finds it missing, unreadable or out of date, so a crash
+// at any point between the journal append and the head rewrite cannot
+// fork the repository. Journal records carry a CRC32 checksum; a torn
+// final record (the signature of power loss mid-append) is truncated away
+// on Open, while corruption anywhere else is reported, never repaired
+// silently. All file writes go through internal/fsio, whose fault
+// injection drives the crash sweep in crash_test.go.
 package repository
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 
 	"verlog/internal/core"
 	"verlog/internal/eval"
+	"verlog/internal/fsio"
 	"verlog/internal/objectbase"
 	"verlog/internal/parser"
 	"verlog/internal/storage"
@@ -36,10 +50,13 @@ const (
 
 // Entry is one journal record: an applied program and its effect.
 type Entry struct {
-	// Seq numbers applied programs from 1.
+	// Seq numbers applied programs from 1 and keeps counting across
+	// compactions (the snapshot records which seq it represents).
 	Seq int `json:"seq"`
 	// Program is the canonical text of the applied program.
 	Program string `json:"program"`
+	// Key is the idempotency key the update was committed under, if any.
+	Key string `json:"key,omitempty"`
 	// Added and Removed are the fact-level diff on the updated base.
 	Added   []storage.FactRecord `json:"added,omitempty"`
 	Removed []storage.FactRecord `json:"removed,omitempty"`
@@ -49,114 +66,361 @@ type Entry struct {
 	Strata int `json:"strata"`
 }
 
-// Repository is an object base under journal control.
+// Repository is an object base under journal control. All methods are
+// safe for concurrent use.
 type Repository struct {
 	dir string
+	fs  fsio.FS
+
+	// mu serializes every operation: the repository performs one update
+	// transaction at a time, as Section 2.2 treats a program as one
+	// mapping from old to new object base.
+	mu sync.Mutex
+	// snapSeq and seq cache the snapshot's seq stamp and the last applied
+	// seq; both are rebuilt by recoverLocked.
+	snapSeq int
+	seq     int
+	// keys maps idempotency keys of journaled entries (diffs stripped) so
+	// a retried apply is answered without re-firing.
+	keys map[string]Entry
+	// needRepair is set when an apply failed after possibly touching disk;
+	// the next operation re-runs recovery before proceeding.
+	needRepair bool
+	recovery   Recovery
+}
+
+// Recovery summarizes what Open had to do to bring the repository to a
+// consistent state.
+type Recovery struct {
+	// Entries is the journal length after recovery.
+	Entries int
+	// TornTail reports that an incomplete final journal record (a crash
+	// mid-append) was truncated away; TruncatedBytes is how much was cut.
+	TornTail       bool
+	TruncatedBytes int64
+	// ObsoleteDropped counts journal entries already folded into the
+	// snapshot that were dropped — the tail end of an interrupted Compact.
+	ObsoleteDropped int
+	// HeadRebuilt reports that head.bin was missing, unreadable or did not
+	// equal the journal replay and was rewritten from it.
+	HeadRebuilt bool
+	// StaleTemps counts leftover *.tmp files from crashed writers removed.
+	StaleTemps int
+}
+
+// Clean reports whether Open found nothing to repair.
+func (rec Recovery) Clean() bool {
+	return !rec.TornTail && !rec.HeadRebuilt && rec.ObsoleteDropped == 0 && rec.StaleTemps == 0
+}
+
+// String renders the summary in one line, for server startup logs.
+func (rec Recovery) String() string {
+	if rec.Clean() {
+		return fmt.Sprintf("clean (%d journal entries)", rec.Entries)
+	}
+	return fmt.Sprintf("recovered (%d journal entries, torn tail=%v cut %d bytes, obsolete entries dropped=%d, head rebuilt=%v, stale temps removed=%d)",
+		rec.Entries, rec.TornTail, rec.TruncatedBytes, rec.ObsoleteDropped, rec.HeadRebuilt, rec.StaleTemps)
 }
 
 // Init creates a repository at dir holding the initial base.
 func Init(dir string, initial *objectbase.Base) (*Repository, error) {
+	return InitFS(dir, initial, fsio.OS)
+}
+
+// InitFS is Init on an explicit filesystem (fault injection in tests).
+func InitFS(dir string, initial *objectbase.Base, fs fsio.FS) (*Repository, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("repository: %w", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err == nil {
+	if _, err := fs.Stat(filepath.Join(dir, snapshotFile)); err == nil {
 		return nil, fmt.Errorf("repository: %s already contains a repository", dir)
 	}
-	r := &Repository{dir: dir}
-	if err := r.writeBase(snapshotFile, initial); err != nil {
+	r := &Repository{dir: dir, fs: fs, keys: make(map[string]Entry)}
+	if err := r.removeStaleTemps(nil); err != nil {
 		return nil, err
 	}
-	if err := r.writeBase(headFile, initial); err != nil {
+	if err := r.writeBase(snapshotFile, initial, 0); err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(filepath.Join(dir, journalFile), nil, 0o644); err != nil {
+	if err := r.writeBase(headFile, initial, 0); err != nil {
+		return nil, err
+	}
+	jf, err := fs.Create(filepath.Join(dir, journalFile))
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if err := jf.Sync(); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if err := jf.Close(); err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
 		return nil, fmt.Errorf("repository: %w", err)
 	}
 	return r, nil
 }
 
-// Open opens an existing repository.
+// Open opens an existing repository, recovering it to a consistent state:
+// a torn final journal record is truncated away, entries an interrupted
+// Compact already folded into the snapshot are dropped, stale temp files
+// are removed, and the head is rebuilt from the journal if it disagrees.
+// Recovery() reports what was done.
 func Open(dir string) (*Repository, error) {
-	for _, f := range []string{snapshotFile, headFile, journalFile} {
-		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+	return OpenFS(dir, fsio.OS)
+}
+
+// OpenFS is Open on an explicit filesystem (fault injection in tests).
+func OpenFS(dir string, fs fsio.FS) (*Repository, error) {
+	for _, f := range []string{snapshotFile, journalFile} {
+		if _, err := fs.Stat(filepath.Join(dir, f)); err != nil {
 			return nil, fmt.Errorf("repository: %s is not a repository (missing %s)", dir, f)
 		}
 	}
-	return &Repository{dir: dir}, nil
+	r := &Repository{dir: dir, fs: fs, keys: make(map[string]Entry)}
+	if err := r.recoverLocked(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // Dir returns the repository directory.
 func (r *Repository) Dir() string { return r.dir }
 
-func (r *Repository) writeBase(name string, b *objectbase.Base) error {
-	tmp := filepath.Join(r.dir, name+".tmp")
-	f, err := os.Create(tmp)
+// Recovery returns what the last Open (or in-flight repair) had to fix.
+func (r *Repository) Recovery() Recovery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recovery
+}
+
+// removeStaleTemps deletes leftover *.tmp files from crashed writers.
+func (r *Repository) removeStaleTemps(rec *Recovery) error {
+	names, err := r.fs.ReadDir(r.dir)
 	if err != nil {
 		return fmt.Errorf("repository: %w", err)
 	}
-	if err := storage.SaveBinary(f, b); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			if err := r.fs.Remove(filepath.Join(r.dir, name)); err != nil {
+				return fmt.Errorf("repository: %w", err)
+			}
+			if rec != nil {
+				rec.StaleTemps++
+			}
+		}
+	}
+	return nil
+}
+
+// recoverLocked reconciles the three files; r.mu must be held (or the
+// repository not yet shared). See Open for what it repairs.
+func (r *Repository) recoverLocked() error {
+	var rec Recovery
+	if err := r.removeStaleTemps(&rec); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+	// The snapshot is ground truth; if it cannot be read nothing can.
+	state, snapSeq, err := r.readBase(snapshotFile)
+	if err != nil {
+		return fmt.Errorf("repository: unreadable snapshot: %w", err)
+	}
+	jpath := filepath.Join(r.dir, journalFile)
+	entries, _, jerr := r.readJournalRaw()
+	if jerr != nil {
+		var torn *storage.TornTailError
+		if !errors.As(jerr, &torn) {
+			return jerr
+		}
+		st, err := r.fs.Stat(jpath)
+		if err != nil {
+			return fmt.Errorf("repository: %w", err)
+		}
+		if err := r.fs.Truncate(jpath, torn.Offset); err != nil {
+			return fmt.Errorf("repository: truncating torn journal tail: %w", err)
+		}
+		rec.TornTail, rec.TruncatedBytes = true, st.Size()-torn.Offset
+	}
+	// Entries at or below the snapshot's seq are the residue of a Compact
+	// that crashed between rewriting the snapshot and emptying the
+	// journal; finish the job. A partial overlap cannot result from any
+	// crash of ours and is reported as corruption.
+	live := entries
+	for len(live) > 0 && live[0].Seq <= snapSeq {
+		live = live[1:]
+	}
+	if dropped := len(entries) - len(live); dropped > 0 {
+		if dropped != len(entries) {
+			return fmt.Errorf("repository: journal straddles snapshot seq %d (entries %d..%d); the repository is corrupted",
+				snapSeq, entries[0].Seq, entries[len(entries)-1].Seq)
+		}
+		if err := r.fs.Truncate(jpath, 0); err != nil {
+			return fmt.Errorf("repository: dropping pre-snapshot journal entries: %w", err)
+		}
+		rec.ObsoleteDropped = dropped
+		live = nil
+	}
+	for i, e := range live {
+		if e.Seq != snapSeq+1+i {
+			return fmt.Errorf("repository: journal entry %d has seq %d, want %d; the repository is corrupted", i+1, e.Seq, snapSeq+1+i)
+		}
+	}
+	// Replay the journal onto the snapshot; that result, not head.bin, is
+	// the truth the head cache must match.
+	for _, e := range live {
+		d, err := storage.DecodeDiff(e.Added, e.Removed)
+		if err != nil {
+			return err
+		}
+		d.Apply(state)
+	}
+	seq := snapSeq + len(live)
+	head, _, herr := r.readBase(headFile)
+	if herr != nil || !head.Equal(state) {
+		if err := r.writeBase(headFile, state, seq); err != nil {
+			return err
+		}
+		rec.HeadRebuilt = true
+	}
+	keys := make(map[string]Entry)
+	for _, e := range live {
+		if e.Key != "" {
+			keys[e.Key] = slimEntry(e)
+		}
+	}
+	rec.Entries = len(live)
+	r.snapSeq, r.seq, r.keys = snapSeq, seq, keys
+	r.recovery = rec
+	r.needRepair = false
+	return nil
+}
+
+// repairLocked re-runs recovery if a previous operation failed partway.
+func (r *Repository) repairLocked() error {
+	if !r.needRepair {
+		return nil
+	}
+	return r.recoverLocked()
+}
+
+// writeBase atomically replaces name with a snapshot of b stamped seq:
+// unique temp file, write, fsync, rename, fsync the directory entry.
+func (r *Repository) writeBase(name string, b *objectbase.Base, seq int) error {
+	tmp := filepath.Join(r.dir, fmt.Sprintf("%s.%08x.tmp", name, rand.Uint32()))
+	f, err := r.fs.Create(tmp)
+	if err != nil {
 		return fmt.Errorf("repository: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(r.dir, name)); err != nil {
+	if err := storage.SaveBinaryAt(f, b, seq); err != nil {
+		f.Close()
+		r.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := r.fs.Rename(tmp, filepath.Join(r.dir, name)); err != nil {
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := r.fs.SyncDir(r.dir); err != nil {
 		return fmt.Errorf("repository: %w", err)
 	}
 	return nil
 }
 
-func (r *Repository) readBase(name string) (*objectbase.Base, error) {
-	f, err := os.Open(filepath.Join(r.dir, name))
+func (r *Repository) readBase(name string) (*objectbase.Base, int, error) {
+	f, err := r.fs.Open(filepath.Join(r.dir, name))
 	if err != nil {
-		return nil, fmt.Errorf("repository: %w", err)
+		return nil, 0, fmt.Errorf("repository: %w", err)
 	}
 	defer f.Close()
-	return storage.LoadBinary(f)
+	return storage.LoadBinaryAt(f)
 }
 
 // Head returns the current object base.
-func (r *Repository) Head() (*objectbase.Base, error) { return r.readBase(headFile) }
+func (r *Repository) Head() (*objectbase.Base, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.repairLocked(); err != nil {
+		return nil, err
+	}
+	b, _, err := r.readBase(headFile)
+	return b, err
+}
 
-// Initial returns the state-0 object base.
-func (r *Repository) Initial() (*objectbase.Base, error) { return r.readBase(snapshotFile) }
+// Initial returns the object base the journal starts from (the snapshot).
+func (r *Repository) Initial() (*objectbase.Base, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, _, err := r.readBase(snapshotFile)
+	return b, err
+}
 
-// Entries reads the full journal.
-func (r *Repository) Entries() ([]Entry, error) {
-	f, err := os.Open(filepath.Join(r.dir, journalFile))
+// readJournalRaw parses the journal file. The error may be a
+// *storage.TornTailError (recoverable by truncation) or a hard one.
+func (r *Repository) readJournalRaw() ([]Entry, int64, error) {
+	f, err := r.fs.Open(filepath.Join(r.dir, journalFile))
 	if err != nil {
-		return nil, fmt.Errorf("repository: %w", err)
+		return nil, 0, fmt.Errorf("repository: %w", err)
 	}
 	defer f.Close()
-	var out []Entry
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
-	for sc.Scan() {
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
+	payloads, good, rerr := storage.ReadJournal(f, func(b []byte) error {
 		var e Entry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("repository: corrupted journal entry %d: %w", len(out)+1, err)
+		return json.Unmarshal(b, &e)
+	})
+	out := make([]Entry, 0, len(payloads))
+	for _, p := range payloads {
+		var e Entry
+		if err := json.Unmarshal(p, &e); err != nil {
+			return nil, 0, fmt.Errorf("repository: corrupted journal entry %d: %w", len(out)+1, err)
 		}
 		out = append(out, e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("repository: %w", err)
+	if rerr != nil {
+		return out, good, fmt.Errorf("repository: %w", rerr)
 	}
-	return out, nil
+	return out, good, nil
 }
 
-// Len returns the number of applied programs.
-func (r *Repository) Len() (int, error) {
-	es, err := r.Entries()
+// Entries reads the full journal. A repository whose journal has a torn
+// tail must be reopened (Open repairs it); Entries reports it as an error
+// rather than silently dropping the record.
+func (r *Repository) Entries() ([]Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entriesLocked()
+}
+
+func (r *Repository) entriesLocked() ([]Entry, error) {
+	entries, _, err := r.readJournalRaw()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return len(es), nil
+	return entries, nil
+}
+
+// Len returns the number of applied programs since the snapshot.
+func (r *Repository) Len() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq - r.snapSeq, nil
+}
+
+// SnapshotSeq returns the journal sequence number the snapshot
+// represents (0 for a never-compacted repository). State numbers in At
+// count from it, so a journal entry e is state e.Seq-SnapshotSeq().
+func (r *Repository) SnapshotSeq() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapSeq
 }
 
 // ConstraintViolationError reports an update whose result satisfies an
@@ -184,19 +448,62 @@ func (r *Repository) SetConstraints(src string) error {
 	if err != nil {
 		return err
 	}
-	head, err := r.Head()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.repairLocked(); err != nil {
+		return err
+	}
+	head, _, err := r.readBase(headFile)
 	if err != nil {
 		return err
 	}
 	if err := checkConstraints(head, cs); err != nil {
 		return fmt.Errorf("repository: current head already violates constraints: %w", err)
 	}
-	return os.WriteFile(filepath.Join(r.dir, constraintsFile), []byte(src), 0o644)
+	return r.writeFileDurable(constraintsFile, []byte(src))
+}
+
+// writeFileDurable atomically replaces name with data (tmp, fsync,
+// rename, dir fsync).
+func (r *Repository) writeFileDurable(name string, data []byte) error {
+	tmp := filepath.Join(r.dir, fmt.Sprintf("%s.%08x.tmp", name, rand.Uint32()))
+	f, err := r.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("repository: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := r.fs.Rename(tmp, filepath.Join(r.dir, name)); err != nil {
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := r.fs.SyncDir(r.dir); err != nil {
+		return fmt.Errorf("repository: %w", err)
+	}
+	return nil
 }
 
 // Constraints returns the installed constraints (nil if none).
 func (r *Repository) Constraints() ([]term.Constraint, error) {
-	src, err := os.ReadFile(filepath.Join(r.dir, constraintsFile))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.constraintsLocked()
+}
+
+func (r *Repository) constraintsLocked() ([]term.Constraint, error) {
+	src, err := r.fs.ReadFile(filepath.Join(r.dir, constraintsFile))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
@@ -219,59 +526,111 @@ func checkConstraints(base *objectbase.Base, cs []term.Constraint) error {
 	return nil
 }
 
+// slimEntry strips the diff, which the idempotency cache does not need.
+func slimEntry(e Entry) Entry {
+	e.Added, e.Removed = nil, nil
+	return e
+}
+
 // Apply evaluates p on the current head, verifies the installed integrity
-// constraints against the result, appends the journal entry and advances
-// the head to the updated object base. On a constraint violation nothing
-// is committed. It returns the full evaluation result.
+// constraints against the result, appends the journal entry (fsynced) and
+// advances the head to the updated object base. On a constraint violation
+// nothing is committed. It returns the full evaluation result.
 func (r *Repository) Apply(p *term.Program, opts ...core.Option) (*eval.Result, error) {
-	head, err := r.Head()
+	res, _, _, err := r.ApplyKey(p, "", opts...)
+	return res, err
+}
+
+// ApplyKey is Apply under an idempotency key. If key is non-empty and a
+// journaled entry already carries it, nothing is re-evaluated: ApplyKey
+// returns (nil, that entry with its diff stripped, true, nil). Otherwise
+// the update is applied, journaled with the key, and returned with
+// replayed=false. Keys are remembered as far back as the journal reaches;
+// Compact clears them along with the entries that held them.
+//
+// The update is durable (and will be answered as a replay) as soon as the
+// journal record is synced, even if ApplyKey then fails writing the head
+// cache — the error says so, and the repository repairs the head on its
+// next operation.
+func (r *Repository) ApplyKey(p *term.Program, key string, opts ...core.Option) (*eval.Result, Entry, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.repairLocked(); err != nil {
+		return nil, Entry{}, false, err
+	}
+	if key != "" {
+		if e, ok := r.keys[key]; ok {
+			return nil, e, true, nil
+		}
+	}
+	head, _, err := r.readBase(headFile)
 	if err != nil {
-		return nil, err
+		return nil, Entry{}, false, err
 	}
 	res, err := core.New(opts...).Apply(head, p)
 	if err != nil {
-		return nil, err
+		return nil, Entry{}, false, err
 	}
-	cs, err := r.Constraints()
+	cs, err := r.constraintsLocked()
 	if err != nil {
-		return nil, err
+		return nil, Entry{}, false, err
 	}
 	if err := checkConstraints(res.Final, cs); err != nil {
-		return nil, err
-	}
-	n, err := r.Len()
-	if err != nil {
-		return nil, err
+		return nil, Entry{}, false, err
 	}
 	diff := objectbase.Compute(head, res.Final)
 	added, removed := storage.EncodeDiff(diff)
 	entry := Entry{
-		Seq:     n + 1,
+		Seq:     r.seq + 1,
 		Program: parser.FormatProgram(p),
+		Key:     key,
 		Added:   added,
 		Removed: removed,
 		Fired:   res.Fired,
 		Strata:  res.Assignment.NumStrata(),
 	}
-	line, err := json.Marshal(entry)
+	payload, err := json.Marshal(entry)
 	if err != nil {
-		return nil, fmt.Errorf("repository: %w", err)
+		return nil, Entry{}, false, fmt.Errorf("repository: %w", err)
 	}
-	jf, err := os.OpenFile(filepath.Join(r.dir, journalFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err := r.appendJournalLocked(storage.FrameJournalRecord(payload)); err != nil {
+		return nil, Entry{}, false, err
+	}
+	// The record is durable: the update is committed from here on.
+	r.seq = entry.Seq
+	if key != "" {
+		r.keys[key] = slimEntry(entry)
+	}
+	if err := r.writeBase(headFile, res.Final, r.seq); err != nil {
+		r.needRepair = true
+		return nil, Entry{}, false, fmt.Errorf("repository: update %d is journaled but the head cache was not updated (repaired on the next operation): %w", entry.Seq, err)
+	}
+	return res, entry, false, nil
+}
+
+// appendJournalLocked appends one framed record and fsyncs it. Any
+// failure may have left a partial record, so it flags the repository for
+// repair (torn-tail truncation) before the next operation.
+func (r *Repository) appendJournalLocked(line []byte) error {
+	jf, err := r.fs.Append(filepath.Join(r.dir, journalFile))
 	if err != nil {
-		return nil, fmt.Errorf("repository: %w", err)
+		return fmt.Errorf("repository: %w", err)
 	}
-	if _, err := jf.Write(append(line, '\n')); err != nil {
+	if _, err := jf.Write(line); err != nil {
 		jf.Close()
-		return nil, fmt.Errorf("repository: %w", err)
+		r.needRepair = true
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := jf.Sync(); err != nil {
+		jf.Close()
+		r.needRepair = true
+		return fmt.Errorf("repository: %w", err)
 	}
 	if err := jf.Close(); err != nil {
-		return nil, fmt.Errorf("repository: %w", err)
+		r.needRepair = true
+		return fmt.Errorf("repository: %w", err)
 	}
-	if err := r.writeBase(headFile, res.Final); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return nil
 }
 
 // VerifyError reports a repository whose journal replay does not
@@ -284,43 +643,69 @@ func (e *VerifyError) Error() string {
 	return fmt.Sprintf("repository: journal replay (%d facts) does not reproduce the head (%d facts); the repository is corrupted", e.Replayed, e.Head)
 }
 
-// Verify replays the whole journal from the initial snapshot and checks
-// that the result equals the head — the repository's integrity check.
+// Verify replays the whole journal from the snapshot and checks that the
+// result equals the head — the repository's integrity check.
 func (r *Repository) Verify() error {
-	entries, err := r.Entries()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.verifyLocked()
+}
+
+func (r *Repository) verifyLocked() error {
+	entries, err := r.entriesLocked()
 	if err != nil {
 		return err
 	}
-	replayed, err := r.At(len(entries))
+	state, snapSeq, err := r.readBase(snapshotFile)
 	if err != nil {
 		return err
 	}
-	head, err := r.Head()
+	for _, e := range entries {
+		if e.Seq <= snapSeq {
+			continue
+		}
+		d, err := storage.DecodeDiff(e.Added, e.Removed)
+		if err != nil {
+			return err
+		}
+		d.Apply(state)
+	}
+	head, _, err := r.readBase(headFile)
 	if err != nil {
 		return err
 	}
-	if !replayed.Equal(head) {
-		return &VerifyError{Replayed: replayed.Size(), Head: head.Size()}
+	if !state.Equal(head) {
+		return &VerifyError{Replayed: state.Size(), Head: head.Size()}
 	}
 	return nil
 }
 
 // Compact collapses the repository onto its current head: the head becomes
-// the new initial snapshot and the journal is emptied. Earlier states are
-// no longer reconstructable; Verify is run first so a corrupted repository
-// is never compacted.
+// the new snapshot and the journal is emptied. Earlier states are no
+// longer reconstructable and idempotency keys are forgotten; Verify is run
+// first so a corrupted repository is never compacted. A crash between the
+// snapshot rewrite and the journal truncation is healed by Open, which
+// drops journal entries the snapshot already contains.
 func (r *Repository) Compact() error {
-	if err := r.Verify(); err != nil {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.repairLocked(); err != nil {
 		return err
 	}
-	head, err := r.Head()
+	if err := r.verifyLocked(); err != nil {
+		return err
+	}
+	head, _, err := r.readBase(headFile)
 	if err != nil {
 		return err
 	}
-	if err := r.writeBase(snapshotFile, head); err != nil {
+	if err := r.writeBase(snapshotFile, head, r.seq); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(r.dir, journalFile), nil, 0o644); err != nil {
+	r.snapSeq = r.seq
+	r.keys = make(map[string]Entry)
+	if err := r.fs.Truncate(filepath.Join(r.dir, journalFile), 0); err != nil {
+		r.needRepair = true
 		return fmt.Errorf("repository: %w", err)
 	}
 	return nil
@@ -329,32 +714,39 @@ func (r *Repository) Compact() error {
 // ErrNoSuchState reports a time-travel target beyond the journal.
 var ErrNoSuchState = errors.New("repository: no such state")
 
-// At reconstructs the object base after the first seq programs (seq 0 is
-// the initial base) by replaying journal diffs.
+// At reconstructs the object base after the first seq programs since the
+// snapshot (seq 0 is the snapshot itself) by replaying journal diffs.
 func (r *Repository) At(seq int) (*objectbase.Base, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if seq < 0 {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchState, seq)
 	}
-	base, err := r.Initial()
+	base, snapSeq, err := r.readBase(snapshotFile)
 	if err != nil {
 		return nil, err
 	}
 	if seq == 0 {
 		return base, nil
 	}
-	entries, err := r.Entries()
+	entries, err := r.entriesLocked()
 	if err != nil {
 		return nil, err
 	}
-	if seq > len(entries) {
-		return nil, fmt.Errorf("%w: %d (journal has %d)", ErrNoSuchState, seq, len(entries))
-	}
-	for _, e := range entries[:seq] {
+	replayed := 0
+	for _, e := range entries {
+		if e.Seq <= snapSeq || replayed == seq {
+			continue
+		}
 		d, err := storage.DecodeDiff(e.Added, e.Removed)
 		if err != nil {
 			return nil, err
 		}
 		d.Apply(base)
+		replayed++
+	}
+	if replayed < seq {
+		return nil, fmt.Errorf("%w: %d (journal has %d)", ErrNoSuchState, seq, replayed)
 	}
 	return base, nil
 }

@@ -393,15 +393,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// applyResponse reports a committed update.
+// applyResponse reports a committed update. Replayed is set when the
+// request's Idempotency-Key matched an already-journaled update and
+// nothing was re-fired.
 type applyResponse struct {
-	State  int   `json:"state"`
-	Fired  int   `json:"fired"`
-	Strata int   `json:"strata"`
-	Facts  int   `json:"facts"`
-	Iters  []int `json:"iterations"`
+	State    int   `json:"state"`
+	Fired    int   `json:"fired"`
+	Strata   int   `json:"strata"`
+	Facts    int   `json:"facts"`
+	Iters    []int `json:"iterations"`
+	Replayed bool  `json:"replayed,omitempty"`
 }
 
+// handleApply applies an update-program. A client that retries a failed
+// request sends the same Idempotency-Key header both times; the key is
+// journaled with the entry, so a retry of an update that did commit is
+// answered from the journal instead of firing twice.
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	src, err := readBody(r)
 	if err != nil {
@@ -413,20 +420,36 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	key := r.Header.Get("Idempotency-Key")
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Trace so that /v1/history and /v1/explain can answer for this run.
-	res, err := s.repo.Apply(p, core.WithTrace())
+	res, entry, replayed, err := s.repo.ApplyKey(p, key, core.WithTrace())
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	s.lastResult = res
+	if replayed {
+		head, err := s.repo.Head()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, applyResponse{
+			State:    entry.Seq - s.repo.SnapshotSeq(),
+			Fired:    entry.Fired,
+			Strata:   entry.Strata,
+			Facts:    head.Size(),
+			Replayed: true,
+		})
+		return
+	}
 	n, err := s.repo.Len()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.lastResult = res
 	writeJSON(w, applyResponse{
 		State:  n,
 		Fired:  res.Fired,

@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Journal record framing.
+//
+// A framed record is one line:
+//
+//	v1 <crc32c hex8> <payload>\n
+//
+// where the checksum (CRC-32 Castagnoli) covers the payload bytes. Lines
+// without the "v1 " prefix are legacy records — bare JSON from journals
+// written before checksums existed — and are accepted as-is, so old
+// repositories keep working and a journal may mix both forms.
+
+var journalCRC = crc32.MakeTable(crc32.Castagnoli)
+
+const journalRecPrefix = "v1 "
+
+// FrameJournalRecord wraps one record payload (no newline) in the
+// checksummed journal line format, including the trailing newline.
+func FrameJournalRecord(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+len(journalRecPrefix)+10)
+	out = append(out, fmt.Sprintf("%s%08x ", journalRecPrefix, crc32.Checksum(payload, journalCRC))...)
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// ChecksumError reports a framed journal record whose payload does not
+// match its checksum.
+type ChecksumError struct {
+	Line      int
+	Want, Got uint32
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("storage: journal line %d: checksum mismatch (record says %08x, payload is %08x)", e.Line, e.Want, e.Got)
+}
+
+// TornTailError reports a journal whose final record is incomplete or
+// fails its check — the signature of a crash mid-append. Offset is the
+// byte length of the valid prefix; truncating the file there recovers it.
+type TornTailError struct {
+	Offset int64
+	Line   int
+	Reason error
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("storage: journal has a torn final record at line %d (valid prefix %d bytes): %v", e.Line, e.Offset, e.Reason)
+}
+
+// CorruptRecordError reports a bad record in the middle of a journal —
+// not a torn tail, since valid records follow it, so truncation cannot
+// repair it.
+type CorruptRecordError struct {
+	Line   int
+	Reason error
+}
+
+func (e *CorruptRecordError) Error() string {
+	return fmt.Sprintf("storage: corrupted journal record at line %d: %v", e.Line, e.Reason)
+}
+
+// ParseJournalLine returns the payload of one journal line (without its
+// trailing newline), verifying the checksum of framed records and passing
+// legacy lines through untouched. line numbers error messages.
+func ParseJournalLine(data []byte, line int) ([]byte, error) {
+	if !bytes.HasPrefix(data, []byte(journalRecPrefix)) {
+		return data, nil
+	}
+	rest := data[len(journalRecPrefix):]
+	if len(rest) < 9 || rest[8] != ' ' {
+		return nil, fmt.Errorf("storage: journal line %d: malformed record header", line)
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(rest[:8]), "%08x", &want); err != nil {
+		return nil, fmt.Errorf("storage: journal line %d: bad checksum field: %w", line, err)
+	}
+	payload := rest[9:]
+	if got := crc32.Checksum(payload, journalCRC); got != want {
+		return nil, &ChecksumError{Line: line, Want: want, Got: got}
+	}
+	return payload, nil
+}
+
+// ReadJournal reads all records from r. validate, if non-nil, vets each
+// payload (e.g. that it decodes as a journal entry). It returns the
+// payloads of the longest valid prefix and that prefix's byte length.
+//
+// A record that fails its check is classified by position: if it is the
+// last thing in the stream (including a final line with no newline) the
+// error is a *TornTailError and the caller may truncate to Offset; if
+// valid data follows, the error is a *CorruptRecordError and the journal
+// is genuinely damaged. Empty lines are skipped.
+func ReadJournal(r io.Reader, validate func([]byte) error) ([][]byte, int64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var payloads [][]byte
+	var good int64
+	line := 0
+	for {
+		data, err := br.ReadBytes('\n')
+		if len(data) == 0 {
+			if err == io.EOF {
+				return payloads, good, nil
+			}
+			if err != nil {
+				return payloads, good, fmt.Errorf("storage: read journal: %w", err)
+			}
+		}
+		line++
+		complete := err == nil
+		if err != nil && err != io.EOF {
+			return payloads, good, fmt.Errorf("storage: read journal: %w", err)
+		}
+		text := bytes.TrimSuffix(data, []byte("\n"))
+		var recErr error
+		if !complete {
+			recErr = fmt.Errorf("record has no trailing newline")
+		}
+		var payload []byte
+		if recErr == nil && len(text) > 0 {
+			payload, recErr = ParseJournalLine(text, line)
+			if recErr == nil && validate != nil {
+				recErr = validate(payload)
+			}
+		}
+		if recErr != nil {
+			_, peekErr := br.Peek(1)
+			if last := !complete || peekErr == io.EOF; last {
+				return payloads, good, &TornTailError{Offset: good, Line: line, Reason: recErr}
+			}
+			return payloads, good, &CorruptRecordError{Line: line, Reason: recErr}
+		}
+		good += int64(len(data))
+		if len(text) > 0 {
+			payloads = append(payloads, payload)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFrameJournalRecordRoundTrip(t *testing.T) {
+	payload := []byte(`{"seq":1,"program":"p."}`)
+	line := FrameJournalRecord(payload)
+	if line[len(line)-1] != '\n' {
+		t.Fatalf("framed record not newline-terminated: %q", line)
+	}
+	got, err := ParseJournalLine(line[:len(line)-1], 1)
+	if err != nil {
+		t.Fatalf("ParseJournalLine: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestParseJournalLineLegacy(t *testing.T) {
+	legacy := []byte(`{"seq":3,"fired":2}`)
+	got, err := ParseJournalLine(legacy, 1)
+	if err != nil || string(got) != string(legacy) {
+		t.Fatalf("legacy line = %q, %v", got, err)
+	}
+}
+
+func TestParseJournalLineChecksumMismatch(t *testing.T) {
+	line := FrameJournalRecord([]byte(`{"seq":1}`))
+	// Flip a payload byte.
+	line[len(line)-3]++
+	_, err := ParseJournalLine(line[:len(line)-1], 7)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) || ce.Line != 7 {
+		t.Fatalf("err = %v, want ChecksumError at line 7", err)
+	}
+}
+
+func validateJSON(b []byte) error {
+	var v map[string]any
+	return json.Unmarshal(b, &v)
+}
+
+func TestReadJournalCleanMixedFormats(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"seq":1}` + "\n")                // legacy
+	sb.Write(FrameJournalRecord([]byte(`{"seq":2}`))) // framed
+	sb.WriteString("\n")                              // blank line, skipped
+	sb.Write(FrameJournalRecord([]byte(`{"seq":3}`)))
+	payloads, good, err := ReadJournal(strings.NewReader(sb.String()), validateJSON)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(payloads) != 3 || good != int64(sb.Len()) {
+		t.Fatalf("payloads = %d, good = %d (want 3, %d)", len(payloads), good, sb.Len())
+	}
+}
+
+func TestReadJournalTornAndCorruptTails(t *testing.T) {
+	rec1 := string(FrameJournalRecord([]byte(`{"seq":1}`)))
+	rec2 := string(FrameJournalRecord([]byte(`{"seq":2}`)))
+	cases := []struct {
+		name string
+		data string
+		want int   // surviving records
+		good int64 // valid prefix length
+		torn bool  // else corrupt-middle
+	}{
+		{"torn mid-line", rec1 + rec2[:len(rec2)/2], 1, int64(len(rec1)), true},
+		{"bad crc at tail", rec1 + "v1 00000000 " + `{"seq":2}` + "\n", 1, int64(len(rec1)), true},
+		{"legacy torn json tail", rec1 + `{"seq":2`, 1, int64(len(rec1)), true},
+		{"complete json, no newline", rec1 + `{"seq":2}`, 1, int64(len(rec1)), true},
+		{"empty file", "", 0, 0, false},
+		{"corrupt middle", rec1 + "v1 00000000 " + `{"seq":2}` + "\n" + rec2, 1, int64(len(rec1)), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			payloads, good, err := ReadJournal(strings.NewReader(tc.data), validateJSON)
+			if len(payloads) != tc.want || good != tc.good {
+				t.Errorf("payloads = %d good = %d, want %d %d", len(payloads), good, tc.want, tc.good)
+			}
+			var torn *TornTailError
+			var corrupt *CorruptRecordError
+			switch {
+			case tc.torn:
+				if !errors.As(err, &torn) {
+					t.Errorf("err = %v, want TornTailError", err)
+				} else if torn.Offset != tc.good {
+					t.Errorf("torn offset = %d, want %d", torn.Offset, tc.good)
+				}
+			case tc.data == "":
+				if err != nil {
+					t.Errorf("err = %v, want nil", err)
+				}
+			default:
+				if !errors.As(err, &corrupt) {
+					t.Errorf("err = %v, want CorruptRecordError", err)
+				}
+			}
+		})
+	}
+}

@@ -129,10 +129,15 @@ func DecodeFact(rec FactRecord) (term.Fact, error) {
 	}, nil
 }
 
-// snapshot is the gob payload of a binary snapshot.
+// snapshot is the gob payload of a binary snapshot. Seq records which
+// journal sequence number the snapshot represents (0 for the state before
+// any program): journal entries with Seq at most this value are already
+// folded into the snapshot. Snapshots written before the field existed
+// decode as Seq 0, which is exactly what they mean.
 type snapshot struct {
 	Magic   string
 	Version int
+	Seq     int
 	Facts   []FactRecord
 }
 
@@ -143,8 +148,12 @@ const (
 
 // SaveBinary writes a gob snapshot of the base, including exists facts so
 // that even fully-deleted versions survive the round trip.
-func SaveBinary(w io.Writer, b *objectbase.Base) error {
-	snap := snapshot{Magic: snapshotMagic, Version: snapshotVersion}
+func SaveBinary(w io.Writer, b *objectbase.Base) error { return SaveBinaryAt(w, b, 0) }
+
+// SaveBinaryAt writes a snapshot stamped with the journal sequence number
+// it represents (see the snapshot type).
+func SaveBinaryAt(w io.Writer, b *objectbase.Base, seq int) error {
+	snap := snapshot{Magic: snapshotMagic, Version: snapshotVersion, Seq: seq}
 	for _, f := range b.Facts() {
 		snap.Facts = append(snap.Facts, EncodeFact(f))
 	}
@@ -157,25 +166,32 @@ func SaveBinary(w io.Writer, b *objectbase.Base) error {
 
 // LoadBinary reads a gob snapshot.
 func LoadBinary(r io.Reader) (*objectbase.Base, error) {
+	b, _, err := LoadBinaryAt(r)
+	return b, err
+}
+
+// LoadBinaryAt reads a gob snapshot together with its journal sequence
+// stamp (0 for snapshots written before the stamp existed).
+func LoadBinaryAt(r io.Reader) (*objectbase.Base, int, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("storage: decode snapshot: %w", err)
+		return nil, 0, fmt.Errorf("storage: decode snapshot: %w", err)
 	}
 	if snap.Magic != snapshotMagic {
-		return nil, fmt.Errorf("storage: not a verlog snapshot (magic %q)", snap.Magic)
+		return nil, 0, fmt.Errorf("storage: not a verlog snapshot (magic %q)", snap.Magic)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
+		return nil, 0, fmt.Errorf("storage: unsupported snapshot version %d", snap.Version)
 	}
 	facts := make([]term.Fact, 0, len(snap.Facts))
 	for _, rec := range snap.Facts {
 		f, err := DecodeFact(rec)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		facts = append(facts, f)
 	}
-	return objectbase.FromFacts(facts), nil
+	return objectbase.FromFacts(facts), snap.Seq, nil
 }
 
 // EncodeDiff converts a diff to portable records.
