@@ -19,8 +19,10 @@ race:
 # The gate: everything a change must pass before it lands.
 check: build vet race
 
+# Smoke check: every benchmark runs once, so a broken benchmark can't rot
+# unnoticed. Real measurements want -benchtime to be raised.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/bench/
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 clean:
 	$(GO) clean ./...

@@ -5,6 +5,12 @@
 //	c := client.New("http://localhost:8487")
 //	res, err := c.Apply(ctx, program)
 //	rows, err := c.Query(ctx, `E.isa -> hpe.`)
+//
+// Every logical request carries an X-Request-Id the client generates (all
+// retry attempts of one call reuse it), so a slow request in the server's
+// request log or /v1/debug/slow can be joined to the caller's retry trace.
+// Server errors arrive as *APIError carrying the machine-readable code
+// from the v1 error envelope.
 package client
 
 import (
@@ -84,10 +90,20 @@ func New(baseURL string, opts ...Option) *Client {
 // APIError is a non-2xx response from the server.
 type APIError struct {
 	StatusCode int
-	Message    string
+	// Code is the machine-readable error code from the v1 envelope
+	// ("parse_error", "not_stratifiable", "constraint_violation", ...).
+	// Empty when the response was not the envelope (e.g. a proxy error).
+	Code    string
+	Message string
+	// RequestID is the X-Request-Id the failed exchange ran under, for
+	// joining against the server's logs.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("verlog server: %d %s: %s", e.StatusCode, e.Code, e.Message)
+	}
 	return fmt.Sprintf("verlog server: %d: %s", e.StatusCode, e.Message)
 }
 
@@ -107,28 +123,35 @@ func retryable(err error) bool {
 	return true
 }
 
-// newIdempotencyKey returns a fresh random key for one logical apply.
-func newIdempotencyKey() string {
-	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is effectively fatal; fall back to a
-		// key that disables deduplication rather than panicking.
+// randomHex returns 2n random hex characters (crypto/rand; "" on the
+// effectively-fatal case of the random source failing).
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
 		return ""
 	}
-	return hex.EncodeToString(b[:])
+	return hex.EncodeToString(b)
 }
+
+// newIdempotencyKey returns a fresh random key for one logical apply. An
+// empty key (random source failed) disables deduplication rather than
+// panicking.
+func newIdempotencyKey() string { return randomHex(16) }
 
 func (c *Client) do(ctx context.Context, method, path, body string) ([]byte, error) {
 	return c.doKey(ctx, method, path, body, "")
 }
 
-// doKey issues one request with retries. idemKey, when non-empty, is sent
-// as the Idempotency-Key header on every attempt so the server can
-// deduplicate a retry of a request that actually committed.
+// doKey issues one logical request with retries. A fresh X-Request-Id is
+// generated for the call and sent on every attempt, so all retries of one
+// logical request join to the same id in the server's logs. idemKey, when
+// non-empty, is sent as the Idempotency-Key header on every attempt so the
+// server can deduplicate a retry of a request that actually committed.
 func (c *Client) doKey(ctx context.Context, method, path, body, idemKey string) ([]byte, error) {
+	reqID := randomHex(8)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, err := c.attempt(ctx, method, path, body, idemKey)
+		data, err := c.attempt(ctx, method, path, body, idemKey, reqID)
 		if err == nil {
 			return data, nil
 		}
@@ -147,7 +170,7 @@ func (c *Client) doKey(ctx context.Context, method, path, body, idemKey string) 
 	}
 }
 
-func (c *Client) attempt(ctx context.Context, method, path, body, idemKey string) ([]byte, error) {
+func (c *Client) attempt(ctx context.Context, method, path, body, idemKey, reqID string) ([]byte, error) {
 	var rdr io.Reader
 	if body != "" {
 		rdr = strings.NewReader(body)
@@ -162,6 +185,9 @@ func (c *Client) attempt(ctx context.Context, method, path, body, idemKey string
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
 	}
+	if reqID != "" {
+		req.Header.Set("X-Request-Id", reqID)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -172,28 +198,71 @@ func (c *Client) attempt(ctx context.Context, method, path, body, idemKey string
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
+		ae := &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    strings.TrimSpace(string(data)),
+			RequestID:  resp.Header.Get("X-Request-Id"),
+		}
+		if ae.RequestID == "" {
+			ae.RequestID = reqID
+		}
+		// The v1 envelope: {"error":{"code":"...","message":"..."}}; older
+		// servers and proxies send a flat {"error":"..."} or plain text.
 		var envelope struct {
-			Error string `json:"error"`
+			Error json.RawMessage `json:"error"`
 		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
-			msg = envelope.Error
+		if json.Unmarshal(data, &envelope) == nil && len(envelope.Error) > 0 {
+			var inner struct {
+				Code      string `json:"code"`
+				Message   string `json:"message"`
+				RequestID string `json:"request_id"`
+			}
+			var flat string
+			switch {
+			case json.Unmarshal(envelope.Error, &inner) == nil && inner.Message != "":
+				ae.Code, ae.Message = inner.Code, inner.Message
+				if inner.RequestID != "" {
+					ae.RequestID = inner.RequestID
+				}
+			case json.Unmarshal(envelope.Error, &flat) == nil && flat != "":
+				ae.Message = flat
+			}
 		}
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return nil, ae
 	}
 	return data, nil
+}
+
+// baseEnvelope is the JSON shape of /v1/head and /v1/state.
+type baseEnvelope struct {
+	Facts int    `json:"facts"`
+	Text  string `json:"text"`
 }
 
 // Head returns the current object base in concrete text syntax.
 func (c *Client) Head(ctx context.Context) (string, error) {
 	b, err := c.do(ctx, http.MethodGet, "/v1/head", "")
-	return string(b), err
+	if err != nil {
+		return "", err
+	}
+	var env baseEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return "", err
+	}
+	return env.Text, nil
 }
 
 // State returns the object base after the first n applied programs.
 func (c *Client) State(ctx context.Context, n int) (string, error) {
 	b, err := c.do(ctx, http.MethodGet, "/v1/state?n="+strconv.Itoa(n), "")
-	return string(b), err
+	if err != nil {
+		return "", err
+	}
+	var env baseEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return "", err
+	}
+	return env.Text, nil
 }
 
 // LogEntry summarizes one applied program.
@@ -206,26 +275,76 @@ type LogEntry struct {
 	Program string `json:"program"`
 }
 
-// Log returns the journal summary.
-func (c *Client) Log(ctx context.Context) ([]LogEntry, error) {
-	b, err := c.do(ctx, http.MethodGet, "/v1/log", "")
-	if err != nil {
-		return nil, err
+// LogPage returns one page of the journal summary: up to limit entries
+// with Seq > after (limit <= 0 uses the server default). next is the
+// cursor for the following page, or 0 when this page was the last.
+func (c *Client) LogPage(ctx context.Context, limit, after int) (entries []LogEntry, next int, err error) {
+	q := "/v1/log?"
+	if limit > 0 {
+		q += "limit=" + strconv.Itoa(limit) + "&"
 	}
-	var out []LogEntry
-	return out, json.Unmarshal(b, &out)
+	q += "after=" + strconv.Itoa(after)
+	b, err := c.do(ctx, http.MethodGet, q, "")
+	if err != nil {
+		return nil, 0, err
+	}
+	var resp struct {
+		Entries   []LogEntry `json:"entries"`
+		NextAfter *int       `json:"next_after"`
+	}
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return nil, 0, err
+	}
+	if resp.NextAfter != nil {
+		next = *resp.NextAfter
+	}
+	return resp.Entries, next, nil
+}
+
+// Log returns the full journal summary, following pagination cursors until
+// the journal is exhausted.
+func (c *Client) Log(ctx context.Context) ([]LogEntry, error) {
+	var all []LogEntry
+	after := 0
+	for {
+		entries, next, err := c.LogPage(ctx, 0, after)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, entries...)
+		if next == 0 {
+			return all, nil
+		}
+		after = next
+	}
+}
+
+// ApplyTimings are the server-reported per-stage timings of one apply, in
+// microseconds (see eval.Stats for the stage meanings).
+type ApplyTimings struct {
+	ParseUS       int64   `json:"parse_us"`
+	SafetyUS      int64   `json:"safety_us"`
+	StratifyUS    int64   `json:"stratify_us"`
+	StrataUS      []int64 `json:"strata_us"`
+	CopyUS        int64   `json:"copy_us"`
+	EvalUS        int64   `json:"eval_us"`
+	ConstraintsUS int64   `json:"constraints_us"`
+	CommitUS      int64   `json:"commit_us"`
+	TotalUS       int64   `json:"total_us"`
 }
 
 // ApplyResult reports a committed update. Replayed is true when the
 // server recognized the request's Idempotency-Key and returned the
-// already-committed entry instead of firing the update again.
+// already-committed entry instead of firing the update again; replays
+// carry no timings.
 type ApplyResult struct {
-	State    int   `json:"state"`
-	Fired    int   `json:"fired"`
-	Strata   int   `json:"strata"`
-	Facts    int   `json:"facts"`
-	Iters    []int `json:"iterations"`
-	Replayed bool  `json:"replayed"`
+	State    int           `json:"state"`
+	Fired    int           `json:"fired"`
+	Strata   int           `json:"strata"`
+	Facts    int           `json:"facts"`
+	Iters    []int         `json:"iterations"`
+	Replayed bool          `json:"replayed"`
+	Timings  *ApplyTimings `json:"timings"`
 }
 
 // Apply sends an update-program (concrete syntax) and commits it. A fresh
@@ -255,8 +374,10 @@ func (c *Client) Query(ctx context.Context, query string) ([]map[string]string, 
 	if err != nil {
 		return nil, err
 	}
-	var out []map[string]string
-	return out, json.Unmarshal(b, &out)
+	var resp struct {
+		Rows []map[string]string `json:"rows"`
+	}
+	return resp.Rows, json.Unmarshal(b, &resp)
 }
 
 // CheckResult reports a program's static analysis.
@@ -284,15 +405,49 @@ type HistoryStep struct {
 	Removed []string `json:"removed,omitempty"`
 }
 
-// History returns the version history of an object from the most recent
-// apply on this server.
-func (c *Client) History(ctx context.Context, object string) ([]HistoryStep, error) {
-	b, err := c.do(ctx, http.MethodGet, "/v1/history?object="+object, "")
-	if err != nil {
-		return nil, err
+// HistoryPage returns one page of the version history of an object from
+// the most recent apply: up to limit steps starting at offset after
+// (limit <= 0 uses the server default). next is the offset of the
+// following page, or 0 when this page was the last.
+func (c *Client) HistoryPage(ctx context.Context, object string, limit, after int) (steps []HistoryStep, next int, err error) {
+	q := "/v1/history?object=" + object
+	if limit > 0 {
+		q += "&limit=" + strconv.Itoa(limit)
 	}
-	var out []HistoryStep
-	return out, json.Unmarshal(b, &out)
+	q += "&after=" + strconv.Itoa(after)
+	b, err := c.do(ctx, http.MethodGet, q, "")
+	if err != nil {
+		return nil, 0, err
+	}
+	var resp struct {
+		Steps     []HistoryStep `json:"steps"`
+		NextAfter *int          `json:"next_after"`
+	}
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return nil, 0, err
+	}
+	if resp.NextAfter != nil {
+		next = *resp.NextAfter
+	}
+	return resp.Steps, next, nil
+}
+
+// History returns the full version history of an object from the most
+// recent apply on this server, following pagination cursors.
+func (c *Client) History(ctx context.Context, object string) ([]HistoryStep, error) {
+	var all []HistoryStep
+	after := 0
+	for {
+		steps, next, err := c.HistoryPage(ctx, object, 0, after)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, steps...)
+		if next == 0 {
+			return all, nil
+		}
+		after = next
+	}
 }
 
 // SetConstraints installs integrity constraints (denial form).
@@ -310,7 +465,13 @@ func (c *Client) SetConstraints(ctx context.Context, constraints string) (int, e
 // Constraints returns the installed constraints in text form.
 func (c *Client) Constraints(ctx context.Context) (string, error) {
 	b, err := c.do(ctx, http.MethodGet, "/v1/constraints", "")
-	return string(b), err
+	if err != nil {
+		return "", err
+	}
+	var resp struct {
+		Text string `json:"text"`
+	}
+	return resp.Text, json.Unmarshal(b, &resp)
 }
 
 // Stats summarizes the head object base.
@@ -350,6 +511,36 @@ func (c *Client) Explain(ctx context.Context, facts string) ([]ExplainEntry, err
 	if err != nil {
 		return nil, err
 	}
-	var out []ExplainEntry
-	return out, json.Unmarshal(b, &out)
+	var resp struct {
+		Entries []ExplainEntry `json:"entries"`
+	}
+	return resp.Entries, json.Unmarshal(b, &resp)
+}
+
+// SlowEntry is one slow request from the server's /v1/debug/slow log.
+type SlowEntry struct {
+	RequestID  string  `json:"request_id"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	Detail     string  `json:"detail"`
+}
+
+// Slow fetches the server's recent slow requests (newest first).
+func (c *Client) Slow(ctx context.Context) ([]SlowEntry, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/debug/slow", "")
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Entries []SlowEntry `json:"entries"`
+	}
+	return resp.Entries, json.Unmarshal(b, &resp)
+}
+
+// Metrics fetches the raw Prometheus text exposition from /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	b, err := c.do(ctx, http.MethodGet, "/metrics", "")
+	return string(b), err
 }

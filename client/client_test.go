@@ -56,6 +56,9 @@ func TestClientEndToEnd(t *testing.T) {
 	if res.State != 1 || res.Fired != 6 || res.Strata != 3 {
 		t.Errorf("apply = %+v", res)
 	}
+	if res.Timings == nil || len(res.Timings.StrataUS) != 3 || res.Timings.TotalUS <= 0 {
+		t.Errorf("apply timings = %+v", res.Timings)
+	}
 
 	head, err := c.Head(ctx)
 	if err != nil || !strings.Contains(head, "phil.sal -> 4600.") {
@@ -99,6 +102,9 @@ func TestClientConstraints(t *testing.T) {
 	if !errors.As(err, &ae) || ae.StatusCode != 409 {
 		t.Errorf("violating apply err = %v, want 409 APIError", err)
 	}
+	if ae != nil && ae.Code != "constraint_violation" {
+		t.Errorf("violating apply code = %q, want constraint_violation", ae.Code)
+	}
 }
 
 func TestClientErrors(t *testing.T) {
@@ -109,13 +115,62 @@ func TestClientErrors(t *testing.T) {
 	if !errors.As(err, &ae) || ae.StatusCode != 400 || ae.Message == "" {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := c.State(ctx, 99); !errors.As(err, &ae) || ae.StatusCode != 404 {
+	if ae != nil {
+		if ae.Code != "parse_error" {
+			t.Errorf("parse err code = %q, want parse_error", ae.Code)
+		}
+		if ae.RequestID == "" {
+			t.Errorf("APIError carries no request id: %+v", ae)
+		}
+	}
+	if _, err := c.State(ctx, 99); !errors.As(err, &ae) || ae.StatusCode != 404 || ae.Code != "not_found" {
 		t.Errorf("state err = %v", err)
 	}
 	// Unreachable server.
 	dead := New("http://127.0.0.1:1")
 	if _, err := dead.Head(ctx); err == nil {
 		t.Errorf("dead server reachable")
+	}
+}
+
+// TestClientPagination drives LogPage/HistoryPage directly and checks that
+// the plain Log/History walk every page.
+func TestClientPagination(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	raise := `r: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S + 1.`
+	for i := 0; i < 5; i++ {
+		if _, err := c.Apply(ctx, raise); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+
+	page, next, err := c.LogPage(ctx, 2, 0)
+	if err != nil || len(page) != 2 || page[0].Seq != 1 || next != 2 {
+		t.Fatalf("first page = %v next=%d (%v)", page, next, err)
+	}
+	page, next, err = c.LogPage(ctx, 2, next)
+	if err != nil || len(page) != 2 || page[0].Seq != 3 || next != 4 {
+		t.Fatalf("second page = %v next=%d (%v)", page, next, err)
+	}
+	page, next, err = c.LogPage(ctx, 2, next)
+	if err != nil || len(page) != 1 || page[0].Seq != 5 || next != 0 {
+		t.Fatalf("last page = %v next=%d (%v)", page, next, err)
+	}
+
+	all, err := c.Log(ctx)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("Log = %d entries (%v), want 5", len(all), err)
+	}
+
+	// History of bob across the last apply has mod steps; page through at 1.
+	full, err := c.History(ctx, "bob")
+	if err != nil || len(full) < 2 {
+		t.Fatalf("History = %v (%v)", full, err)
+	}
+	steps, next, err := c.HistoryPage(ctx, "bob", 1, 0)
+	if err != nil || len(steps) != 1 || steps[0].Version != full[0].Version || next != 1 {
+		t.Fatalf("history page = %v next=%d (%v)", steps, next, err)
 	}
 }
 

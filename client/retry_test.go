@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,18 +13,20 @@ import (
 
 // flakyProxy fails the first n requests to each path with the given
 // status, then forwards to the backend handler. It records the
-// Idempotency-Key of every attempt it sees.
+// Idempotency-Key and X-Request-Id of every attempt it sees.
 type flakyProxy struct {
 	mu       sync.Mutex
 	failures int
 	status   int
 	backend  http.Handler
 	keys     []string
+	reqIDs   []string
 }
 
 func (f *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	f.mu.Lock()
 	f.keys = append(f.keys, r.Header.Get("Idempotency-Key"))
+	f.reqIDs = append(f.reqIDs, r.Header.Get("X-Request-Id"))
 	fail := f.failures > 0
 	if fail {
 		f.failures--
@@ -81,6 +84,16 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 			t.Errorf("attempt %d used key %q, want %q (retries must reuse the key)", i, k, proxy.keys[0])
 		}
 	}
+	// All attempts of one logical request carry one X-Request-Id, so the
+	// server's slow/request logs join to a single caller trace.
+	if proxy.reqIDs[0] == "" {
+		t.Fatal("Apply sent no X-Request-Id")
+	}
+	for i, id := range proxy.reqIDs {
+		if id != proxy.reqIDs[0] {
+			t.Errorf("attempt %d used request id %q, want %q (retries must reuse the id)", i, id, proxy.reqIDs[0])
+		}
+	}
 	// Only one entry committed despite three attempts hitting the proxy.
 	log, err := c.Log(context.Background())
 	if err != nil || len(log) != 1 {
@@ -127,11 +140,17 @@ func TestClientDoesNotRetryDomainErrors(t *testing.T) {
 	}))
 	t.Cleanup(ts.Close)
 	c := New(ts.URL, WithRetry(3, time.Millisecond))
-	if _, err := c.Apply(context.Background(), "not a program"); err == nil {
+	_, err := c.Apply(context.Background(), "not a program")
+	if err == nil {
 		t.Fatal("bad program succeeded")
 	}
 	if attempts != 1 {
 		t.Errorf("4xx was attempted %d times, want 1", attempts)
+	}
+	// The legacy flat envelope {"error":"msg"} still parses (no code).
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Message != "parse error" || ae.Code != "" {
+		t.Errorf("flat envelope parsed as %+v", ae)
 	}
 }
 

@@ -4,8 +4,14 @@
 // Usage:
 //
 //	verlog-server -dir DIR [-addr :8487] [-init BASE.vlg]
+//	              [-log text|json] [-slow-threshold 250ms]
 //
 // With -init the repository is created from the given object base first.
+// Request logs are structured (log/slog); -log json emits one JSON object
+// per request for log shippers. Requests slower than -slow-threshold land
+// in the bounded in-memory slow log at GET /v1/debug/slow (0 records
+// everything, a negative duration disables it). Prometheus metrics are at
+// GET /metrics, an expvar mirror at GET /debug/vars.
 package main
 
 import (
@@ -13,7 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,37 +35,64 @@ func main() {
 	dir := flag.String("dir", "", "repository directory (required)")
 	addr := flag.String("addr", ":8487", "listen address")
 	initBase := flag.String("init", "", "initialize the repository from this object base first")
+	logFormat := flag.String("log", "text", "request log format: text or json")
+	slowThreshold := flag.Duration("slow-threshold", server.DefaultSlowThreshold,
+		"record requests at least this slow in /v1/debug/slow (0 = all, negative = off)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "verlog-server: -dir is required")
 		os.Exit(2)
 	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "verlog-server: -log must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
 	if *initBase != "" {
 		src, err := os.ReadFile(*initBase)
 		if err != nil {
-			log.Fatalf("verlog-server: %v", err)
+			fatal(logger, err)
 		}
 		ob, err := parser.ObjectBase(string(src), *initBase)
 		if err != nil {
-			log.Fatalf("verlog-server: %v", err)
+			fatal(logger, err)
 		}
 		if _, err := repository.Init(*dir, ob); err != nil {
-			log.Fatalf("verlog-server: %v", err)
+			fatal(logger, err)
 		}
-		log.Printf("initialized repository in %s (%d facts)", *dir, ob.Size())
+		logger.Info("initialized repository", "dir", *dir, "facts", ob.Size())
 	}
 	repo, err := repository.Open(*dir)
 	if err != nil {
-		log.Fatalf("verlog-server: %v", err)
+		fatal(logger, err)
 	}
 	if rec := repo.Recovery(); rec.Clean() {
-		log.Printf("opened repository %s: clean, %d journal entries", *dir, rec.Entries)
+		logger.Info("opened repository", "dir", *dir, "entries", rec.Entries,
+			"recovery_ms", rec.Duration.Milliseconds())
 	} else {
-		log.Printf("opened repository %s: RECOVERED — %s", *dir, rec)
+		logger.Warn("opened repository after recovery", "dir", *dir, "detail", rec.String(),
+			"recovery_ms", rec.Duration.Milliseconds())
 	}
+
+	api := server.New(repo,
+		server.WithLogger(logger),
+		server.WithSlowThreshold(*slowThreshold),
+	)
+	// Mirror the metric registry into the process-global expvar namespace so
+	// /debug/vars carries the counters alongside the runtime's memstats.
+	server.PublishExpvar(api)
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(repo),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute, // applies may evaluate for a while
@@ -72,17 +105,22 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("shutting down...")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("verlog-server: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 		close(idle)
 	}()
-	log.Printf("serving repository %s on %s", *dir, *addr)
+	logger.Info("serving", "dir", *dir, "addr", *addr, "slow_threshold", slowThreshold.String())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("verlog-server: %v", err)
+		fatal(logger, err)
 	}
 	<-idle
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err)
+	os.Exit(1)
 }

@@ -5,6 +5,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"verlog/internal/eval"
 	"verlog/internal/objectbase"
@@ -67,10 +68,17 @@ func (e *Engine) Check(p *term.Program) (*strata.Assignment, error) {
 // (fixpoint base, updated object base, stratification, statistics).
 // ob is not modified.
 func (e *Engine) Apply(ob *objectbase.Base, p *term.Program) (*eval.Result, error) {
+	safetyStart := time.Now()
 	if err := safety.Program(p); err != nil {
 		return nil, err
 	}
-	return eval.Run(ob, p, e.opts)
+	safetyDur := time.Since(safetyStart)
+	res, err := eval.Run(ob, p, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Safety = safetyDur
+	return res, nil
 }
 
 // ApplySource parses, checks and evaluates program text against object-base

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"verlog/internal/objectbase"
 	"verlog/internal/strata"
@@ -65,6 +66,43 @@ func (t TraceEvent) String() string {
 	return fmt.Sprintf("[stratum %d, iteration %d] %s fires %s", t.Stratum+1, t.Iteration, t.Rule, t.Update)
 }
 
+// StratumTiming is the cost of one stratum's fixpoint.
+type StratumTiming struct {
+	// Duration is the wall-clock time the stratum's T_P iteration took.
+	Duration time.Duration
+	// Iterations is how many T_P applications it needed.
+	Iterations int
+}
+
+// Stats carries per-stage timings across the layers of one apply. eval.Run
+// fills Stratify, Strata, Copy and Eval; core.Apply adds Safety; the
+// repository adds ConstraintCheck and Commit; the server adds Parse. The
+// stage names follow the paper's pipeline: parse, safety, stratification,
+// per-stratum T_P fixpoints, the copy phase building ob' (Finalize), and
+// the apply phase committing the result.
+type Stats struct {
+	// Parse is the time spent parsing the program text (callers that start
+	// from a parsed program leave it zero).
+	Parse time.Duration
+	// Safety is the safety check over every rule.
+	Safety time.Duration
+	// Stratify is the stratification of the program.
+	Stratify time.Duration
+	// Strata is the per-stratum fixpoint cost, in stratum order.
+	Strata []StratumTiming
+	// Copy is the copy phase: building the updated object base ob' from the
+	// fixpoint (Finalize).
+	Copy time.Duration
+	// Eval is the total time inside eval.Run (stratify through copy).
+	Eval time.Duration
+	// ConstraintCheck is the integrity-constraint verification of the
+	// updated base (repository layer).
+	ConstraintCheck time.Duration
+	// Commit is the apply phase: diff computation, journal append (with
+	// fsync) and head replacement (repository layer).
+	Commit time.Duration
+}
+
 // Result is the outcome of running an update-program.
 type Result struct {
 	// Result is result(P): the fixpoint object base holding every version
@@ -81,6 +119,9 @@ type Result struct {
 	Fired int
 	// Trace holds fired-update events when Options.Trace was set.
 	Trace []TraceEvent
+	// Stats holds per-stage timings for this run; layers above eval add
+	// their own stages (see Stats).
+	Stats Stats
 }
 
 // LinearityError reports a violation of version-linearity (Section 5): two
@@ -135,10 +176,12 @@ type engine struct {
 // modified. Callers wanting safety diagnostics run package safety first;
 // Run itself assumes nothing and surfaces unbound-variable errors lazily.
 func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
+	evalStart := time.Now()
 	assignment, err := strata.Stratify(p)
 	if err != nil {
 		return nil, err
 	}
+	stratifyDur := time.Since(evalStart)
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = defaultMaxIterations
 	}
@@ -158,15 +201,23 @@ func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Assignment: assignment}
+	res.Stats.Stratify = stratifyDur
 	for si, stratum := range assignment.Strata {
+		stratumStart := time.Now()
 		iters, err := e.runStratum(si, stratum)
 		if err != nil {
 			return nil, err
 		}
 		res.Iterations = append(res.Iterations, iters)
+		res.Stats.Strata = append(res.Stats.Strata, StratumTiming{
+			Duration: time.Since(stratumStart), Iterations: iters,
+		})
 	}
 	res.Result = e.base
+	copyStart := time.Now()
 	res.Final = Finalize(e.base)
+	res.Stats.Copy = time.Since(copyStart)
+	res.Stats.Eval = time.Since(evalStart)
 	res.Fired = e.fired
 	// Candidate enumeration follows map order, so raw trace order within an
 	// iteration is arbitrary; sort it into a canonical order so runs are

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("verlog_applies_total", "applies")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Same name+labels returns the same instrument.
+	if r.Counter("verlog_applies_total", "applies") != c {
+		t.Error("counter not deduplicated")
+	}
+	g := r.Gauge("verlog_up", "up")
+	g.Set(1.5)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %g", g.Value())
+	}
+	// Labeled series are distinct.
+	a := r.Counter("verlog_http_requests_total", "reqs", "route", "/v1/apply", "code", "200")
+	b := r.Counter("verlog_http_requests_total", "reqs", "route", "/v1/query", "code", "200")
+	if a == b {
+		t.Error("distinct label sets shared an instrument")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Error("label series not independent")
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var l *SlowLog
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(time.Second)
+	l.Add(SlowEntry{})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || len(l.Entries()) != 0 {
+		t.Error("nil instruments returned non-zero values")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("verlog_apply_seconds", "apply latency")
+	h.Observe(50 * time.Microsecond) // below first bound
+	h.Observe(3 * time.Millisecond)  // into the 0.005 bucket
+	h.Observe(20 * time.Second)      // +Inf
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	want := 50*time.Microsecond + 3*time.Millisecond + 20*time.Second
+	if h.Sum() != want {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, line := range []string{
+		`verlog_apply_seconds_bucket{le="0.0001"} 1`,
+		`verlog_apply_seconds_bucket{le="0.005"} 2`,
+		`verlog_apply_seconds_bucket{le="10"} 2`,
+		`verlog_apply_seconds_bucket{le="+Inf"} 3`,
+		`verlog_apply_seconds_count 3`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestExpositionGolden pins the exposition structure for a fixed registry:
+// HELP/TYPE lines and series keys are stable output, values vary.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("verlog_http_requests_total", "HTTP requests by route and status code.", "route", "/v1/apply", "code", "200").Inc()
+	r.Gauge("verlog_recovery_seconds", "Duration of the last open-time recovery.").Set(0.25)
+	r.Histogram("verlog_journal_fsync_seconds", "Journal fsync latency.").Observe(2 * time.Millisecond)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	var structure []string
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			structure = append(structure, line)
+		} else {
+			structure = append(structure, strings.SplitN(line, " ", 2)[0])
+		}
+	}
+	got := strings.Join(structure, "\n")
+	want := strings.TrimSpace(`
+# HELP verlog_http_requests_total HTTP requests by route and status code.
+# TYPE verlog_http_requests_total counter
+verlog_http_requests_total{route="/v1/apply",code="200"}
+# HELP verlog_recovery_seconds Duration of the last open-time recovery.
+# TYPE verlog_recovery_seconds gauge
+verlog_recovery_seconds
+# HELP verlog_journal_fsync_seconds Journal fsync latency.
+# TYPE verlog_journal_fsync_seconds histogram
+verlog_journal_fsync_seconds_bucket{le="0.0001"}
+verlog_journal_fsync_seconds_bucket{le="0.00025"}
+verlog_journal_fsync_seconds_bucket{le="0.0005"}
+verlog_journal_fsync_seconds_bucket{le="0.001"}
+verlog_journal_fsync_seconds_bucket{le="0.0025"}
+verlog_journal_fsync_seconds_bucket{le="0.005"}
+verlog_journal_fsync_seconds_bucket{le="0.01"}
+verlog_journal_fsync_seconds_bucket{le="0.025"}
+verlog_journal_fsync_seconds_bucket{le="0.05"}
+verlog_journal_fsync_seconds_bucket{le="0.1"}
+verlog_journal_fsync_seconds_bucket{le="0.25"}
+verlog_journal_fsync_seconds_bucket{le="0.5"}
+verlog_journal_fsync_seconds_bucket{le="1"}
+verlog_journal_fsync_seconds_bucket{le="2.5"}
+verlog_journal_fsync_seconds_bucket{le="5"}
+verlog_journal_fsync_seconds_bucket{le="10"}
+verlog_journal_fsync_seconds_bucket{le="+Inf"}
+verlog_journal_fsync_seconds_sum
+verlog_journal_fsync_seconds_count
+`)
+	if got != want {
+		t.Errorf("exposition structure:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestConcurrentInstruments hammers one registry from many goroutines;
+// run under -race (make check) it verifies the atomics and registry locks.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const workers, rounds = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r.Counter("verlog_ops_total", "ops").Inc()
+				r.Counter("verlog_ops_by_worker_total", "ops", "w", string(rune('a'+w))).Inc()
+				r.Histogram("verlog_op_seconds", "op latency").Observe(time.Duration(i) * time.Microsecond)
+				r.Gauge("verlog_last", "last").Set(float64(i))
+				if i%500 == 0 {
+					var b strings.Builder
+					r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("verlog_ops_total", "ops").Value(); got != workers*rounds {
+		t.Errorf("ops = %d, want %d", got, workers*rounds)
+	}
+	if got := r.Histogram("verlog_op_seconds", "op latency").Count(); got != workers*rounds {
+		t.Errorf("histogram count = %d, want %d", got, workers*rounds)
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(SlowEntry{RequestID: string(rune('a' + i))})
+	}
+	got := l.Entries()
+	if len(got) != 3 || got[0].RequestID != "e" || got[2].RequestID != "c" {
+		t.Errorf("entries = %+v", got)
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d", l.Total())
+	}
+}
+
+func TestExpvarSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("verlog_x_total", "x").Add(7)
+	r.Histogram("verlog_y_seconds", "y").Observe(time.Second)
+	snap := r.Expvar()().(map[string]any)
+	if snap["verlog_x_total"] != int64(7) {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if snap["verlog_y_seconds_count"] != int64(1) {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// PublishExpvar twice must not panic.
+	PublishExpvar("verlog_test_metrics", r)
+	PublishExpvar("verlog_test_metrics", r)
+}

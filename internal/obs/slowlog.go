@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one slow request retained by a SlowLog. RequestID joins the
+// entry to the structured request log and to the caller's own trace (the
+// client sends its generated id as X-Request-Id).
+type SlowEntry struct {
+	RequestID  string    `json:"request_id"`
+	Method     string    `json:"method"`
+	Path       string    `json:"path"`
+	Status     int       `json:"status"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	// Detail is an endpoint-specific hint (e.g. the first line of the
+	// program a slow apply evaluated).
+	Detail string `json:"detail,omitempty"`
+}
+
+// SlowLog is a bounded in-memory ring of the most recent slow requests.
+// All methods are safe for concurrent use.
+type SlowLog struct {
+	mu      sync.Mutex
+	entries []SlowEntry
+	next    int
+	full    bool
+	total   int64
+}
+
+// NewSlowLog returns a ring keeping the last capacity entries (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{entries: make([]SlowEntry, capacity)}
+}
+
+// Add records one entry, evicting the oldest when full.
+func (l *SlowLog) Add(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries[l.next] = e
+	l.next++
+	l.total++
+	if l.next == len(l.entries) {
+		l.next, l.full = 0, true
+	}
+}
+
+// Entries returns the retained entries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.entries)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		idx := l.next - 1 - i
+		if idx < 0 {
+			idx += len(l.entries)
+		}
+		out = append(out, l.entries[idx])
+	}
+	return out
+}
+
+// Total returns how many entries were ever added (including evicted ones).
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

@@ -1,0 +1,48 @@
+package repository
+
+import (
+	"verlog/internal/obs"
+)
+
+// Metrics are the repository's instrumentation points. All fields are
+// nil-safe obs instruments, so an unwired repository records nothing at no
+// cost. Wire them with Instrument, which registers the standard metric
+// names; these names are the stable seam batching and sharding work will
+// keep reporting through.
+type Metrics struct {
+	// AppendWrite is the journal append write (excluding fsync).
+	AppendWrite *obs.Histogram
+	// AppendFsync is the journal fsync — the dominant durability cost.
+	AppendFsync *obs.Histogram
+	// HeadWrite is the head-cache replacement after a commit.
+	HeadWrite *obs.Histogram
+	// Compaction is the duration of Compact calls.
+	Compaction *obs.Histogram
+	// RecoverySeconds is the duration of the last recovery (open or repair).
+	RecoverySeconds *obs.Gauge
+	// Applies counts committed updates (replays excluded).
+	Applies *obs.Counter
+	// ReplayHits counts applies answered from the idempotency-key cache.
+	ReplayHits *obs.Counter
+	// ConstraintRejects counts updates refused by integrity constraints.
+	ConstraintRejects *obs.Counter
+}
+
+// Instrument wires the repository to the registry under the standard
+// verlog_* metric names and records the recovery the last Open performed.
+func (r *Repository) Instrument(reg *obs.Registry) {
+	m := Metrics{
+		AppendWrite:       reg.Histogram("verlog_journal_append_seconds", "Journal append write latency (excluding fsync)."),
+		AppendFsync:       reg.Histogram("verlog_journal_fsync_seconds", "Journal fsync latency."),
+		HeadWrite:         reg.Histogram("verlog_head_write_seconds", "Head cache replacement latency."),
+		Compaction:        reg.Histogram("verlog_compaction_seconds", "Compact duration."),
+		RecoverySeconds:   reg.Gauge("verlog_recovery_seconds", "Duration of the last open-time recovery."),
+		Applies:           reg.Counter("verlog_applies_total", "Committed updates (idempotent replays excluded)."),
+		ReplayHits:        reg.Counter("verlog_idempotency_replays_total", "Applies answered from the idempotency-key cache."),
+		ConstraintRejects: reg.Counter("verlog_constraint_rejects_total", "Updates refused by integrity constraints."),
+	}
+	r.mu.Lock()
+	r.metrics = m
+	m.RecoverySeconds.SetDuration(r.recovery.Duration)
+	r.mu.Unlock()
+}

@@ -31,6 +31,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"verlog/internal/core"
 	"verlog/internal/eval"
@@ -87,6 +88,8 @@ type Repository struct {
 	// the next operation re-runs recovery before proceeding.
 	needRepair bool
 	recovery   Recovery
+	// metrics are nil-safe instruments; see Instrument.
+	metrics Metrics
 }
 
 // Recovery summarizes what Open had to do to bring the repository to a
@@ -106,6 +109,8 @@ type Recovery struct {
 	HeadRebuilt bool
 	// StaleTemps counts leftover *.tmp files from crashed writers removed.
 	StaleTemps int
+	// Duration is how long the recovery pass took.
+	Duration time.Duration
 }
 
 // Clean reports whether Open found nothing to repair.
@@ -217,6 +222,7 @@ func (r *Repository) removeStaleTemps(rec *Recovery) error {
 // recoverLocked reconciles the three files; r.mu must be held (or the
 // repository not yet shared). See Open for what it repairs.
 func (r *Repository) recoverLocked() error {
+	start := time.Now()
 	var rec Recovery
 	if err := r.removeStaleTemps(&rec); err != nil {
 		return err
@@ -290,9 +296,11 @@ func (r *Repository) recoverLocked() error {
 		}
 	}
 	rec.Entries = len(live)
+	rec.Duration = time.Since(start)
 	r.snapSeq, r.seq, r.keys = snapSeq, seq, keys
 	r.recovery = rec
 	r.needRepair = false
+	r.metrics.RecoverySeconds.SetDuration(rec.Duration)
 	return nil
 }
 
@@ -560,6 +568,7 @@ func (r *Repository) ApplyKey(p *term.Program, key string, opts ...core.Option) 
 	}
 	if key != "" {
 		if e, ok := r.keys[key]; ok {
+			r.metrics.ReplayHits.Inc()
 			return nil, e, true, nil
 		}
 	}
@@ -571,13 +580,17 @@ func (r *Repository) ApplyKey(p *term.Program, key string, opts ...core.Option) 
 	if err != nil {
 		return nil, Entry{}, false, err
 	}
+	constraintStart := time.Now()
 	cs, err := r.constraintsLocked()
 	if err != nil {
 		return nil, Entry{}, false, err
 	}
 	if err := checkConstraints(res.Final, cs); err != nil {
+		r.metrics.ConstraintRejects.Inc()
 		return nil, Entry{}, false, err
 	}
+	res.Stats.ConstraintCheck = time.Since(constraintStart)
+	commitStart := time.Now()
 	diff := objectbase.Compute(head, res.Final)
 	added, removed := storage.EncodeDiff(diff)
 	entry := Entry{
@@ -598,13 +611,17 @@ func (r *Repository) ApplyKey(p *term.Program, key string, opts ...core.Option) 
 	}
 	// The record is durable: the update is committed from here on.
 	r.seq = entry.Seq
+	r.metrics.Applies.Inc()
 	if key != "" {
 		r.keys[key] = slimEntry(entry)
 	}
+	headStart := time.Now()
 	if err := r.writeBase(headFile, res.Final, r.seq); err != nil {
 		r.needRepair = true
 		return nil, Entry{}, false, fmt.Errorf("repository: update %d is journaled but the head cache was not updated (repaired on the next operation): %w", entry.Seq, err)
 	}
+	r.metrics.HeadWrite.Observe(time.Since(headStart))
+	res.Stats.Commit = time.Since(commitStart)
 	return res, entry, false, nil
 }
 
@@ -616,16 +633,20 @@ func (r *Repository) appendJournalLocked(line []byte) error {
 	if err != nil {
 		return fmt.Errorf("repository: %w", err)
 	}
+	writeStart := time.Now()
 	if _, err := jf.Write(line); err != nil {
 		jf.Close()
 		r.needRepair = true
 		return fmt.Errorf("repository: %w", err)
 	}
+	r.metrics.AppendWrite.Observe(time.Since(writeStart))
+	syncStart := time.Now()
 	if err := jf.Sync(); err != nil {
 		jf.Close()
 		r.needRepair = true
 		return fmt.Errorf("repository: %w", err)
 	}
+	r.metrics.AppendFsync.Observe(time.Since(syncStart))
 	if err := jf.Close(); err != nil {
 		r.needRepair = true
 		return fmt.Errorf("repository: %w", err)
@@ -689,6 +710,8 @@ func (r *Repository) verifyLocked() error {
 func (r *Repository) Compact() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	start := time.Now()
+	defer func() { r.metrics.Compaction.Observe(time.Since(start)) }()
 	if err := r.repairLocked(); err != nil {
 		return err
 	}

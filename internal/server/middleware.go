@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"verlog/internal/obs"
+)
+
+// ctxKey is the private context-key type for request-scoped data.
+type ctxKey int
+
+const requestInfoKey ctxKey = 0
+
+// requestInfo is the per-request record the middleware and handlers share.
+// The handler goroutine writes Detail before returning; the middleware
+// reads it afterwards, so no locking is needed.
+type requestInfo struct {
+	ID string
+	// Detail is an endpoint-specific hint for the slow-request log (e.g.
+	// the first line of the program a slow apply evaluated).
+	Detail string
+}
+
+// RequestID returns the request id assigned by the middleware ("" outside
+// a request).
+func RequestID(ctx context.Context) string {
+	if ri, ok := ctx.Value(requestInfoKey).(*requestInfo); ok {
+		return ri.ID
+	}
+	return ""
+}
+
+func info(ctx context.Context) *requestInfo {
+	ri, _ := ctx.Value(requestInfoKey).(*requestInfo)
+	return ri
+}
+
+// newRequestID returns 16 hex characters from crypto/rand.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000075bcd15" // never in practice; a fixed id beats none
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts caller-supplied ids that are safe to log: 1-128
+// printable non-space ASCII characters.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter captures the status code and body size of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// withObservability is the outermost handler: it assigns or propagates the
+// X-Request-Id, times the request, records route metrics, emits one
+// structured log line, and feeds the slow-request log.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-Id")
+		if !validRequestID(rid) {
+			rid = newRequestID()
+		}
+		ri := &requestInfo{ID: rid}
+		w.Header().Set("X-Request-Id", rid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestInfoKey, ri)))
+		dur := time.Since(start)
+
+		route := r.URL.Path
+		if !s.routes[route] {
+			route = "other"
+		}
+		s.reg.Counter("verlog_http_requests_total",
+			"HTTP requests by route and status code.",
+			"route", route, "code", strconv.Itoa(sw.status)).Inc()
+		s.reg.Histogram("verlog_http_request_seconds",
+			"HTTP request latency by route.", "route", route).Observe(dur)
+
+		level := slog.LevelInfo
+		switch {
+		case sw.status >= 500:
+			level = slog.LevelError
+		case sw.status >= 400:
+			level = slog.LevelWarn
+		}
+		s.logger.LogAttrs(r.Context(), level, "request",
+			slog.String("request_id", rid),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", dur),
+		)
+
+		if s.slowThreshold >= 0 && dur >= s.slowThreshold {
+			s.slow.Add(obs.SlowEntry{
+				RequestID:  rid,
+				Method:     r.Method,
+				Path:       r.URL.Path,
+				Status:     sw.status,
+				Start:      start,
+				DurationMS: float64(dur) / float64(time.Millisecond),
+				Detail:     ri.Detail,
+			})
+		}
+	})
+}

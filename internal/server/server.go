@@ -2,19 +2,29 @@
 // the update language usable as a small object-base server: clients POST
 // update-programs and queries in the concrete syntax and receive JSON.
 //
-// Endpoints (all under /v1):
+// The v1 surface (see docs/API.md for the full reference):
 //
-//	GET  /v1/head                  the current object base (text format)
+//	GET  /v1/head                  the current object base
 //	GET  /v1/state?n=N             the base after the first N programs
-//	GET  /v1/log                   journal summary (JSON)
-//	GET  /v1/history?object=NAME   version history of the last run — see POST /v1/apply
-//	GET  /v1/stats                 head-base summary (JSON)
+//	GET  /v1/log?limit=&after=     journal summary, paginated
+//	GET  /v1/history?object=NAME   version history of the last run, paginated
+//	GET  /v1/stats                 head-base summary
 //	POST /v1/explain               provenance of facts in the last run's fixpoint
-//	GET  /v1/constraints           installed constraints (text)
+//	GET  /v1/constraints           installed constraints
 //	POST /v1/constraints           install constraints (text body)
 //	POST /v1/check                 check a program (text body) -> strata
 //	POST /v1/query                 evaluate a query (text body) -> bindings
 //	POST /v1/apply                 apply an update-program (text body)
+//	GET  /v1/debug/slow            recent slow requests
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /debug/vars               expvar JSON
+//
+// Every response is JSON (the /metrics exposition excepted); every error is
+// the envelope {"error":{"code":"...","message":"...","request_id":"..."}}
+// with a machine-readable code (see errors.go). Every request is assigned
+// an X-Request-Id (the caller's, if it sends one) that appears in the
+// response header, the structured request log and the slow-request log, so
+// a slow server log line can be joined to a caller retry trace.
 //
 // Mutating requests are serialized by a mutex; the repository performs one
 // update transaction at a time, exactly as Section 2.2 treats a program as
@@ -24,15 +34,20 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"verlog/internal/core"
 	"verlog/internal/eval"
 	"verlog/internal/objectbase"
+	"verlog/internal/obs"
 	"verlog/internal/parser"
 	"verlog/internal/repository"
 	"verlog/internal/term"
@@ -41,51 +56,154 @@ import (
 // maxBodySize bounds request bodies (programs, queries, constraints).
 const maxBodySize = 16 << 20
 
+// Pagination bounds for /v1/log and /v1/history.
+const (
+	defaultPageLimit = 1000
+	maxPageLimit     = 10000
+)
+
+// DefaultSlowThreshold is the request latency above which a request enters
+// the slow log when no WithSlowThreshold option is given.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// slowLogCapacity bounds the in-memory slow-request ring.
+const slowLogCapacity = 128
+
 // Server handles HTTP requests against one repository.
 type Server struct {
-	repo *repository.Repository
-	mux  *http.ServeMux
+	repo   *repository.Repository
+	mux    *http.ServeMux
+	routes map[string]bool // registered paths, for the route metric label
+
+	logger        *slog.Logger
+	reg           *obs.Registry
+	slow          *obs.SlowLog
+	slowThreshold time.Duration
+
+	// applySeconds observes end-to-end apply latency; stage and stratum
+	// histograms aggregate eval.Stats server-side.
+	applySeconds *obs.Histogram
+
 	// mu serializes apply/constraint installs and guards lastResult.
 	mu sync.Mutex
 	// lastResult retains the most recent apply's fixpoint for /v1/history.
 	lastResult *eval.Result
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger sets the structured logger for request logs (default: discard).
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// WithRegistry sets the metrics registry (default: a fresh one). The
+// repository is instrumented into it either way.
+func WithRegistry(r *obs.Registry) Option { return func(s *Server) { s.reg = r } }
+
+// WithSlowThreshold sets the latency above which requests enter the slow
+// log at /v1/debug/slow. Zero records every request; negative disables the
+// log.
+func WithSlowThreshold(d time.Duration) Option { return func(s *Server) { s.slowThreshold = d } }
+
 // New returns a handler serving the repository.
-func New(repo *repository.Repository) *Server {
-	s := &Server{repo: repo, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /v1/head", s.handleHead)
-	s.mux.HandleFunc("GET /v1/state", s.handleState)
-	s.mux.HandleFunc("GET /v1/log", s.handleLog)
-	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
-	s.mux.HandleFunc("GET /v1/constraints", s.handleGetConstraints)
-	s.mux.HandleFunc("POST /v1/constraints", s.handleSetConstraints)
-	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
+func New(repo *repository.Repository, opts ...Option) *Server {
+	s := &Server{
+		repo:          repo,
+		mux:           http.NewServeMux(),
+		routes:        make(map[string]bool),
+		logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		slow:          obs.NewSlowLog(slowLogCapacity),
+		slowThreshold: DefaultSlowThreshold,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	repo.Instrument(s.reg)
+	s.applySeconds = s.reg.Histogram("verlog_apply_seconds",
+		"End-to-end apply latency (parse through commit).")
+
+	s.route("/v1/head", methods{"GET": s.handleHead})
+	s.route("/v1/state", methods{"GET": s.handleState})
+	s.route("/v1/log", methods{"GET": s.handleLog})
+	s.route("/v1/history", methods{"GET": s.handleHistory})
+	s.route("/v1/stats", methods{"GET": s.handleStats})
+	s.route("/v1/explain", methods{"POST": s.handleExplain})
+	s.route("/v1/constraints", methods{"GET": s.handleGetConstraints, "POST": s.handleSetConstraints})
+	s.route("/v1/check", methods{"POST": s.handleCheck})
+	s.route("/v1/query", methods{"POST": s.handleQuery})
+	s.route("/v1/apply", methods{"POST": s.handleApply})
+	s.route("/v1/debug/slow", methods{"GET": s.handleSlow})
+	s.routes["/metrics"] = true
+	s.mux.Handle("/metrics", s.reg.Handler())
+	s.routes["/debug/vars"] = true
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	// Unknown paths get the JSON envelope, not the mux's plain-text 404.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErrorCode(w, r, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("server: no such route %s", r.URL.Path))
+	})
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// methods maps an HTTP method to its handler for one path.
+type methods map[string]http.HandlerFunc
 
-// errorResponse is the JSON error envelope.
-type errorResponse struct {
-	Error string `json:"error"`
+// route registers path with per-method dispatch: a request with a method
+// not in m is answered with the 405 envelope and an Allow header, instead
+// of the mux's bare-text default.
+func (s *Server) route(path string, m methods) {
+	s.routes[path] = true
+	allow := make([]string, 0, len(m))
+	for meth := range m {
+		allow = append(allow, meth)
+	}
+	// Deterministic Allow header.
+	if len(allow) == 2 && allow[0] > allow[1] {
+		allow[0], allow[1] = allow[1], allow[0]
+	}
+	allowHeader := strings.Join(allow, ", ")
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		h, ok := m[r.Method]
+		if !ok {
+			w.Header().Set("Allow", allowHeader)
+			writeErrorCode(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				fmt.Errorf("server: %s does not allow %s (allowed: %s)", path, r.Method, allowHeader))
+			return
+		}
+		h(w, r)
+	})
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+// ServeHTTP implements http.Handler, wrapping the routes in the
+// observability middleware.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.withObservability(s.mux).ServeHTTP(w, r)
 }
+
+// Registry returns the server's metrics registry (the seam cmd/verlog-server
+// uses to publish expvar).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// PublishExpvar mirrors the server's metric registry into the
+// process-global expvar namespace under "verlog", so GET /debug/vars
+// carries the counters alongside the runtime's memstats. Safe to call
+// more than once; only the first registry wins (expvar is global, so this
+// is for the one long-lived server of a process, not for tests).
+func PublishExpvar(s *Server) { obs.PublishExpvar("verlog", s.reg) }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	enc := json.NewEncoder(w)
+	// Program text is full of "->"; don't escape it to >.
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
 }
+
+// readBody reads a POST body, rejecting empty and oversized ones.
+var errBodyTooLarge = fmt.Errorf("server: request body exceeds %d bytes", maxBodySize)
 
 func readBody(r *http.Request) (string, error) {
 	b, err := io.ReadAll(io.LimitReader(r.Body, maxBodySize+1))
@@ -93,29 +211,57 @@ func readBody(r *http.Request) (string, error) {
 		return "", err
 	}
 	if len(b) > maxBodySize {
-		return "", fmt.Errorf("server: request body exceeds %d bytes", maxBodySize)
+		return "", errBodyTooLarge
+	}
+	if len(strings.TrimSpace(string(b))) == 0 {
+		return "", errors.New("server: request body is empty")
 	}
 	return string(b), nil
 }
 
-// statusFor maps domain errors to HTTP statuses: syntax, safety and
-// stratification problems are the client's fault; constraint violations
-// are a conflict; the rest is internal.
-func statusFor(err error) int {
-	var se *parser.SyntaxError
-	var cv *repository.ConstraintViolationError
-	switch {
-	case errors.As(err, &se):
-		return http.StatusBadRequest
-	case errors.As(err, &cv):
-		return http.StatusConflict
-	default:
-		var le *eval.LinearityError
-		if errors.As(err, &le) {
-			return http.StatusUnprocessableEntity
+// readBodyOr400 wraps readBody with the envelope responses.
+func readBodyOr400(w http.ResponseWriter, r *http.Request) (string, bool) {
+	src, err := readBody(r)
+	if err != nil {
+		if errors.Is(err, errBodyTooLarge) {
+			writeErrorCode(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, err)
+		} else {
+			writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		}
-		return http.StatusInternalServerError
+		return "", false
 	}
+	return src, true
+}
+
+// pageParams parses ?limit= and ?after= with defaults and bounds.
+func pageParams(r *http.Request) (limit, after int, err error) {
+	limit, after = defaultPageLimit, 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 1 {
+			return 0, 0, fmt.Errorf("server: bad limit %q (want a positive integer)", v)
+		}
+		if limit > maxPageLimit {
+			limit = maxPageLimit
+		}
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		after, err = strconv.Atoi(v)
+		if err != nil || after < 0 {
+			return 0, 0, fmt.Errorf("server: bad after %q (want a non-negative integer)", v)
+		}
+	}
+	return limit, after, nil
+}
+
+// baseResponse renders an object base.
+type baseResponse struct {
+	// State is the journal position the base corresponds to (absent on
+	// /v1/head, which always reflects the newest state).
+	State *int `json:"state,omitempty"`
+	Facts int  `json:"facts"`
+	// Text is the base in concrete text syntax.
+	Text string `json:"text"`
 }
 
 func (s *Server) handleHead(w http.ResponseWriter, r *http.Request) {
@@ -123,32 +269,27 @@ func (s *Server) handleHead(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	head, err := s.repo.Head()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, parser.FormatFacts(head, false))
+	writeJSON(w, baseResponse{Facts: head.Size(), Text: parser.FormatFacts(head, false)})
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.URL.Query().Get("n"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad state number %q", r.URL.Query().Get("n")))
+		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("server: bad state number %q", r.URL.Query().Get("n")))
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	base, err := s.repo.At(n)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, repository.ErrNoSuchState) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err)
+		writeError(w, r, err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, parser.FormatFacts(base, false))
+	writeJSON(w, baseResponse{State: &n, Facts: base.Size(), Text: parser.FormatFacts(base, false)})
 }
 
 // logEntry is the journal summary row.
@@ -161,22 +302,42 @@ type logEntry struct {
 	Program string `json:"program"`
 }
 
+// logResponse is one page of the journal. NextAfter is present when more
+// entries follow; pass it back as ?after= to continue.
+type logResponse struct {
+	Entries   []logEntry `json:"entries"`
+	NextAfter *int       `json:"next_after,omitempty"`
+}
+
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	limit, after, err := pageParams(r)
+	if err != nil {
+		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entries, err := s.repo.Entries()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, err)
 		return
 	}
-	out := make([]logEntry, len(entries))
-	for i, e := range entries {
-		out[i] = logEntry{
+	resp := logResponse{Entries: []logEntry{}}
+	for _, e := range entries {
+		if e.Seq <= after {
+			continue
+		}
+		if len(resp.Entries) == limit {
+			next := resp.Entries[len(resp.Entries)-1].Seq
+			resp.NextAfter = &next
+			break
+		}
+		resp.Entries = append(resp.Entries, logEntry{
 			Seq: e.Seq, Added: len(e.Added), Removed: len(e.Removed),
 			Fired: e.Fired, Strata: e.Strata, Program: e.Program,
-		}
+		})
 	}
-	writeJSON(w, out)
+	writeJSON(w, resp)
 }
 
 // historyStep is the JSON rendering of one version stage.
@@ -188,30 +349,52 @@ type historyStep struct {
 	Removed []string `json:"removed,omitempty"`
 }
 
+// historyResponse is one page of an object's version history. After counts
+// steps from the start of the history (0-based offset).
+type historyResponse struct {
+	Object    string        `json:"object"`
+	Steps     []historyStep `json:"steps"`
+	NextAfter *int          `json:"next_after,omitempty"`
+}
+
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	object := r.URL.Query().Get("object")
 	if object == "" {
-		writeError(w, http.StatusBadRequest, errors.New("server: missing ?object="))
+		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest, errors.New("server: missing ?object="))
+		return
+	}
+	limit, after, err := pageParams(r)
+	if err != nil {
+		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.lastResult == nil {
-		writeError(w, http.StatusNotFound, errors.New("server: no apply has run in this session; history needs the fixpoint of the last update"))
+		writeErrorCode(w, r, http.StatusNotFound, CodeNotFound,
+			errors.New("server: no apply has run in this session; history needs the fixpoint of the last update"))
 		return
 	}
 	steps := eval.History(s.lastResult.Result, term.Sym(object))
-	out := make([]historyStep, len(steps))
+	resp := historyResponse{Object: object, Steps: []historyStep{}}
 	for i, st := range steps {
+		if i < after {
+			continue
+		}
+		if len(resp.Steps) == limit {
+			next := i
+			resp.NextAfter = &next
+			break
+		}
 		h := historyStep{Version: st.V.String(), State: factStrings(st.State)}
 		if st.V.Path.Len() > 0 {
 			h.Kind = st.Kind.String()
 		}
 		h.Added = factStrings(st.Added)
 		h.Removed = factStrings(st.Removed)
-		out[i] = h
+		resp.Steps = append(resp.Steps, h)
 	}
-	writeJSON(w, out)
+	writeJSON(w, resp)
 }
 
 func factStrings(fs []term.Fact) []string {
@@ -242,7 +425,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	head, err := s.repo.Head()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, err)
 		return
 	}
 	st := objectbase.CollectStats(head)
@@ -262,35 +445,45 @@ type explainEntry struct {
 	Explanation string `json:"explanation"`
 }
 
+type explainResponse struct {
+	Entries []explainEntry `json:"entries"`
+}
+
 // handleExplain explains facts (text body, fact syntax) against the
 // fixpoint of the most recent apply.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	src, err := readBody(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	src, ok := readBodyOr400(w, r)
+	if !ok {
 		return
 	}
 	facts, err := parser.Facts(src, "request")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.lastResult == nil {
-		writeError(w, http.StatusNotFound, errors.New("server: no apply has run in this session; explain needs the traced fixpoint of the last update"))
+		writeErrorCode(w, r, http.StatusNotFound, CodeNotFound,
+			errors.New("server: no apply has run in this session; explain needs the traced fixpoint of the last update"))
 		return
 	}
-	out := make([]explainEntry, 0, len(facts))
+	resp := explainResponse{Entries: make([]explainEntry, 0, len(facts))}
 	for _, f := range facts {
 		e := s.lastResult.Explain(f)
-		out = append(out, explainEntry{
+		resp.Entries = append(resp.Entries, explainEntry{
 			Fact:        f.String(),
 			Provenance:  e.Kind.String(),
 			Explanation: e.String(),
 		})
 	}
-	writeJSON(w, out)
+	writeJSON(w, resp)
+}
+
+// constraintsResponse renders the installed constraints.
+type constraintsResponse struct {
+	Count int    `json:"count"`
+	Text  string `json:"text"`
 }
 
 func (s *Server) handleGetConstraints(w http.ResponseWriter, r *http.Request) {
@@ -298,29 +491,28 @@ func (s *Server) handleGetConstraints(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	cs, err := s.repo.Constraints()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for i, c := range cs {
+	var b strings.Builder
+	for _, c := range cs {
 		if c.Name != "" {
-			fmt.Fprintf(w, "%s: ", c.Name)
+			fmt.Fprintf(&b, "%s: ", c.Name)
 		}
-		fmt.Fprintln(w, c.String())
-		_ = i
+		fmt.Fprintln(&b, c.String())
 	}
+	writeJSON(w, constraintsResponse{Count: len(cs), Text: b.String()})
 }
 
 func (s *Server) handleSetConstraints(w http.ResponseWriter, r *http.Request) {
-	src, err := readBody(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	src, ok := readBodyOr400(w, r)
+	if !ok {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.repo.SetConstraints(src); err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, err)
 		return
 	}
 	cs, _ := s.repo.Constraints()
@@ -334,19 +526,18 @@ type checkResponse struct {
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	src, err := readBody(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	src, ok := readBodyOr400(w, r)
+	if !ok {
 		return
 	}
 	p, err := parser.Program(src, "request")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
 	a, err := core.New().Check(p)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
 	labels := p.RuleLabels()
@@ -364,45 +555,128 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+type queryResponse struct {
+	Rows []map[string]string `json:"rows"`
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	src, err := readBody(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	src, ok := readBodyOr400(w, r)
+	if !ok {
 		return
 	}
+	setDetail(r, src)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	head, err := s.repo.Head()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, err)
 		return
 	}
 	bindings, err := core.Query(head, src)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, err)
 		return
 	}
-	out := make([]map[string]string, len(bindings))
+	resp := queryResponse{Rows: make([]map[string]string, len(bindings))}
 	for i, b := range bindings {
 		row := map[string]string{}
 		for v, o := range b {
 			row[string(v)] = o.String()
 		}
-		out[i] = row
+		resp.Rows[i] = row
 	}
-	writeJSON(w, out)
+	writeJSON(w, resp)
+}
+
+// applyTimings renders eval.Stats in microseconds for the apply response.
+type applyTimings struct {
+	ParseUS       int64   `json:"parse_us"`
+	SafetyUS      int64   `json:"safety_us"`
+	StratifyUS    int64   `json:"stratify_us"`
+	StrataUS      []int64 `json:"strata_us,omitempty"`
+	CopyUS        int64   `json:"copy_us"`
+	EvalUS        int64   `json:"eval_us"`
+	ConstraintsUS int64   `json:"constraints_us"`
+	CommitUS      int64   `json:"commit_us"`
+	TotalUS       int64   `json:"total_us"`
+}
+
+func timingsFromStats(st eval.Stats, total time.Duration) *applyTimings {
+	us := func(d time.Duration) int64 { return d.Microseconds() }
+	t := &applyTimings{
+		ParseUS:       us(st.Parse),
+		SafetyUS:      us(st.Safety),
+		StratifyUS:    us(st.Stratify),
+		CopyUS:        us(st.Copy),
+		EvalUS:        us(st.Eval),
+		ConstraintsUS: us(st.ConstraintCheck),
+		CommitUS:      us(st.Commit),
+		TotalUS:       us(total),
+	}
+	for _, s := range st.Strata {
+		t.StrataUS = append(t.StrataUS, us(s.Duration))
+	}
+	return t
 }
 
 // applyResponse reports a committed update. Replayed is set when the
 // request's Idempotency-Key matched an already-journaled update and
-// nothing was re-fired.
+// nothing was re-fired; replays carry no timings.
 type applyResponse struct {
-	State    int   `json:"state"`
-	Fired    int   `json:"fired"`
-	Strata   int   `json:"strata"`
-	Facts    int   `json:"facts"`
-	Iters    []int `json:"iterations"`
-	Replayed bool  `json:"replayed,omitempty"`
+	State    int           `json:"state"`
+	Fired    int           `json:"fired"`
+	Strata   int           `json:"strata"`
+	Facts    int           `json:"facts"`
+	Iters    []int         `json:"iterations"`
+	Replayed bool          `json:"replayed,omitempty"`
+	Timings  *applyTimings `json:"timings,omitempty"`
+}
+
+// stratumLabel bounds the cardinality of per-stratum metric labels.
+func stratumLabel(i int) string {
+	if i >= 8 {
+		return "9+"
+	}
+	return strconv.Itoa(i + 1)
+}
+
+// recordApplyStats aggregates one apply's stage timings into the
+// server-side histograms.
+func (s *Server) recordApplyStats(st eval.Stats, total time.Duration) {
+	s.applySeconds.Observe(total)
+	stage := func(name string, d time.Duration) {
+		s.reg.Histogram("verlog_eval_stage_seconds",
+			"Per-stage apply latency (parse, safety, stratify, eval, copy, constraints, commit).",
+			"stage", name).Observe(d)
+	}
+	stage("parse", st.Parse)
+	stage("safety", st.Safety)
+	stage("stratify", st.Stratify)
+	stage("eval", st.Eval)
+	stage("copy", st.Copy)
+	stage("constraints", st.ConstraintCheck)
+	stage("commit", st.Commit)
+	for i, tm := range st.Strata {
+		s.reg.Histogram("verlog_eval_stratum_seconds",
+			"Per-stratum T_P fixpoint latency.", "stratum", stratumLabel(i)).Observe(tm.Duration)
+		s.reg.Counter("verlog_eval_stratum_iterations_total",
+			"T_P iterations per stratum.", "stratum", stratumLabel(i)).Add(int64(tm.Iterations))
+	}
+}
+
+// setDetail attaches a one-line summary of the request body to the slow
+// log entry for this request.
+func setDetail(r *http.Request, body string) {
+	if ri := info(r.Context()); ri != nil {
+		line := strings.TrimSpace(body)
+		if i := strings.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i] + " …"
+		}
+		if len(line) > 120 {
+			line = line[:120] + "…"
+		}
+		ri.Detail = line
+	}
 }
 
 // handleApply applies an update-program. A client that retries a failed
@@ -410,29 +684,32 @@ type applyResponse struct {
 // journaled with the entry, so a retry of an update that did commit is
 // answered from the journal instead of firing twice.
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	src, err := readBody(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	start := time.Now()
+	src, ok := readBodyOr400(w, r)
+	if !ok {
 		return
 	}
+	setDetail(r, src)
+	parseStart := time.Now()
 	p, err := parser.Program(src, "request")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
+	parseDur := time.Since(parseStart)
 	key := r.Header.Get("Idempotency-Key")
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Trace so that /v1/history and /v1/explain can answer for this run.
 	res, entry, replayed, err := s.repo.ApplyKey(p, key, core.WithTrace())
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, err)
 		return
 	}
 	if replayed {
 		head, err := s.repo.Head()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, err)
 			return
 		}
 		writeJSON(w, applyResponse{
@@ -446,15 +723,38 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.repo.Len()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, err)
 		return
 	}
 	s.lastResult = res
+	res.Stats.Parse = parseDur
+	total := time.Since(start)
+	s.recordApplyStats(res.Stats, total)
 	writeJSON(w, applyResponse{
-		State:  n,
-		Fired:  res.Fired,
-		Strata: res.Assignment.NumStrata(),
-		Facts:  res.Final.Size(),
-		Iters:  res.Iterations,
+		State:   n,
+		Fired:   res.Fired,
+		Strata:  res.Assignment.NumStrata(),
+		Facts:   res.Final.Size(),
+		Iters:   res.Iterations,
+		Timings: timingsFromStats(res.Stats, total),
+	})
+}
+
+// slowResponse is the /v1/debug/slow payload.
+type slowResponse struct {
+	ThresholdMS float64         `json:"threshold_ms"`
+	Total       int64           `json:"total"`
+	Entries     []obs.SlowEntry `json:"entries"`
+}
+
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	entries := s.slow.Entries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, slowResponse{
+		ThresholdMS: float64(s.slowThreshold) / float64(time.Millisecond),
+		Total:       s.slow.Total(),
+		Entries:     entries,
 	})
 }

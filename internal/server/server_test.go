@@ -12,7 +12,7 @@ import (
 	"verlog/internal/repository"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *repository.Repository) {
+func newTestServer(t *testing.T, opts ...Option) (*httptest.Server, *repository.Repository) {
 	t.Helper()
 	initial, err := parser.ObjectBase(`
 phil.isa -> empl / pos -> mgr / sal -> 4000.
@@ -25,7 +25,7 @@ bob.isa -> empl / boss -> phil / sal -> 4200.
 	if err != nil {
 		t.Fatalf("Init: %v", err)
 	}
-	ts := httptest.NewServer(New(repo))
+	ts := httptest.NewServer(New(repo, opts...))
 	t.Cleanup(ts.Close)
 	return ts, repo
 }
@@ -52,6 +52,25 @@ func post(t *testing.T, url, body string) (int, string) {
 	return resp.StatusCode, string(b)
 }
 
+// errCode decodes the error envelope of a non-2xx body.
+func errCode(t *testing.T, body string) string {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			RequestID string `json:"request_id"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("error body is not the envelope: %q (%v)", body, err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %q", body)
+	}
+	return env.Error.Code
+}
+
 const enterpriseUpdate = `
 rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
 rule2: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, !E.pos -> mgr, S' = S * 1.1.
@@ -62,10 +81,17 @@ rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[m
 func TestServerLifecycle(t *testing.T) {
 	ts, _ := newTestServer(t)
 
-	// Head shows the initial base.
+	// Head shows the initial base, as JSON.
 	code, body := get(t, ts.URL+"/v1/head")
 	if code != 200 || !strings.Contains(body, "phil.sal -> 4000.") {
 		t.Fatalf("head: %d %s", code, body)
+	}
+	var head struct {
+		Facts int    `json:"facts"`
+		Text  string `json:"text"`
+	}
+	if err := json.Unmarshal([]byte(body), &head); err != nil || head.Facts == 0 || head.Text == "" {
+		t.Fatalf("head response: %s (%v)", body, err)
 	}
 
 	// Check the program.
@@ -81,16 +107,23 @@ func TestServerLifecycle(t *testing.T) {
 		t.Errorf("check response: %s", body)
 	}
 
-	// Apply it.
+	// Apply it; the response carries per-stage timings.
 	code, body = post(t, ts.URL+"/v1/apply", enterpriseUpdate)
 	if code != 200 {
 		t.Fatalf("apply: %d %s", code, body)
 	}
 	var ar struct {
 		State, Fired, Strata, Facts int
+		Timings                     *struct {
+			TotalUS  int64   `json:"total_us"`
+			StrataUS []int64 `json:"strata_us"`
+		} `json:"timings"`
 	}
 	if err := json.Unmarshal([]byte(body), &ar); err != nil || ar.State != 1 || ar.Fired != 6 {
 		t.Errorf("apply response: %s", body)
+	}
+	if ar.Timings == nil || len(ar.Timings.StrataUS) != 3 {
+		t.Errorf("apply timings missing: %s", body)
 	}
 
 	// Head now reflects the update; bob is gone.
@@ -101,7 +134,7 @@ func TestServerLifecycle(t *testing.T) {
 
 	// Query through the server.
 	code, body = post(t, ts.URL+"/v1/query", `E.isa -> hpe.`)
-	if code != 200 || !strings.Contains(body, `"E":"phil"`) {
+	if code != 200 || !strings.Contains(body, `"E":"phil"`) || !strings.Contains(body, `"rows"`) {
 		t.Errorf("query: %d %s", code, body)
 	}
 
@@ -110,13 +143,13 @@ func TestServerLifecycle(t *testing.T) {
 	if code != 200 || !strings.Contains(body, "bob.sal -> 4200.") {
 		t.Errorf("state 0: %d %s", code, body)
 	}
-	if code, _ := get(t, ts.URL+"/v1/state?n=7"); code != 404 {
-		t.Errorf("state 7 code = %d, want 404", code)
+	if code, body := get(t, ts.URL+"/v1/state?n=7"); code != 404 || errCode(t, body) != CodeNotFound {
+		t.Errorf("state 7 = %d %s, want 404 not_found", code, body)
 	}
 
 	// Log.
 	code, body = get(t, ts.URL+"/v1/log")
-	if code != 200 || !strings.Contains(body, `"seq":1`) {
+	if code != 200 || !strings.Contains(body, `"seq":1`) || !strings.Contains(body, `"entries"`) {
 		t.Errorf("log: %d %s", code, body)
 	}
 
@@ -127,35 +160,182 @@ func TestServerLifecycle(t *testing.T) {
 	}
 }
 
-func TestServerErrors(t *testing.T) {
+func TestServerErrorEnvelope(t *testing.T) {
 	ts, _ := newTestServer(t)
 
-	// Syntax error -> 400.
-	if code, _ := post(t, ts.URL+"/v1/apply", "ins[X].m -> "); code != 400 {
-		t.Errorf("syntax error code = %d", code)
+	// Syntax error -> 400 parse_error.
+	code, body := post(t, ts.URL+"/v1/apply", "ins[X].m -> ")
+	if code != 400 || errCode(t, body) != CodeParseError {
+		t.Errorf("syntax error = %d %s", code, body)
 	}
-	// Unsafe program -> 400 (wrapped safety error is not a syntax error but
-	// still the client's fault; it maps to 500 unless recognized — the
-	// handler parses first, then Check runs inside Apply).
-	code, body := post(t, ts.URL+"/v1/apply", "r: ins[X].m -> Y <- X.isa -> empl.")
-	if code == 200 {
-		t.Errorf("unsafe program accepted: %s", body)
+	// Unsafe program -> 400 unsafe_rule.
+	code, body = post(t, ts.URL+"/v1/apply", "r: ins[X].m -> Y <- X.isa -> empl.")
+	if code != 400 || errCode(t, body) != CodeUnsafeRule {
+		t.Errorf("unsafe program = %d %s", code, body)
 	}
-	// Bad query -> 400.
-	if code, _ := post(t, ts.URL+"/v1/query", "E.sal -> "); code != 400 {
-		t.Errorf("bad query code = %d", code)
+	// Bad query -> 400 parse_error.
+	code, body = post(t, ts.URL+"/v1/query", "E.sal -> ")
+	if code != 400 || errCode(t, body) != CodeParseError {
+		t.Errorf("bad query = %d %s", code, body)
 	}
-	// History before any apply -> 404.
-	if code, _ := get(t, ts.URL+"/v1/history?object=phil"); code != 404 {
-		t.Errorf("history without apply code = %d", code)
+	// History before any apply -> 404 not_found.
+	code, body = get(t, ts.URL+"/v1/history?object=phil")
+	if code != 404 || errCode(t, body) != CodeNotFound {
+		t.Errorf("history without apply = %d %s", code, body)
 	}
-	// Missing object param -> 400.
-	if code, _ := get(t, ts.URL+"/v1/history"); code != 400 {
-		t.Errorf("history without object code = %d", code)
+	// Missing object param -> 400 bad_request.
+	code, body = get(t, ts.URL+"/v1/history")
+	if code != 400 || errCode(t, body) != CodeBadRequest {
+		t.Errorf("history without object = %d %s", code, body)
 	}
-	// Bad state number -> 400.
-	if code, _ := get(t, ts.URL+"/v1/state?n=abc"); code != 400 {
-		t.Errorf("bad state code = %d", code)
+	// Bad state number -> 400 bad_request.
+	code, body = get(t, ts.URL+"/v1/state?n=abc")
+	if code != 400 || errCode(t, body) != CodeBadRequest {
+		t.Errorf("bad state = %d %s", code, body)
+	}
+	// Empty POST body -> 400 bad_request.
+	code, body = post(t, ts.URL+"/v1/apply", "   ")
+	if code != 400 || errCode(t, body) != CodeBadRequest {
+		t.Errorf("empty body = %d %s", code, body)
+	}
+	// Unknown route -> 404 envelope, not the mux's plain text.
+	code, body = get(t, ts.URL+"/v1/nope")
+	if code != 404 || errCode(t, body) != CodeNotFound {
+		t.Errorf("unknown route = %d %s", code, body)
+	}
+	// Wrong method -> 405 envelope with Allow header.
+	resp, err := http.Get(ts.URL + "/v1/apply")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 405 || errCode(t, string(b)) != CodeMethodNotAllowed {
+		t.Errorf("GET /v1/apply = %d %s", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Allow") != "POST" {
+		t.Errorf("Allow = %q, want POST", resp.Header.Get("Allow"))
+	}
+}
+
+// TestServerContentType: every /v1 response, success or error, is JSON.
+func TestServerContentType(t *testing.T) {
+	ts, _ := newTestServer(t)
+	checks := []struct {
+		method, path, body string
+	}{
+		{"GET", "/v1/head", ""},
+		{"GET", "/v1/state?n=0", ""},
+		{"GET", "/v1/state?n=99", ""}, // error path
+		{"GET", "/v1/log", ""},
+		{"GET", "/v1/stats", ""},
+		{"GET", "/v1/constraints", ""},
+		{"GET", "/v1/history", ""}, // error path
+		{"GET", "/v1/debug/slow", ""},
+		{"POST", "/v1/query", "phil.sal -> S."},
+		{"POST", "/v1/check", "r: ins[x].m -> a <- x.isa -> t."},
+		{"POST", "/v1/apply", "broken"}, // error path
+		{"GET", "/v1/nope", ""},         // 404 path
+		{"PUT", "/v1/apply", "x"},       // 405 path
+	}
+	for _, c := range checks {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", c.method, c.path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s %s: Content-Type = %q, want application/json", c.method, c.path, ct)
+		}
+	}
+}
+
+func TestServerPagination(t *testing.T) {
+	ts, _ := newTestServer(t)
+	raise := `r: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr, E.sal -> S, S' = S + 1.`
+	for i := 0; i < 5; i++ {
+		if code, body := post(t, ts.URL+"/v1/apply", raise); code != 200 {
+			t.Fatalf("apply %d: %d %s", i, code, body)
+		}
+	}
+	var page struct {
+		Entries []struct {
+			Seq int `json:"seq"`
+		} `json:"entries"`
+		NextAfter *int `json:"next_after"`
+	}
+	// First page of 2.
+	code, body := get(t, ts.URL+"/v1/log?limit=2")
+	if code != 200 {
+		t.Fatalf("log: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 2 || page.Entries[0].Seq != 1 || page.NextAfter == nil || *page.NextAfter != 2 {
+		t.Fatalf("page 1 = %s", body)
+	}
+	// Continue from the cursor.
+	code, body = get(t, ts.URL+"/v1/log?limit=2&after=2")
+	if code != 200 {
+		t.Fatalf("log p2: %d %s", code, body)
+	}
+	page.NextAfter = nil
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 2 || page.Entries[0].Seq != 3 || page.NextAfter == nil {
+		t.Fatalf("page 2 = %s", body)
+	}
+	// Final page has no cursor.
+	code, body = get(t, ts.URL+"/v1/log?limit=2&after=4")
+	page.NextAfter = nil
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if code != 200 || len(page.Entries) != 1 || page.NextAfter != nil {
+		t.Fatalf("page 3 = %d %s", code, body)
+	}
+	// Bad params are envelope errors.
+	if code, body := get(t, ts.URL+"/v1/log?limit=0"); code != 400 || errCode(t, body) != CodeBadRequest {
+		t.Errorf("limit=0 = %d %s", code, body)
+	}
+	if code, body := get(t, ts.URL+"/v1/log?after=-1"); code != 400 || errCode(t, body) != CodeBadRequest {
+		t.Errorf("after=-1 = %d %s", code, body)
+	}
+
+	// History pagination: the enterprise update gives bob 3 steps.
+	if code, body := post(t, ts.URL+"/v1/apply", enterpriseUpdate); code != 409 && code != 200 {
+		t.Fatalf("enterprise apply: %d %s", code, body)
+	}
+	var hist struct {
+		Steps []struct {
+			Version string `json:"version"`
+		} `json:"steps"`
+		NextAfter *int `json:"next_after"`
+	}
+	code, body = get(t, ts.URL+"/v1/history?object=bob&limit=2")
+	if code != 200 {
+		t.Fatalf("history: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Steps) != 2 || hist.NextAfter == nil || *hist.NextAfter != 2 {
+		t.Fatalf("history page 1 = %s", body)
+	}
+	code, body = get(t, ts.URL+"/v1/history?object=bob&limit=2&after=2")
+	hist.NextAfter = nil
+	if err := json.Unmarshal([]byte(body), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if code != 200 || len(hist.Steps) != 1 || hist.NextAfter != nil {
+		t.Fatalf("history page 2 = %d %s", code, body)
 	}
 }
 
@@ -167,13 +347,14 @@ func TestServerConstraints(t *testing.T) {
 		t.Fatalf("set constraints: %d %s", code, body)
 	}
 	code, body = get(t, ts.URL+"/v1/constraints")
-	if code != 200 || !strings.Contains(body, "nonneg:") {
+	if code != 200 || !strings.Contains(body, "nonneg:") || !strings.Contains(body, `"count":1`) {
 		t.Errorf("get constraints: %d %s", code, body)
 	}
-	// A violating update is rejected with 409 and not committed.
-	code, _ = post(t, ts.URL+"/v1/apply", `r: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S - 99999.`)
-	if code != 409 {
-		t.Errorf("violating apply code = %d, want 409", code)
+	// A violating update is rejected with 409 constraint_violation and not
+	// committed.
+	code, body = post(t, ts.URL+"/v1/apply", `r: mod[E].sal -> (S, S') <- E.isa -> empl, E.sal -> S, S' = S - 99999.`)
+	if code != 409 || errCode(t, body) != CodeConstraintViolation {
+		t.Errorf("violating apply = %d %s, want 409 constraint_violation", code, body)
 	}
 	code, body = get(t, ts.URL+"/v1/head")
 	if code != 200 || !strings.Contains(body, "phil.sal -> 4000.") {
@@ -187,8 +368,8 @@ func TestServerLinearityViolation(t *testing.T) {
 ra: mod[X].sal -> (S, S) <- X.isa -> empl, X.sal -> S.
 rb: del[X].sal -> S <- X.isa -> empl, X.sal -> S.
 `)
-	if code != 422 {
-		t.Errorf("linearity violation code = %d (%s), want 422", code, body)
+	if code != 422 || errCode(t, body) != CodeNotLinear {
+		t.Errorf("linearity violation = %d (%s), want 422 not_linear", code, body)
 	}
 }
 
@@ -199,8 +380,8 @@ func TestServerStatsAndExplain(t *testing.T) {
 		t.Fatalf("stats: %d %s", code, body)
 	}
 	// Explain before any apply: 404.
-	if code, _ := post(t, ts.URL+"/v1/explain", "phil.sal -> 4000."); code != 404 {
-		t.Errorf("explain without apply = %d", code)
+	if code, body := post(t, ts.URL+"/v1/explain", "phil.sal -> 4000."); code != 404 || errCode(t, body) != CodeNotFound {
+		t.Errorf("explain without apply = %d %s", code, body)
 	}
 	if code, body := post(t, ts.URL+"/v1/apply", enterpriseUpdate); code != 200 {
 		t.Fatalf("apply: %d %s", code, body)
@@ -209,20 +390,22 @@ func TestServerStatsAndExplain(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("explain: %d %s", code, body)
 	}
-	var entries []struct {
-		Fact, Provenance, Explanation string
+	var resp struct {
+		Entries []struct {
+			Fact, Provenance, Explanation string
+		} `json:"entries"`
 	}
-	if err := json.Unmarshal([]byte(body), &entries); err != nil || len(entries) != 2 {
+	if err := json.Unmarshal([]byte(body), &resp); err != nil || len(resp.Entries) != 2 {
 		t.Fatalf("explain body: %s (%v)", body, err)
 	}
-	if entries[0].Provenance != "update" || !strings.Contains(entries[0].Explanation, "rule4") {
-		t.Errorf("entry 0 = %+v", entries[0])
+	if resp.Entries[0].Provenance != "update" || !strings.Contains(resp.Entries[0].Explanation, "rule4") {
+		t.Errorf("entry 0 = %+v", resp.Entries[0])
 	}
-	if entries[1].Provenance != "copy" {
-		t.Errorf("entry 1 = %+v", entries[1])
+	if resp.Entries[1].Provenance != "copy" {
+		t.Errorf("entry 1 = %+v", resp.Entries[1])
 	}
 	// Bad fact syntax: 400.
-	if code, _ := post(t, ts.URL+"/v1/explain", "broken ->"); code != 400 {
-		t.Errorf("bad explain body accepted")
+	if code, body := post(t, ts.URL+"/v1/explain", "broken ->"); code != 400 || errCode(t, body) != CodeParseError {
+		t.Errorf("bad explain body = %d %s", code, body)
 	}
 }
