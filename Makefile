@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet lint race check bench clean
 
 all: check
 
@@ -12,6 +12,21 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond go vet. staticcheck and govulncheck are optional
+# locally (skipped with a notice when not installed — this repo adds no
+# network dependencies); CI installs both and runs this same target.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
+	fi
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,158 @@
+package verlog_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"verlog"
+	"verlog/internal/analysis"
+	"verlog/internal/term"
+)
+
+var updateAnalysis = flag.Bool("update-analysis", false,
+	"rewrite the -- diagnostics -- sections of testdata/analysis cases")
+
+// TestAnalysisGolden runs every case under testdata/analysis. A case file
+// has the sections
+//
+//	-- base --         optional: an object base for the vocabulary passes
+//	-- program --      the program text handed to the analyzer
+//	-- diagnostics --  expected output, one "file:line:col: severity CODE:
+//	                   message" line per diagnostic (empty for a clean
+//	                   program); must be the last section
+//
+// Line numbers count from the first line after the -- program -- header.
+// Run `go test -run TestAnalysisGolden -update-analysis` to regenerate the
+// expected output after changing the analyzer; review the diff.
+//
+// Together with the programmatic structural cases below, the corpus covers
+// every diagnostic code — the completeness check at the end fails when a
+// new code is added without a test here.
+func TestAnalysisGolden(t *testing.T) {
+	files, err := filepath.Glob("testdata/analysis/*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no analysis cases found")
+	}
+	covered := map[string]bool{}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sections := splitSections(string(raw))
+			progSrc, ok := sections["program"]
+			if !ok {
+				t.Fatal("case has no -- program -- section")
+			}
+			var opts verlog.AnalysisOptions
+			if baseSrc, ok := sections["base"]; ok {
+				ob, err := verlog.ParseObjectBaseFile(baseSrc, file+":base")
+				if err != nil {
+					t.Fatalf("base: %v", err)
+				}
+				opts.Base = ob
+			}
+			ds, _ := verlog.AnalyzeSource(progSrc, filepath.Base(file), opts)
+			var got []string
+			for _, d := range ds {
+				got = append(got, d.String())
+				covered[d.Code] = true
+			}
+			if *updateAnalysis {
+				if err := rewriteDiagnostics(file, string(raw), got); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want := splitLines(sections["diagnostics"])
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("diagnostics mismatch\n got:\n%s\nwant:\n%s",
+					strings.Join(got, "\n"), strings.Join(want, "\n"))
+			}
+		})
+	}
+
+	// V0003-V0006 guard against malformed term.Rule values the parser can
+	// never produce, so they are exercised on programmatically built rules.
+	t.Run("structural", func(t *testing.T) {
+		x := term.Var("X")
+		app := func(m string) term.MethodApp { return term.MethodApp{Method: m, Result: term.Sym("v")} }
+		body := []term.Literal{{Atom: term.VersionAtom{V: term.VersionID{Base: x}, App: app("t")}}}
+		cases := []struct {
+			name string
+			rule term.Rule
+			code string
+		}{
+			{"exists-head", term.Rule{
+				Head: term.UpdateAtom{Kind: term.Ins, V: term.VersionID{Base: x}, App: app(term.ExistsMethod)},
+				Body: body,
+			}, analysis.CodeExistsHead},
+			{"wildcard-head", term.Rule{
+				Head: term.UpdateAtom{Kind: term.Ins, V: term.VersionID{Base: x, Any: true}, App: app("m")},
+				Body: body,
+			}, analysis.CodeWildcard},
+			{"delete-all-in-body", term.Rule{
+				Head: term.UpdateAtom{Kind: term.Ins, V: term.VersionID{Base: x}, App: app("t")},
+				Body: append([]term.Literal{{Atom: term.UpdateAtom{Kind: term.Del, V: term.VersionID{Base: x}, All: true}}}, body...),
+			}, analysis.CodeDeleteAll},
+			{"mod-without-pair", term.Rule{
+				Head: term.UpdateAtom{Kind: term.Mod, V: term.VersionID{Base: x}, App: app("t")},
+				Body: body,
+			}, analysis.CodeModPair},
+		}
+		for _, c := range cases {
+			ds := verlog.Analyze(&verlog.Program{Rules: []verlog.Rule{c.rule}}, verlog.AnalysisOptions{})
+			found := false
+			for _, d := range ds {
+				covered[d.Code] = true
+				if d.Code == c.code && d.Severity == verlog.SeverityError {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: no %s diagnostic in %v", c.name, c.code, ds)
+			}
+		}
+	})
+
+	if *updateAnalysis {
+		return
+	}
+	all := []string{
+		analysis.CodeUnboundVar, analysis.CodeNotStratifiable,
+		analysis.CodeExistsHead, analysis.CodeWildcard,
+		analysis.CodeDeleteAll, analysis.CodeModPair, analysis.CodeParse,
+		analysis.CodeNeverFires, analysis.CodeDuplicateRule,
+		analysis.CodeSingleVar, analysis.CodeEmptiedVersion,
+		analysis.CodeLinearityClash, analysis.CodeDeepVID,
+		analysis.CodeUnreadMethod, analysis.CodeUnknownMethod,
+	}
+	for _, code := range all {
+		if !covered[code] {
+			t.Errorf("diagnostic code %s has no covering case in testdata/analysis", code)
+		}
+	}
+}
+
+// rewriteDiagnostics replaces everything after the -- diagnostics -- header
+// (the last section by convention) with the given lines.
+func rewriteDiagnostics(file, raw string, lines []string) error {
+	marker := "-- diagnostics --\n"
+	i := strings.Index(raw, marker)
+	if i < 0 {
+		return os.ErrInvalid
+	}
+	out := raw[:i+len(marker)]
+	if len(lines) > 0 {
+		out += strings.Join(lines, "\n") + "\n"
+	}
+	return os.WriteFile(file, []byte(out), 0o644)
+}

@@ -87,6 +87,40 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
+// Position locates a diagnostic or error in submitted program text.
+type Position struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+func (p Position) String() string {
+	if p.Line <= 0 {
+		return "-"
+	}
+	file := p.File
+	if file == "" {
+		file = "<input>"
+	}
+	return fmt.Sprintf("%s:%d:%d", file, p.Line, p.Col)
+}
+
+// Diagnostic is one finding of the server-side static analyzer, returned
+// by Check. Codes are stable ("V0001"); severity is "error", "warning" or
+// "info". Only error-severity diagnostics block Apply.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity string   `json:"severity"`
+	Position Position `json:"position"`
+	Rule     string   `json:"rule,omitempty"`
+	Message  string   `json:"message"`
+	Witness  string   `json:"witness,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s %s: %s", d.Position, d.Severity, d.Code, d.Message)
+}
+
 // APIError is a non-2xx response from the server.
 type APIError struct {
 	StatusCode int
@@ -95,16 +129,23 @@ type APIError struct {
 	// Empty when the response was not the envelope (e.g. a proxy error).
 	Code    string
 	Message string
+	// Position locates the error in the submitted program text, when the
+	// server attributed it to one (parse, safety, stratification).
+	Position *Position
 	// RequestID is the X-Request-Id the failed exchange ran under, for
 	// joining against the server's logs.
 	RequestID string
 }
 
 func (e *APIError) Error() string {
-	if e.Code != "" {
-		return fmt.Sprintf("verlog server: %d %s: %s", e.StatusCode, e.Code, e.Message)
+	msg := e.Message
+	if e.Position != nil {
+		msg = e.Position.String() + ": " + msg
 	}
-	return fmt.Sprintf("verlog server: %d: %s", e.StatusCode, e.Message)
+	if e.Code != "" {
+		return fmt.Sprintf("verlog server: %d %s: %s", e.StatusCode, e.Code, msg)
+	}
+	return fmt.Sprintf("verlog server: %d: %s", e.StatusCode, msg)
 }
 
 // retryable reports whether an attempt's failure is worth retrying: any
@@ -213,14 +254,15 @@ func (c *Client) attempt(ctx context.Context, method, path, body, idemKey, reqID
 		}
 		if json.Unmarshal(data, &envelope) == nil && len(envelope.Error) > 0 {
 			var inner struct {
-				Code      string `json:"code"`
-				Message   string `json:"message"`
-				RequestID string `json:"request_id"`
+				Code      string    `json:"code"`
+				Message   string    `json:"message"`
+				Position  *Position `json:"position"`
+				RequestID string    `json:"request_id"`
 			}
 			var flat string
 			switch {
 			case json.Unmarshal(envelope.Error, &inner) == nil && inner.Message != "":
-				ae.Code, ae.Message = inner.Code, inner.Message
+				ae.Code, ae.Message, ae.Position = inner.Code, inner.Message, inner.Position
 				if inner.RequestID != "" {
 					ae.RequestID = inner.RequestID
 				}
@@ -380,13 +422,32 @@ func (c *Client) Query(ctx context.Context, query string) ([]map[string]string, 
 	return resp.Rows, json.Unmarshal(b, &resp)
 }
 
-// CheckResult reports a program's static analysis.
+// CheckResult reports a program's static analysis. OK is true when no
+// diagnostic has error severity (the program would be accepted by Apply);
+// Diagnostics carries every analyzer finding, including warnings and
+// infos. Strata is only present when OK.
 type CheckResult struct {
-	Rules  int      `json:"rules"`
-	Strata []string `json:"strata"`
+	Rules       int          `json:"rules"`
+	OK          bool         `json:"ok"`
+	Strata      []string     `json:"strata"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
 }
 
-// Check validates a program without applying it.
+// Errors returns the error-severity diagnostics.
+func (r *CheckResult) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Severity == "error" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Check analyzes a program without applying it: safety, stratifiability
+// and the lint passes, as positioned diagnostics with stable codes. A
+// defective program is NOT an error from Check — inspect OK and
+// Diagnostics.
 func (c *Client) Check(ctx context.Context, program string) (*CheckResult, error) {
 	b, err := c.do(ctx, http.MethodPost, "/v1/check", program)
 	if err != nil {

@@ -6,6 +6,7 @@
 //
 //	verlog run    -ob BASE -prog PROG [-o OUT] [-result OUT] [-trace] [-naive]
 //	verlog check  -prog PROG
+//	verlog vet    [-json] [-ob BASE] [-max-depth N] FILES...
 //	verlog strata -prog PROG
 //	verlog query  -ob BASE 'QUERY'
 //	verlog diff   -from BASE1 -to BASE2
@@ -19,12 +20,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
+	"verlog/internal/analysis"
 	"verlog/internal/core"
 	"verlog/internal/derived"
 	"verlog/internal/eval"
@@ -50,6 +53,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "vet":
+		err = cmdVet(os.Args[2:])
 	case "strata":
 		err = cmdStrata(os.Args[2:])
 	case "query":
@@ -90,6 +95,7 @@ func usage() {
 commands:
   run     apply an update-program to an object base
   check   check a program (safety + stratifiability)
+  vet     static analysis with positioned, coded diagnostics
   strata  print a program's stratification and constraints
   query   evaluate a query against an object base
   diff    compare two object bases
@@ -216,6 +222,67 @@ func cmdCheck(args []string) error {
 	}
 	fmt.Printf("%d rules, safe, stratifiable into %d strata: %s\n",
 		len(p.Rules), a.NumStrata(), a.Format(p.RuleLabels()))
+	return nil
+}
+
+// cmdVet runs the multi-pass static analyzer over one or more program
+// files and prints every diagnostic (file:line:col, stable code, message).
+// Exit status is 1 when any diagnostic has error severity; warnings and
+// infos alone exit 0 (use -strict to fail on warnings too).
+func cmdVet(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	obPath := fs.String("ob", "", "object base supplying the method vocabulary (sharper lint passes)")
+	maxDepth := fs.Int("max-depth", 0, "version nesting depth above which V0106 fires (default 4)")
+	strict := fs.Bool("strict", false, "treat warnings as failures")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("vet: usage: verlog vet [-json] [-ob BASE] [-max-depth N] FILES...")
+	}
+	opts := analysis.Options{MaxDepth: *maxDepth}
+	if *obPath != "" {
+		ob, err := loadBase(*obPath)
+		if err != nil {
+			return err
+		}
+		opts.Base = ob
+	}
+	var all []analysis.Diagnostic
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		ds, _ := analysis.Source(string(src), path, opts)
+		all = append(all, ds...)
+	}
+	var nErr, nWarn int
+	for _, d := range all {
+		switch d.Severity {
+		case analysis.Error:
+			nErr++
+		case analysis.Warning:
+			nWarn++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if nErr > 0 || (*strict && nWarn > 0) {
+		return fmt.Errorf("vet: %d error(s), %d warning(s)", nErr, nWarn)
+	}
 	return nil
 }
 

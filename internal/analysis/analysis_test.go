@@ -1,0 +1,500 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"verlog/internal/objectbase"
+	"verlog/internal/parser"
+	"verlog/internal/term"
+	"verlog/internal/workload"
+)
+
+// codes extracts the diagnostic codes in order.
+func codes(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func analyzeString(t *testing.T, src string, opts Options) []Diagnostic {
+	t.Helper()
+	ds, p := Source(src, "t.vlg", opts)
+	if p == nil {
+		t.Fatalf("program did not parse: %v", ds)
+	}
+	return ds
+}
+
+func TestPaperProgramsAreClean(t *testing.T) {
+	for name, src := range map[string]string{
+		"enterprise": workload.EnterpriseProgram,
+		"salary":     workload.SalaryRaiseProgram,
+		"ancestors":  workload.AncestorsProgram,
+	} {
+		ds, p := Source(src, name+".vlg", Options{})
+		if p == nil {
+			t.Fatalf("%s did not parse", name)
+		}
+		if len(ds) != 0 {
+			t.Errorf("%s: unexpected diagnostics: %v", name, ds)
+		}
+	}
+}
+
+func TestSeverityText(t *testing.T) {
+	for s, want := range map[Severity]string{Error: "error", Warning: "warning", Info: "info"} {
+		if s.String() != want {
+			t.Errorf("String(%d) = %q", s, s.String())
+		}
+		b, err := s.MarshalText()
+		if err != nil || string(b) != want {
+			t.Errorf("MarshalText(%d) = %q, %v", s, b, err)
+		}
+		var back Severity
+		if err := back.UnmarshalText([]byte(want)); err != nil || back != s {
+			t.Errorf("UnmarshalText(%q) = %v, %v", want, back, err)
+		}
+	}
+	if Severity(9).String() != "Severity(9)" {
+		t.Errorf("unknown severity String = %q", Severity(9).String())
+	}
+	var s Severity
+	if err := s.UnmarshalText([]byte("fatal")); err == nil {
+		t.Error("UnmarshalText accepted unknown severity")
+	}
+}
+
+func TestDiagnosticJSONAndString(t *testing.T) {
+	d := Diagnostic{
+		Code:     CodeUnboundVar,
+		Severity: Error,
+		Pos:      term.Pos{File: "a.vlg", Line: 3, Col: 7},
+		Message:  "unbound variable Y",
+		Witness:  "Y",
+	}
+	if got := d.String(); got != "a.vlg:3:7: error V0001: unbound variable Y" {
+		t.Errorf("String = %q", got)
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"code":"V0001"`, `"severity":"error"`, `"line":3`, `"witness":"Y"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("JSON %s lacks %s", b, want)
+		}
+	}
+}
+
+func TestParseErrorDiagnostic(t *testing.T) {
+	ds, p := Source("r: ins[X].m -> @", "broken.vlg", Options{})
+	if p != nil {
+		t.Fatal("broken program parsed")
+	}
+	if len(ds) != 1 || ds[0].Code != CodeParse || ds[0].Severity != Error {
+		t.Fatalf("diagnostics = %v", ds)
+	}
+	if ds[0].Pos.File != "broken.vlg" || ds[0].Pos.Line != 1 {
+		t.Errorf("position = %v", ds[0].Pos)
+	}
+	if !HasErrors(ds) {
+		t.Error("HasErrors = false")
+	}
+}
+
+func TestUnboundVariable(t *testing.T) {
+	ds := analyzeString(t, "r1: ins[X].t -> Y <- X.t -> w.\n", Options{})
+	if len(ds) != 1 || ds[0].Code != CodeUnboundVar || ds[0].Witness != "Y" {
+		t.Fatalf("diagnostics = %v", ds)
+	}
+	// Position is Y's first occurrence, not the rule start.
+	if ds[0].Pos.Line != 1 || ds[0].Pos.Col != 17 {
+		t.Errorf("position = %v", ds[0].Pos)
+	}
+	if ds[0].Rule != "r1" {
+		t.Errorf("rule = %q", ds[0].Rule)
+	}
+	// One V0001 per variable, all in one run.
+	ds = analyzeString(t, "r: ins[X].t -> Y <- X.t -> w, Z != a.\n", Options{})
+	if got := codes(ds); len(got) != 2 || got[0] != CodeUnboundVar || got[1] != CodeUnboundVar {
+		t.Fatalf("codes = %v", got)
+	}
+}
+
+// TestStructuralCodes exercises V0003-V0006 on programmatically built
+// rules: the parser rejects these shapes at parse time, so only the term
+// API can produce them.
+func TestStructuralCodes(t *testing.T) {
+	x := term.Var("X")
+	app := func(m string) term.MethodApp { return term.MethodApp{Method: m, Result: term.Sym("v")} }
+	body := []term.Literal{{Atom: term.VersionAtom{V: term.VersionID{Base: x}, App: app("t")}}}
+	cases := []struct {
+		name string
+		rule term.Rule
+		code string
+	}{
+		{"exists-head", term.Rule{
+			Head: term.UpdateAtom{Kind: term.Ins, V: term.VersionID{Base: x}, App: app(term.ExistsMethod)},
+			Body: body,
+		}, CodeExistsHead},
+		{"wildcard-head", term.Rule{
+			Head: term.UpdateAtom{Kind: term.Ins, V: term.VersionID{Base: x, Any: true}, App: app("m")},
+			Body: body,
+		}, CodeWildcard},
+		{"delete-all-wrong-kind", term.Rule{
+			Head: term.UpdateAtom{Kind: term.Ins, V: term.VersionID{Base: x}, All: true},
+			Body: body,
+		}, CodeDeleteAll},
+		{"delete-all-in-body", term.Rule{
+			Head: term.UpdateAtom{Kind: term.Ins, V: term.VersionID{Base: x}, App: app("t")},
+			Body: append([]term.Literal{{Atom: term.UpdateAtom{Kind: term.Del, V: term.VersionID{Base: x}, All: true}}}, body...),
+		}, CodeDeleteAll},
+		{"mod-without-pair", term.Rule{
+			Head: term.UpdateAtom{Kind: term.Mod, V: term.VersionID{Base: x}, App: app("t")},
+			Body: body,
+		}, CodeModPair},
+		{"pair-on-ins", term.Rule{
+			Head: term.UpdateAtom{Kind: term.Ins, V: term.VersionID{Base: x}, App: app("t"), NewResult: term.Sym("w")},
+			Body: body,
+		}, CodeModPair},
+	}
+	for _, c := range cases {
+		ds := Program(&term.Program{Rules: []term.Rule{c.rule}}, Options{})
+		found := false
+		for _, d := range ds {
+			if d.Code == c.code && d.Severity == Error {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %s in %v", c.name, c.code, ds)
+		}
+	}
+}
+
+func TestNotStratifiable(t *testing.T) {
+	// Condition (d): rule a observes del(X), which rule b derives, which in
+	// turn observes a's head — a strict cycle.
+	ds := analyzeString(t, `
+a: ins[X].m -> v <- del(X).q -> u.
+b: del[X].q -> u <- ins(X).m -> v.
+`, Options{})
+	var strat []Diagnostic
+	for _, d := range ds {
+		if d.Code == CodeNotStratifiable {
+			strat = append(strat, d)
+		}
+	}
+	if len(strat) != 1 {
+		t.Fatalf("V0002 count = %d in %v", len(strat), ds)
+	}
+	d := strat[0]
+	if d.Severity != Error || !strings.Contains(d.Witness, "a") || !strings.Contains(d.Witness, "b") {
+		t.Errorf("diagnostic = %+v", d)
+	}
+	if !d.Pos.IsValid() {
+		t.Errorf("no position: %+v", d)
+	}
+	// Strict self-loop via negation on the rule's own target.
+	ds = analyzeString(t, "a: ins[X].m -> v <- X.t -> w, !ins(X).m -> v.\n", Options{})
+	if got := codes(ds); len(got) != 1 || got[0] != CodeNotStratifiable {
+		t.Fatalf("codes = %v", got)
+	}
+}
+
+func TestNeverFires(t *testing.T) {
+	ds := analyzeString(t, "r: ins[X].q -> a <- del(X).q -> b.\n", Options{})
+	if got := codes(ds); len(got) != 1 || got[0] != CodeNeverFires {
+		t.Fatalf("codes = %v", got)
+	}
+	if ds[0].Witness != "del(X)" {
+		t.Errorf("witness = %q", ds[0].Witness)
+	}
+	// A head producing the version suppresses the warning.
+	ds = analyzeString(t, `
+r: ins[X].m -> a <- del(X).q -> b.
+p: del[X].q -> b <- X.t -> w.
+`, Options{})
+	for _, d := range ds {
+		if d.Code == CodeNeverFires {
+			t.Errorf("unexpected V0101: %v", d)
+		}
+	}
+	// A base already containing a matching deep version also suppresses it.
+	b := objectbase.New()
+	b.Insert(term.NewFact(term.GV(term.Sym("bob"), term.Del), "q", term.Sym("x")))
+	ds = analyzeString(t, "r: ins[X].m -> a <- del(X).q -> b.\n", Options{Base: b})
+	for _, d := range ds {
+		if d.Code == CodeNeverFires {
+			t.Errorf("unexpected V0101 with base: %v", d)
+		}
+	}
+	// Ground base version: only the exact object suppresses.
+	ds = analyzeString(t, "r: ins[X].q -> a <- del(alice).q -> X.\n", Options{Base: b})
+	if got := codes(ds); len(got) != 1 || got[0] != CodeNeverFires {
+		t.Fatalf("ground-base codes = %v", got)
+	}
+	// Negated atoms never prevent firing.
+	ds = analyzeString(t, "r: ins[X].m -> a <- X.t -> w, !del(X).q -> b.\n", Options{})
+	for _, d := range ds {
+		if d.Code == CodeNeverFires {
+			t.Errorf("V0101 on negated atom: %v", d)
+		}
+	}
+}
+
+func TestDuplicateRule(t *testing.T) {
+	ds := analyzeString(t, `
+r1: ins[X].m -> v <- X.t -> w.
+r2: ins[X].m -> v <- X.t -> w.
+`, Options{})
+	var dup []Diagnostic
+	for _, d := range ds {
+		if d.Code == CodeDuplicateRule {
+			dup = append(dup, d)
+		}
+	}
+	if len(dup) != 1 || dup[0].Rule != "r2" || dup[0].Witness != "r1" {
+		t.Fatalf("duplicates = %v", dup)
+	}
+	// Different bodies are not duplicates, whatever the labels say.
+	ds = analyzeString(t, `
+r1: ins[X].m -> v <- X.t -> w.
+r1: ins[X].m -> v <- X.u -> w.
+`, Options{})
+	for _, d := range ds {
+		if d.Code == CodeDuplicateRule {
+			t.Errorf("false duplicate: %v", d)
+		}
+	}
+}
+
+func TestSingleOccurrenceVar(t *testing.T) {
+	ds := analyzeString(t, "r: ins[X].t -> a <- X.t -> Z.\n", Options{})
+	if got := codes(ds); len(got) != 1 || got[0] != CodeSingleVar {
+		t.Fatalf("codes = %v", got)
+	}
+	if ds[0].Witness != "Z" {
+		t.Errorf("witness = %q", ds[0].Witness)
+	}
+	// An underscore prefix opts out.
+	ds = analyzeString(t, "r: ins[X].t -> a <- X.t -> _Z.\n", Options{})
+	if len(ds) != 0 {
+		t.Errorf("underscore var flagged: %v", ds)
+	}
+	// Unbound variables get V0001 only, not a second V0103.
+	ds = analyzeString(t, "r: ins[X].t -> Y <- X.t -> w.\n", Options{})
+	for _, d := range ds {
+		if d.Code == CodeSingleVar {
+			t.Errorf("V0103 on unbound var: %v", d)
+		}
+	}
+}
+
+func TestEmptiedVersion(t *testing.T) {
+	ds := analyzeString(t, `
+mk: mod[E].flag -> (F, F) <- E.flag -> F.
+wipe: del[mod(E)].* <- mod(E).flag -> on.
+fix: mod[del(mod(E))].sal -> (S, S) <- del(mod(E)).sal -> S.
+`, Options{})
+	var got []Diagnostic
+	for _, d := range ds {
+		if d.Code == CodeEmptiedVersion {
+			got = append(got, d)
+		}
+	}
+	if len(got) != 1 || got[0].Rule != "fix" || got[0].Witness != "wipe" {
+		t.Fatalf("V0104 = %v (all: %v)", got, ds)
+	}
+	// Insertions into the emptied version are the intended pattern.
+	ds = analyzeString(t, `
+mk: mod[E].flag -> (F, F) <- E.flag -> F.
+wipe: del[mod(E)].* <- mod(E).flag -> on.
+rebuild: ins[del(mod(E))].isa -> person <- del(mod(E)).exists -> E.
+`, Options{})
+	for _, d := range ds {
+		if d.Code == CodeEmptiedVersion {
+			t.Errorf("V0104 on insertion: %v", d)
+		}
+	}
+}
+
+func TestLinearityClash(t *testing.T) {
+	ds := analyzeString(t, `
+p: ins[X].a -> v <- X.t -> w, X.a -> u.
+q: del[X].* <- X.t -> w.
+`, Options{})
+	var got []Diagnostic
+	for _, d := range ds {
+		if d.Code == CodeLinearityClash {
+			got = append(got, d)
+		}
+	}
+	if len(got) != 1 || got[0].Witness != "p / q" {
+		t.Fatalf("V0105 = %v", got)
+	}
+	// A negated guard on the other head's target suppresses the pair (the
+	// enterprise rule3/rule4 pattern).
+	ds = analyzeString(t, `
+p: ins[X].a -> v <- X.t -> w, X.a -> u, !del[X].t -> w.
+q: del[X].* <- X.t -> w.
+`, Options{})
+	for _, d := range ds {
+		if d.Code == CodeLinearityClash {
+			t.Errorf("V0105 despite guard: %v", d)
+		}
+	}
+	// Comparable versions (one path a prefix of the other) never clash.
+	ds = analyzeString(t, `
+p: ins[X].a -> v <- X.t -> w, X.a -> u.
+q: mod[ins(X)].a -> (v, w) <- ins(X).a -> v.
+`, Options{})
+	for _, d := range ds {
+		if d.Code == CodeLinearityClash {
+			t.Errorf("V0105 on comparable heads: %v", d)
+		}
+	}
+	// Distinct ground objects cannot clash.
+	ds = analyzeString(t, `
+p: ins[bob].a -> v <- bob.t -> w, bob.a -> u.
+q: del[eve].* <- eve.t -> w.
+`, Options{})
+	for _, d := range ds {
+		if d.Code == CodeLinearityClash {
+			t.Errorf("V0105 across objects: %v", d)
+		}
+	}
+}
+
+func TestDeepVID(t *testing.T) {
+	deep := "d: ins[mod(del(ins(mod(X))))].m -> v <- mod(del(ins(mod(X)))).m -> v.\n"
+	ds := analyzeString(t, deep, Options{})
+	found := false
+	for _, d := range ds {
+		if d.Code == CodeDeepVID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no V0106 in %v", ds)
+	}
+	// A raised threshold silences it.
+	ds = analyzeString(t, deep, Options{MaxDepth: 10})
+	for _, d := range ds {
+		if d.Code == CodeDeepVID {
+			t.Errorf("V0106 despite MaxDepth=10: %v", d)
+		}
+	}
+}
+
+func TestMethodVocabulary(t *testing.T) {
+	b := objectbase.New()
+	b.Insert(term.NewFact(term.GV(term.Sym("bob")), "isa", term.Sym("empl")))
+	src := "m1: ins[X].newm -> v <- X.isa -> empl, X.ghost -> g.\n"
+	ds := analyzeString(t, src, Options{Base: b})
+	var unread, unknown int
+	for _, d := range ds {
+		switch d.Code {
+		case CodeUnreadMethod:
+			unread++
+			if d.Severity != Info || d.Witness != "newm" {
+				t.Errorf("V0201 = %+v", d)
+			}
+		case CodeUnknownMethod:
+			unknown++
+			if d.Severity != Warning || d.Witness != "ghost" {
+				t.Errorf("V0202 = %+v", d)
+			}
+		}
+	}
+	if unread != 1 || unknown != 1 {
+		t.Fatalf("unread=%d unknown=%d in %v", unread, unknown, ds)
+	}
+	// Without a base the vocabulary is unknown: no V0202.
+	ds = analyzeString(t, src, Options{})
+	for _, d := range ds {
+		if d.Code == CodeUnknownMethod {
+			t.Errorf("V0202 without base: %v", d)
+		}
+	}
+	// The reserved exists method is always defined.
+	ds = analyzeString(t, "m1: ins[X].isa -> v <- X.exists -> X, X.isa -> empl.\n", Options{Base: b})
+	for _, d := range ds {
+		if d.Code == CodeUnknownMethod {
+			t.Errorf("V0202 on exists: %v", d)
+		}
+	}
+}
+
+func TestMultipleDefectsOneRun(t *testing.T) {
+	// One run reports all defects: an unbound variable, a single-occurrence
+	// variable, a never-firing rule, and a duplicate.
+	ds := analyzeString(t, `
+r1: ins[X].m -> Y <- X.t -> Z.
+r2: ins[X].m -> a <- del(X).q -> b.
+r3: ins[X].m -> a <- del(X).q -> b.
+`, Options{})
+	want := map[string]bool{CodeUnboundVar: true, CodeSingleVar: true, CodeNeverFires: true, CodeDuplicateRule: true}
+	for _, d := range ds {
+		delete(want, d.Code)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing codes %v in %v", want, ds)
+	}
+	// Diagnostics arrive in source order.
+	for i := 1; i < len(ds); i++ {
+		a, b := ds[i-1].Pos, ds[i].Pos
+		if a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col) {
+			t.Errorf("out of order: %v before %v", ds[i-1], ds[i])
+		}
+	}
+}
+
+func TestProgrammaticRulesHavePlaceholderPositions(t *testing.T) {
+	// Rules built without the parser carry no positions; diagnostics still
+	// work, rendering "-" for the position.
+	p := &term.Program{Rules: []term.Rule{{
+		Head: term.UpdateAtom{
+			Kind: term.Ins,
+			V:    term.VersionID{Base: term.Var("X")},
+			App:  term.MethodApp{Method: "m", Result: term.Var("Y")},
+		},
+	}}}
+	ds := Program(p, Options{})
+	if len(ds) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	for _, d := range ds {
+		if d.Pos.IsValid() {
+			t.Errorf("synthetic rule got position %v", d.Pos)
+		}
+	}
+	if !strings.HasPrefix(ds[0].String(), "-: ") {
+		t.Errorf("placeholder rendering = %q", ds[0].String())
+	}
+}
+
+func TestErrorAgreementWithEngineChecks(t *testing.T) {
+	// Zero error-severity diagnostics must coincide with the evaluator's
+	// own acceptance (safety + stratification) — the property FuzzAnalyze
+	// checks at scale.
+	for _, src := range []string{
+		workload.EnterpriseProgram,
+		"r: ins[X].m -> Y <- X.t -> w.",
+		"a: ins[X].m -> v <- X.t -> w, !ins(X).m -> v.",
+		"r: ins[X].m -> v <- X.t -> Z.", // warning only: still accepted
+	} {
+		p, err := parser.Program(src, "t")
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		ds := Program(p, Options{})
+		if got, want := HasErrors(ds), !engineAccepts(p); got != want {
+			t.Errorf("%q: HasErrors=%v, engine rejects=%v (%v)", src, got, want, ds)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"verlog/internal/parser"
+	"verlog/internal/workload"
+)
+
+// BenchmarkAnalyze measures full-pipeline analysis on the workload
+// generator's layered programs (the stratification stress shape: long
+// dependency chains under conditions (a) and (b)).
+func BenchmarkAnalyze(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		src := workload.LayeredProgram(n, 4)
+		p, err := parser.Program(src, "layered.vlg")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("layered-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ds := Program(p, Options{}); HasErrors(ds) {
+					b.Fatalf("unexpected errors: %v", ds)
+				}
+			}
+		})
+	}
+	src := workload.ChainProgram(8)
+	p, err := parser.Program(src, "chain.vlg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("chain-8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ds := Program(p, Options{}); HasErrors(ds) {
+				b.Fatalf("unexpected errors: %v", ds)
+			}
+		}
+	})
+
+	b.Run("source-enterprise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ds, _ := Source(workload.EnterpriseProgram, "e.vlg", Options{}); len(ds) != 0 {
+				b.Fatalf("unexpected diagnostics: %v", ds)
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"testing"
+
+	"verlog/internal/parser"
+	"verlog/internal/safety"
+	"verlog/internal/strata"
+	"verlog/internal/term"
+	"verlog/internal/workload"
+)
+
+// engineAccepts mirrors the evaluator's admission checks: safety then
+// stratification.
+func engineAccepts(p *term.Program) bool {
+	if safety.Program(p) != nil {
+		return false
+	}
+	_, err := strata.Stratify(p)
+	return err == nil
+}
+
+// FuzzAnalyze asserts the analyzer's core contract on arbitrary input: it
+// never panics, a parse failure yields exactly one V0007, and the absence
+// of error-severity diagnostics coincides with the evaluation engine
+// accepting the program.
+func FuzzAnalyze(f *testing.F) {
+	f.Add(workload.EnterpriseProgram)
+	f.Add(workload.SalaryRaiseProgram)
+	f.Add(workload.AncestorsProgram)
+	f.Add("r: ins[X].m -> Y <- X.t -> Z.")
+	f.Add("a: ins[X].m -> v <- X.t -> w, !ins(X).m -> v.")
+	f.Add("a: ins[X].m -> v <- del(X).q -> u.\nb: del[X].q -> u <- ins(X).m -> v.")
+	f.Add("wipe: del[mod(E)].* <- mod(E).flag -> on.")
+	f.Add("r: ins[any(X)].m -> v <- del[X].*, X.exists -> X ? ")
+	f.Add("r: mod[X].m -> v <- X.m -> v.")
+	f.Fuzz(func(t *testing.T, src string) {
+		ds, p := Source(src, "fuzz.vlg", Options{})
+		if p == nil {
+			if len(ds) != 1 || ds[0].Code != CodeParse || ds[0].Severity != Error {
+				t.Fatalf("parse failure diagnostics = %v", ds)
+			}
+			if _, err := parser.Program(src, "fuzz.vlg"); err == nil {
+				t.Fatal("Source reported parse failure but parser accepts")
+			}
+			return
+		}
+		for _, d := range ds {
+			if d.Code == "" || d.Message == "" {
+				t.Fatalf("diagnostic missing code or message: %+v", d)
+			}
+		}
+		if got, want := HasErrors(ds), !engineAccepts(p); got != want {
+			t.Fatalf("HasErrors=%v but engine rejects=%v\nprogram: %s\ndiagnostics: %v",
+				got, want, p, ds)
+		}
+	})
+}

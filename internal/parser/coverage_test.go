@@ -107,9 +107,10 @@ func TestSyntaxErrorRendering(t *testing.T) {
 	if se.File != "somefile.vlg" || se.Line != 1 || se.Col == 0 {
 		t.Errorf("position = %+v", se)
 	}
-	// The empty-file fallback.
+	// The empty-file fallback: the name is always populated, never a bare
+	// ":line:col".
 	se2 := &SyntaxError{Line: 1, Col: 2, Msg: "m"}
-	if !strings.HasPrefix(se2.Error(), "input:1:2") {
+	if !strings.HasPrefix(se2.Error(), "<input>:1:2") {
 		t.Errorf("fallback rendering = %q", se2.Error())
 	}
 }

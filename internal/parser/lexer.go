@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"unicode"
 	"unicode/utf8"
+
+	"verlog/internal/term"
 )
 
 type tokenKind uint8
@@ -138,6 +140,8 @@ func (t token) String() string {
 }
 
 // A SyntaxError reports a lexical or grammatical error with its position.
+// The lexer and parser always populate File (unnamed inputs get "<input>"),
+// so the rendered position is never the bare ":line:col".
 type SyntaxError struct {
 	File string
 	Line int
@@ -146,11 +150,17 @@ type SyntaxError struct {
 }
 
 func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Pos(), e.Msg)
+}
+
+// Pos returns the error's source position. Errors constructed with an
+// empty file name report it as "<input>".
+func (e *SyntaxError) Pos() term.Pos {
 	file := e.File
 	if file == "" {
-		file = "input"
+		file = "<input>"
 	}
-	return fmt.Sprintf("%s:%d:%d: %s", file, e.Line, e.Col, e.Msg)
+	return term.Pos{File: file, Line: e.Line, Col: e.Col}
 }
 
 type lexer struct {
@@ -162,6 +172,9 @@ type lexer struct {
 }
 
 func newLexer(src, file string) *lexer {
+	if file == "" {
+		file = "<input>"
+	}
 	return &lexer{src: src, file: file, line: 1, col: 1}
 }
 

@@ -206,6 +206,25 @@ type parser struct {
 	lex  *lexer
 	tok  token // current token
 	peek token // one token of lookahead
+	// varPos records the first occurrence position of each variable while a
+	// rule is being parsed (nil outside rules), for positioned diagnostics.
+	varPos map[term.Var]term.Pos
+}
+
+// posOf converts a token to a source position.
+func (p *parser) posOf(t token) term.Pos {
+	return term.Pos{File: p.lex.file, Line: t.line, Col: t.col}
+}
+
+// noteVar records the first occurrence of a variable in the current rule.
+func (p *parser) noteVar(t token) {
+	if p.varPos == nil {
+		return
+	}
+	v := term.Var(t.text)
+	if _, ok := p.varPos[v]; !ok {
+		p.varPos[v] = p.posOf(t)
+	}
 }
 
 func newParser(src, file string) (*parser, error) {
@@ -257,6 +276,10 @@ func updateKind(text string) (term.UpdateKind, bool) {
 func (p *parser) parseRule() (term.Rule, error) {
 	var r term.Rule
 	r.Line = p.tok.line
+	r.Pos = p.posOf(p.tok)
+	p.varPos = make(map[term.Var]term.Pos)
+	r.VarPos = p.varPos // shared map: occurrences recorded while parsing
+	defer func() { p.varPos = nil }()
 	if p.tok.kind == tIdent && p.peek.kind == tColon {
 		if _, ok := updateKind(p.tok.text); !ok {
 			r.Name = p.tok.text
@@ -350,8 +373,18 @@ func (p *parser) parseFactClause() ([]term.Fact, error) {
 }
 
 // parseLiteral parses one (possibly negated) atom. A positive version-term
-// with '/' shorthand expands into several literals.
+// with '/' shorthand expands into several literals, all carrying the
+// position of the literal's first token.
 func (p *parser) parseLiteral() ([]term.Literal, error) {
+	at := p.posOf(p.tok)
+	lits, err := p.parseLiteralAt()
+	for i := range lits {
+		lits[i].Pos = at
+	}
+	return lits, err
+}
+
+func (p *parser) parseLiteralAt() ([]term.Literal, error) {
 	neg := false
 	if p.tok.kind == tBang {
 		neg = true
@@ -491,6 +524,7 @@ func (p *parser) parseVersionID() (term.VersionID, error) {
 func (p *parser) parseObjTerm() (term.ObjTerm, error) {
 	switch p.tok.kind {
 	case tVar:
+		p.noteVar(p.tok)
 		v := term.Var(p.tok.text)
 		return v, p.advance()
 	case tIdent:
@@ -754,6 +788,7 @@ func (p *parser) parseFactor() (term.Expr, error) {
 		}
 		return e, nil
 	case tVar:
+		p.noteVar(p.tok)
 		v := term.Var(p.tok.text)
 		return term.VarExpr{V: v}, p.advance()
 	case tNumber:

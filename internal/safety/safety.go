@@ -25,11 +25,42 @@ import (
 	"verlog/internal/term"
 )
 
+// ViolationKind classifies a safety violation, for the diagnostics layer.
+type ViolationKind uint8
+
+// The violation kinds.
+const (
+	// BadDeleteAll: delete-all with a non-del kind, or in a rule body.
+	BadDeleteAll ViolationKind = iota
+	// ExistsHead: the reserved exists method in a rule head.
+	ExistsHead
+	// BadModPair: a modify without a result pair, or a pair elsewhere.
+	BadModPair
+	// BadWildcard: the any(...) wildcard in an update-rule.
+	BadWildcard
+	// UnlimitedVar: a variable not limited by any positive body term.
+	UnlimitedVar
+)
+
+// Violation is one structured safety violation inside a rule.
+type Violation struct {
+	Kind ViolationKind
+	// Var is the offending variable for UnlimitedVar violations.
+	Var term.Var
+	// Pos locates the violation: the variable's first occurrence, the
+	// offending literal, or the rule itself.
+	Pos term.Pos
+	// Msg is the human-readable description.
+	Msg string
+}
+
 // RuleError describes a safety violation in one rule.
 type RuleError struct {
 	Rule  string // rule label
 	Index int    // rule position in the program
 	Msg   string
+	// Pos locates the first violation (zero for programmatic rules).
+	Pos term.Pos
 }
 
 func (e *RuleError) Error() string {
@@ -50,41 +81,70 @@ func Program(p *term.Program) error {
 // Rule checks a single rule.
 func Rule(r term.Rule) error { return check(r, 0) }
 
+// check wraps RuleViolations into the classic error form: the first
+// structural violation alone, or every unlimited variable aggregated.
 func check(r term.Rule, index int) error {
-	fail := func(format string, args ...any) error {
-		return &RuleError{Rule: r.Label(index), Index: index, Msg: fmt.Sprintf(format, args...)}
+	vs := RuleViolations(r)
+	if len(vs) == 0 {
+		return nil
+	}
+	if vs[0].Kind != UnlimitedVar {
+		return &RuleError{Rule: r.Label(index), Index: index, Msg: vs[0].Msg, Pos: vs[0].Pos}
+	}
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = string(v.Var)
+	}
+	return &RuleError{
+		Rule: r.Label(index), Index: index, Pos: vs[0].Pos,
+		Msg: fmt.Sprintf("unlimited variable(s) %s: every variable must occur in a positive body version- or update-term, or be equated to a bound expression", strings.Join(names, ", ")),
+	}
+}
+
+// RuleViolations collects every safety violation in r: all structural
+// problems in source order, then every unlimited variable (sorted by
+// name). An empty result means the rule is safe. This is the shared core
+// behind Rule/Program and the analysis package's diagnostic pass.
+func RuleViolations(r term.Rule) []Violation {
+	var vs []Violation
+	structural := func(kind ViolationKind, pos term.Pos, format string, args ...any) {
+		vs = append(vs, Violation{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)})
 	}
 
 	// Structural invariants.
 	if r.Head.All && r.Head.Kind != term.Del {
-		return fail("delete-all head requires del, found %s", r.Head.Kind)
+		structural(BadDeleteAll, r.Pos, "delete-all head requires del, found %s", r.Head.Kind)
 	}
 	if !r.Head.All {
 		if r.Head.App.Method == term.ExistsMethod {
-			return fail("the system method %q may not occur in a rule head", term.ExistsMethod)
+			structural(ExistsHead, r.Pos, "the system method %q may not occur in a rule head", term.ExistsMethod)
 		}
 		if r.Head.Kind == term.Mod && r.Head.NewResult == nil {
-			return fail("modify head needs a result pair (old, new)")
+			structural(BadModPair, r.Pos, "modify head needs a result pair (old, new)")
 		}
 		if r.Head.Kind != term.Mod && r.Head.NewResult != nil {
-			return fail("only modify heads carry a result pair")
+			structural(BadModPair, r.Pos, "only modify heads carry a result pair")
 		}
 	}
 	if r.Head.V.Any {
-		return fail("the any(...) wildcard is not allowed in update-rules")
+		structural(BadWildcard, r.Pos, "the any(...) wildcard is not allowed in update-rules")
 	}
 	for _, l := range r.Body {
+		pos := l.Pos
+		if !pos.IsValid() {
+			pos = r.Pos
+		}
 		switch a := l.Atom.(type) {
 		case term.UpdateAtom:
 			if a.All {
-				return fail("delete-all is only allowed in rule heads")
+				structural(BadDeleteAll, pos, "delete-all is only allowed in rule heads")
 			}
 			if a.V.Any {
-				return fail("the any(...) wildcard is not allowed in update-rules")
+				structural(BadWildcard, pos, "the any(...) wildcard is not allowed in update-rules")
 			}
 		case term.VersionAtom:
 			if a.V.Any {
-				return fail("the any(...) wildcard is only allowed in queries and derived rules")
+				structural(BadWildcard, pos, "the any(...) wildcard is only allowed in queries and derived rules")
 			}
 		}
 	}
@@ -146,11 +206,15 @@ func check(r term.Rule, index int) error {
 			unlimited = append(unlimited, string(v))
 		}
 	}
-	if len(unlimited) > 0 {
-		sort.Strings(unlimited)
-		return fail("unlimited variable(s) %s: every variable must occur in a positive body version- or update-term, or be equated to a bound expression", strings.Join(unlimited, ", "))
+	sort.Strings(unlimited)
+	for _, name := range unlimited {
+		v := term.Var(name)
+		vs = append(vs, Violation{
+			Kind: UnlimitedVar, Var: v, Pos: r.PosOf(v),
+			Msg: fmt.Sprintf("unbound variable %s: it must occur in a positive body version- or update-term, or be equated to a bound expression", name),
+		})
 	}
-	return nil
+	return vs
 }
 
 func singleVar(e term.Expr) (term.Var, bool) {

@@ -10,6 +10,7 @@ import (
 	"verlog/internal/repository"
 	"verlog/internal/safety"
 	"verlog/internal/strata"
+	"verlog/internal/term"
 )
 
 // Machine-readable error codes carried by every /v1 error envelope. They
@@ -42,11 +43,14 @@ const (
 	CodeInternal = "internal"
 )
 
-// errorBody is the inner object of the error envelope.
+// errorBody is the inner object of the error envelope. Position is present
+// when the error originates in program text (parse, safety and
+// stratification rejections), so clients can point at the offending line.
 type errorBody struct {
-	Code      string `json:"code"`
-	Message   string `json:"message"`
-	RequestID string `json:"request_id,omitempty"`
+	Code      string    `json:"code"`
+	Message   string    `json:"message"`
+	Position  *term.Pos `json:"position,omitempty"`
+	RequestID string    `json:"request_id,omitempty"`
 }
 
 // errorEnvelope is the one JSON error shape every /v1 endpoint returns:
@@ -86,6 +90,28 @@ func classify(err error) (int, string) {
 	}
 }
 
+// errorPos extracts the source position of a program-text error, or nil
+// when the error carries none (or the position is the zero placeholder of
+// a programmatic rule).
+func errorPos(err error) *term.Pos {
+	var se *parser.SyntaxError
+	var re *safety.RuleError
+	var ne *strata.NotStratifiableError
+	var pos term.Pos
+	switch {
+	case errors.As(err, &se):
+		pos = se.Pos()
+	case errors.As(err, &re):
+		pos = re.Pos
+	case errors.As(err, &ne):
+		pos = ne.Pos
+	}
+	if !pos.IsValid() {
+		return nil
+	}
+	return &pos
+}
+
 // writeErrorCode writes the envelope with an explicit status and code.
 func writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
@@ -93,7 +119,8 @@ func writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code str
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	enc.Encode(errorEnvelope{Error: errorBody{
-		Code: code, Message: err.Error(), RequestID: RequestID(r.Context()),
+		Code: code, Message: err.Error(), Position: errorPos(err),
+		RequestID: RequestID(r.Context()),
 	}})
 }
 

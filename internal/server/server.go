@@ -12,7 +12,7 @@
 //	POST /v1/explain               provenance of facts in the last run's fixpoint
 //	GET  /v1/constraints           installed constraints
 //	POST /v1/constraints           install constraints (text body)
-//	POST /v1/check                 check a program (text body) -> strata
+//	POST /v1/check                 analyze a program (text body) -> diagnostics
 //	POST /v1/query                 evaluate a query (text body) -> bindings
 //	POST /v1/apply                 apply an update-program (text body)
 //	GET  /v1/debug/slow            recent slow requests
@@ -44,12 +44,14 @@ import (
 	"sync"
 	"time"
 
+	"verlog/internal/analysis"
 	"verlog/internal/core"
 	"verlog/internal/eval"
 	"verlog/internal/objectbase"
 	"verlog/internal/obs"
 	"verlog/internal/parser"
 	"verlog/internal/repository"
+	"verlog/internal/strata"
 	"verlog/internal/term"
 )
 
@@ -519,10 +521,16 @@ func (s *Server) handleSetConstraints(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int{"installed": len(cs)})
 }
 
-// checkResponse reports a program's analysis.
+// checkResponse reports a program's static analysis: the full diagnostic
+// list of the analyzer (positioned, with stable codes), OK when none has
+// error severity, and the stratification when one exists. An unparsable or
+// unsafe program is still a successful check (HTTP 200): the diagnostics
+// ARE the result.
 type checkResponse struct {
-	Rules  int      `json:"rules"`
-	Strata []string `json:"strata"`
+	Rules       int                   `json:"rules"`
+	OK          bool                  `json:"ok"`
+	Strata      []string              `json:"strata,omitempty"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -530,27 +538,42 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	p, err := parser.Program(src, "request")
+	setDetail(r, src)
+	s.mu.Lock()
+	head, err := s.repo.Head()
+	s.mu.Unlock()
 	if err != nil {
 		writeError(w, r, err)
 		return
 	}
-	a, err := core.New().Check(p)
-	if err != nil {
-		writeError(w, r, err)
+	// The head base supplies the method vocabulary and existing deep
+	// versions, sharpening the lint passes.
+	ds, p := analysis.Source(src, "request", analysis.Options{Base: head})
+	if ds == nil {
+		ds = []analysis.Diagnostic{}
+	}
+	resp := checkResponse{OK: !analysis.HasErrors(ds), Diagnostics: ds}
+	if p == nil {
+		writeJSON(w, resp)
 		return
 	}
-	labels := p.RuleLabels()
-	resp := checkResponse{Rules: len(p.Rules)}
-	for _, stratum := range a.Strata {
-		names := ""
-		for i, ri := range stratum {
-			if i > 0 {
-				names += ", "
+	resp.Rules = len(p.Rules)
+	if resp.OK {
+		// No error-severity diagnostics means safety and stratification
+		// hold, so Stratify cannot fail here.
+		if a, err := strata.Stratify(p); err == nil {
+			labels := p.RuleLabels()
+			for _, stratum := range a.Strata {
+				names := ""
+				for i, ri := range stratum {
+					if i > 0 {
+						names += ", "
+					}
+					names += labels[ri]
+				}
+				resp.Strata = append(resp.Strata, names)
 			}
-			names += labels[ri]
 		}
-		resp.Strata = append(resp.Strata, names)
 	}
 	writeJSON(w, resp)
 }

@@ -218,6 +218,112 @@ func TestServerErrorEnvelope(t *testing.T) {
 	}
 }
 
+// TestServerDiagnostics: /v1/check reports a defective program as a
+// successful analysis (200, ok:false, positioned diagnostics), and /v1/apply
+// rejections carry the offending position in the error envelope.
+func TestServerDiagnostics(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	type pos struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Col  int    `json:"col"`
+	}
+	type diag struct {
+		Code     string `json:"code"`
+		Severity string `json:"severity"`
+		Position pos    `json:"position"`
+		Rule     string `json:"rule"`
+		Message  string `json:"message"`
+	}
+	type checkResp struct {
+		Rules       int      `json:"rules"`
+		OK          bool     `json:"ok"`
+		Strata      []string `json:"strata"`
+		Diagnostics []diag   `json:"diagnostics"`
+	}
+
+	// A defective program is still a successful check: HTTP 200 with the
+	// defects as diagnostics.
+	code, body := post(t, ts.URL+"/v1/check", "r1: ins[X].t -> Y <- X.t -> w.")
+	if code != 200 {
+		t.Fatalf("check defective = %d %s, want 200", code, body)
+	}
+	var cr checkResp
+	if err := json.Unmarshal([]byte(body), &cr); err != nil {
+		t.Fatalf("check response: %q (%v)", body, err)
+	}
+	if cr.OK || len(cr.Diagnostics) == 0 {
+		t.Fatalf("check defective: ok=%v diagnostics=%v, want ok=false with diagnostics", cr.OK, cr.Diagnostics)
+	}
+	d := cr.Diagnostics[0]
+	if d.Code != "V0001" || d.Severity != "error" || d.Rule != "r1" {
+		t.Errorf("first diagnostic = %+v, want V0001 error in rule r1", d)
+	}
+	if d.Position.File != "request" || d.Position.Line != 1 || d.Position.Col <= 1 {
+		t.Errorf("diagnostic position = %+v, want request:1:<col>", d.Position)
+	}
+
+	// A syntax error becomes one V0007 diagnostic, still HTTP 200.
+	code, body = post(t, ts.URL+"/v1/check", "r: ins[X].m -> ")
+	if code != 200 {
+		t.Fatalf("check unparsable = %d %s, want 200", code, body)
+	}
+	cr = checkResp{}
+	if err := json.Unmarshal([]byte(body), &cr); err != nil {
+		t.Fatalf("check response: %q (%v)", body, err)
+	}
+	if cr.OK || len(cr.Diagnostics) != 1 || cr.Diagnostics[0].Code != "V0007" {
+		t.Errorf("check unparsable: %s, want exactly one V0007", body)
+	}
+
+	// A clean program: ok:true, strata, empty (non-null) diagnostics array.
+	code, body = post(t, ts.URL+"/v1/check", enterpriseUpdate)
+	if code != 200 {
+		t.Fatalf("check clean = %d %s", code, body)
+	}
+	cr = checkResp{Diagnostics: []diag{{}}} // ensure the field is overwritten
+	if err := json.Unmarshal([]byte(body), &cr); err != nil {
+		t.Fatalf("check response: %q (%v)", body, err)
+	}
+	if !cr.OK || cr.Rules != 4 || len(cr.Strata) != 3 || len(cr.Diagnostics) != 0 {
+		t.Errorf("check clean: %s", body)
+	}
+	if !strings.Contains(body, `"diagnostics":[]`) {
+		t.Errorf("diagnostics should serialize as [], not null: %s", body)
+	}
+
+	// /v1/apply rejections point at the offending rule.
+	var env struct {
+		Error struct {
+			Code     string `json:"code"`
+			Position *pos   `json:"position"`
+		} `json:"error"`
+	}
+	code, body = post(t, ts.URL+"/v1/apply", "ok: ins[bob].mark -> y <- bob.isa -> empl.\nbad: ins[X].m -> Y <- X.isa -> empl.")
+	if code != 400 {
+		t.Fatalf("apply unsafe = %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("apply error body: %q (%v)", body, err)
+	}
+	if env.Error.Code != CodeUnsafeRule || env.Error.Position == nil || env.Error.Position.Line != 2 || env.Error.Position.Col <= 1 {
+		t.Errorf("apply unsafe envelope = %s, want unsafe_rule positioned on line 2", body)
+	}
+
+	env.Error.Position = nil
+	code, body = post(t, ts.URL+"/v1/apply", "r: ins[X].m -> ")
+	if code != 400 {
+		t.Fatalf("apply unparsable = %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("apply error body: %q (%v)", body, err)
+	}
+	if env.Error.Code != CodeParseError || env.Error.Position == nil || env.Error.Position.Line != 1 {
+		t.Errorf("apply parse-error envelope = %s, want parse_error with position", body)
+	}
+}
+
 // TestServerContentType: every /v1 response, success or error, is JSON.
 func TestServerContentType(t *testing.T) {
 	ts, _ := newTestServer(t)

@@ -27,6 +27,7 @@
 package strata
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -95,6 +96,9 @@ type NotStratifiableError struct {
 	// Strict is one strict edge inside the component.
 	Strict Edge
 	Labels []string
+	// Pos locates the observer rule of the strict edge (zero for
+	// programmatic rules or when Solve is called without rule positions).
+	Pos term.Pos
 }
 
 func (e *NotStratifiableError) Error() string {
@@ -134,6 +138,35 @@ func bodyVIDs(r term.Rule) []bodyVID {
 // Stratify computes a stratification of p fulfilling conditions (a)-(d),
 // or reports that none exists.
 func Stratify(p *term.Program) (*Assignment, error) {
+	a, err := Solve(len(p.Rules), BuildEdges(p), p.RuleLabels())
+	if err != nil {
+		var nse *NotStratifiableError
+		if errors.As(err, &nse) {
+			nse.Pos = p.Rules[nse.Strict.To].Pos
+		}
+		return nil, err
+	}
+	return a, nil
+}
+
+// Violations returns every strongly connected component of p's constraint
+// graph that contains a strict edge — i.e. all independent reasons the
+// program is not stratifiable — instead of failing on the first. An empty
+// result means Stratify succeeds.
+func Violations(p *term.Program) []*NotStratifiableError {
+	n := len(p.Rules)
+	edges := BuildEdges(p)
+	comp, _ := sccOf(n, edges)
+	out := violations(n, edges, comp, p.RuleLabels())
+	for _, v := range out {
+		v.Pos = p.Rules[v.Strict.To].Pos
+	}
+	return out
+}
+
+// BuildEdges constructs the full constraint-edge set of conditions (a)-(d)
+// for p, deduplicated.
+func BuildEdges(p *term.Program) []Edge {
 	n := len(p.Rules)
 	heads := make([]term.VersionID, n)
 	for i, r := range p.Rules {
@@ -192,8 +225,7 @@ func Stratify(p *term.Program) (*Assignment, error) {
 			}
 		}
 	}
-
-	return Solve(n, edges, p.RuleLabels())
+	return edges
 }
 
 func condBC(neg bool) Cond {
@@ -203,17 +235,15 @@ func condBC(neg bool) Cond {
 	return CondB
 }
 
-// Solve finds minimal stratum levels satisfying a constraint-edge set over
-// n rules, or reports a strict edge inside a strongly connected component.
-// It is exported so that other stratified fragments (e.g. package derived)
-// can reuse the solver with their own edge construction.
-func Solve(n int, edges []Edge, labels []string) (*Assignment, error) {
-	// Tarjan SCC over all edges.
+// sccOf runs Tarjan's algorithm over the edge set and returns the
+// component of each rule plus the component count. Components are numbered
+// in reverse topological order of the condensation.
+func sccOf(n int, edges []Edge) (comp []int, ncomp int) {
 	adj := make([][]int, n)
 	for i, e := range edges {
 		adj[e.From] = append(adj[e.From], i)
 	}
-	comp := make([]int, n)
+	comp = make([]int, n)
 	for i := range comp {
 		comp[i] = -1
 	}
@@ -224,7 +254,7 @@ func Solve(n int, edges []Edge, labels []string) (*Assignment, error) {
 		index[i] = -1
 	}
 	var stack []int
-	var counter, ncomp int
+	var counter int
 	var strongconnect func(v int)
 	strongconnect = func(v int) {
 		index[v] = counter
@@ -261,18 +291,47 @@ func Solve(n int, edges []Edge, labels []string) (*Assignment, error) {
 			strongconnect(v)
 		}
 	}
+	return comp, ncomp
+}
 
-	// Reject strict edges within a component.
+// violations lists one NotStratifiableError per strongly connected
+// component that contains a strict edge, in component order. The witness
+// edge is the first strict edge of the component in edge order (the same
+// edge Solve has always reported for the first component).
+func violations(n int, edges []Edge, comp []int, labels []string) []*NotStratifiableError {
+	witness := map[int]Edge{}
+	var order []int
 	for _, e := range edges {
 		if e.Strict && comp[e.From] == comp[e.To] {
-			var cycle []int
-			for v := 0; v < n; v++ {
-				if comp[v] == comp[e.From] {
-					cycle = append(cycle, v)
-				}
+			if _, seen := witness[comp[e.From]]; !seen {
+				witness[comp[e.From]] = e
+				order = append(order, comp[e.From])
 			}
-			return nil, &NotStratifiableError{Cycle: cycle, Strict: e, Labels: labels}
 		}
+	}
+	var out []*NotStratifiableError
+	for _, c := range order {
+		var cycle []int
+		for v := 0; v < n; v++ {
+			if comp[v] == c {
+				cycle = append(cycle, v)
+			}
+		}
+		out = append(out, &NotStratifiableError{Cycle: cycle, Strict: witness[c], Labels: labels})
+	}
+	return out
+}
+
+// Solve finds minimal stratum levels satisfying a constraint-edge set over
+// n rules, or reports a strict edge inside a strongly connected component.
+// It is exported so that other stratified fragments (e.g. package derived)
+// can reuse the solver with their own edge construction.
+func Solve(n int, edges []Edge, labels []string) (*Assignment, error) {
+	comp, ncomp := sccOf(n, edges)
+
+	// Reject strict edges within a component.
+	if bad := violations(n, edges, comp, labels); len(bad) > 0 {
+		return nil, bad[0]
 	}
 
 	// Longest-path levels on the condensation. Tarjan numbers components in

@@ -172,6 +172,9 @@ func (a BuiltinAtom) String() string {
 type Literal struct {
 	Neg  bool
 	Atom Atom
+	// Pos is the source position of the literal (the '!' for negated
+	// literals). Zero for programmatically built literals.
+	Pos Pos
 }
 
 func (l Literal) String() string {

@@ -1,0 +1,29 @@
+package term
+
+import "fmt"
+
+// Pos is a source position: a file name plus 1-based line and column.
+// The zero value is "no position" (synthetic terms built programmatically).
+// It lives in package term, not parser, so that the analysis layers can
+// report positions without importing the concrete syntax.
+type Pos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// IsValid reports whether the position carries real source coordinates.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "file:line:col". A position with no file renders as
+// "<input>:line:col"; the zero position renders as "-".
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	file := p.File
+	if file == "" {
+		file = "<input>"
+	}
+	return fmt.Sprintf("%s:%d:%d", file, p.Line, p.Col)
+}

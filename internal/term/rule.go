@@ -15,6 +15,21 @@ type Rule struct {
 	Name string
 	// Line is the 1-based source line of the rule, 0 if synthetic.
 	Line int
+	// Pos is the source position of the rule head (after the label, if
+	// any). Zero for programmatically built rules.
+	Pos Pos
+	// VarPos records the first source occurrence of each variable in the
+	// rule, for positioned diagnostics. Nil for programmatic rules.
+	VarPos map[Var]Pos
+}
+
+// PosOf returns the recorded first-occurrence position of v, falling back
+// to the rule position for programmatic rules.
+func (r Rule) PosOf(v Var) Pos {
+	if p, ok := r.VarPos[v]; ok {
+		return p
+	}
+	return r.Pos
 }
 
 // IsFact reports whether the rule has an empty body.

@@ -1,6 +1,7 @@
 package verlog
 
 import (
+	"verlog/internal/analysis"
 	"verlog/internal/core"
 	"verlog/internal/derived"
 	"verlog/internal/eval"
@@ -110,6 +111,42 @@ func Apply(ob *ObjectBase, p *Program, opts ...Option) (*Result, error) {
 // Check validates a program without running it: safety of every rule and
 // existence of a stratification fulfilling the paper's conditions (a)-(d).
 func Check(p *Program) (*Stratification, error) { return core.New().Check(p) }
+
+// Diagnostic is one finding of the static analyzer: a stable code
+// ("V0001"), a severity, a source position and a witness. See
+// docs/ANALYSIS.md for the catalogue of codes.
+type Diagnostic = analysis.Diagnostic
+
+// AnalysisOptions configures Analyze: an optional object base for the
+// vocabulary-aware passes and the V0106 depth threshold.
+type AnalysisOptions = analysis.Options
+
+// Pos is a file:line:col source position, threaded by the parser into
+// rules and diagnostics.
+type Pos = term.Pos
+
+// Severity levels of a Diagnostic. Error-severity diagnostics are exactly
+// the conditions under which Apply rejects the program.
+const (
+	SeverityError   = analysis.Error
+	SeverityWarning = analysis.Warning
+	SeverityInfo    = analysis.Info
+)
+
+// Analyze runs every static-analysis pass over a parsed program and
+// returns the diagnostics in source order. Unlike Check it never fails —
+// a broken program yields error-severity diagnostics — and it reports all
+// defects in one run, plus lint findings Check does not perform.
+func Analyze(p *Program, opts AnalysisOptions) []Diagnostic { return analysis.Program(p, opts) }
+
+// AnalyzeSource parses and analyzes program text in one step; a syntax
+// error becomes a single V0007 diagnostic and a nil program.
+func AnalyzeSource(src, name string, opts AnalysisOptions) ([]Diagnostic, *Program) {
+	return analysis.Source(src, name, opts)
+}
+
+// HasErrors reports whether any diagnostic has error severity.
+func HasErrors(ds []Diagnostic) bool { return analysis.HasErrors(ds) }
 
 // Query evaluates a conjunction of body literals (concrete syntax, e.g.
 // "mod(E).sal -> S, S > 4500") against a base and returns the distinct
