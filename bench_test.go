@@ -282,6 +282,30 @@ func BenchmarkE14Planner(b *testing.B) {
 	})
 }
 
+// BenchmarkApplyTracingOff / BenchmarkApplyTracingOn — E15: the span-tree
+// tracer's cost. Off is the default path (nil span, counters only) and is
+// the guard: it must stay within a few percent of the pre-tracing engine.
+// On pays for span allocation, per-iteration rule spans and pprof labels.
+func BenchmarkApplyTracingOff(b *testing.B) {
+	p := mustParseProgram(b, workload.EnterpriseProgram)
+	ob := workload.EnterpriseSpec{Employees: 1000, Seed: 42}.ObjectBase()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		apply(b, ob, p)
+	}
+}
+
+func BenchmarkApplyTracingOn(b *testing.B) {
+	p := mustParseProgram(b, workload.EnterpriseProgram)
+	ob := workload.EnterpriseSpec{Employees: 1000, Seed: 42}.ObjectBase()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewSpanTrace("bench")
+		apply(b, ob, p, WithSpan(tr.Root))
+		tr.Finish()
+	}
+}
+
 // BenchmarkE12Finalize — Section 5: building ob' from final versions.
 func BenchmarkE12Finalize(b *testing.B) {
 	p := mustParseProgram(b, workload.ChainProgram(8))

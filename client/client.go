@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -578,6 +579,145 @@ func (c *Client) Explain(ctx context.Context, facts string) ([]ExplainEntry, err
 	return resp.Entries, json.Unmarshal(b, &resp)
 }
 
+// SpanAttr is one key/value annotation on a trace span.
+type SpanAttr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Span is one timed operation in a trace: its offset from the trace
+// start and duration (microseconds), annotations, and nested child spans.
+type Span struct {
+	Name     string     `json:"name"`
+	StartUS  int64      `json:"start_us"`
+	DurUS    int64      `json:"dur_us"`
+	Attrs    []SpanAttr `json:"attrs,omitempty"`
+	Children []*Span    `json:"children,omitempty"`
+}
+
+// Trace is one apply's span tree as recorded by the server: parse,
+// safety, stratification, every stratum's iterations down to per-rule
+// matching, the copy phase, constraints and commit.
+type Trace struct {
+	ID    string            `json:"id"`
+	Name  string            `json:"name"`
+	Start time.Time         `json:"start"`
+	DurUS int64             `json:"dur_us"`
+	Meta  map[string]string `json:"meta,omitempty"`
+	Root  *Span             `json:"root"`
+}
+
+// RuleStat is one rule's firing statistics from a traced apply, ordered
+// hottest first by the server.
+type RuleStat struct {
+	Rule       string `json:"rule"`
+	Stratum    int    `json:"stratum"`
+	Fired      int    `json:"fired"`
+	Emitted    int    `json:"emitted"`
+	Matched    int    `json:"matched"`
+	Iterations int    `json:"iterations"`
+	TimeUS     int64  `json:"time_us"`
+}
+
+// TracedApplyResult is an ApplyResult extended with the apply's span tree
+// and per-rule hot list. Replayed applies carry no trace.
+type TracedApplyResult struct {
+	ApplyResult
+	Trace *Trace     `json:"trace"`
+	Rules []RuleStat `json:"rules"`
+}
+
+// ApplyTraced is Apply with server-side evaluation tracing: the result
+// carries the full span tree and the per-rule firing statistics. The
+// server also retains the trace in its /v1/debug/traces ring under
+// Trace.ID.
+func (c *Client) ApplyTraced(ctx context.Context, program string) (*TracedApplyResult, error) {
+	b, err := c.doKey(ctx, http.MethodPost, "/v1/apply?trace=1", program, newIdempotencyKey())
+	if err != nil {
+		return nil, err
+	}
+	var out TracedApplyResult
+	return &out, json.Unmarshal(b, &out)
+}
+
+// TraceSummary is one retained trace in the server's ring listing.
+type TraceSummary struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	RequestID  string    `json:"request_id"`
+	Outcome    string    `json:"outcome"`
+}
+
+// Traces lists the server's recently retained apply traces, newest first
+// (limit <= 0 returns the whole ring).
+func (c *Client) Traces(ctx context.Context, limit int) ([]TraceSummary, error) {
+	q := "/v1/debug/traces"
+	if limit > 0 {
+		q += "?limit=" + strconv.Itoa(limit)
+	}
+	b, err := c.do(ctx, http.MethodGet, q, "")
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Entries []TraceSummary `json:"entries"`
+	}
+	return resp.Entries, json.Unmarshal(b, &resp)
+}
+
+// Trace fetches one retained trace's full span tree by id.
+func (c *Client) Trace(ctx context.Context, id string) (*Trace, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/debug/traces?id="+id, "")
+	if err != nil {
+		return nil, err
+	}
+	var out Trace
+	return &out, json.Unmarshal(b, &out)
+}
+
+// TraceChrome fetches one retained trace in Chrome trace_event JSON,
+// ready to load into chrome://tracing or https://ui.perfetto.dev.
+func (c *Client) TraceChrome(ctx context.Context, id string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/debug/traces?id="+id+"&format=chrome", "")
+}
+
+// ExplainStep is one link in a fact's provenance chain.
+type ExplainStep struct {
+	Fact       string `json:"fact"`
+	Provenance string `json:"provenance"` // input, update, copy, unknown
+	Rule       string `json:"rule,omitempty"`
+	Stratum    int    `json:"stratum,omitempty"`
+	Iteration  int    `json:"iteration,omitempty"`
+	Update     string `json:"update,omitempty"`
+	CopiedFrom string `json:"copied_from,omitempty"`
+}
+
+// ExplainChain is the provenance of one fact walked back to its origin:
+// Chain[0] is the fact itself, the last step is the update that fired or
+// the input base.
+type ExplainChain struct {
+	Fact  string        `json:"fact"`
+	Chain []ExplainStep `json:"chain"`
+}
+
+// ExplainVersion reports the provenance of every fact vid.method -> ...
+// in the most recent apply's fixpoint, each walked back through the copy
+// chain to the version that introduced it.
+func (c *Client) ExplainVersion(ctx context.Context, vid, method string) ([]ExplainChain, error) {
+	b, err := c.do(ctx, http.MethodGet,
+		"/v1/explain?vid="+url.QueryEscape(vid)+"&method="+url.QueryEscape(method), "")
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Facts []ExplainChain `json:"facts"`
+	}
+	return resp.Facts, json.Unmarshal(b, &resp)
+}
+
 // SlowEntry is one slow request from the server's /v1/debug/slow log.
 type SlowEntry struct {
 	RequestID  string  `json:"request_id"`
@@ -586,6 +726,7 @@ type SlowEntry struct {
 	Status     int     `json:"status"`
 	DurationMS float64 `json:"duration_ms"`
 	Detail     string  `json:"detail"`
+	TraceID    string  `json:"trace_id"`
 }
 
 // Slow fetches the server's recent slow requests (newest first).

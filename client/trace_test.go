@@ -1,0 +1,121 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestClientTracing(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	res, err := c.ApplyTraced(ctx, update)
+	if err != nil {
+		t.Fatalf("ApplyTraced: %v", err)
+	}
+	if res.Fired != 6 || res.Strata != 3 {
+		t.Errorf("apply = %+v", res.ApplyResult)
+	}
+	if res.Trace == nil || res.Trace.Root == nil || len(res.Trace.ID) != 32 {
+		t.Fatalf("trace = %+v", res.Trace)
+	}
+	if res.Trace.Meta["outcome"] != "ok" {
+		t.Errorf("trace meta = %v", res.Trace.Meta)
+	}
+	names := map[string]bool{}
+	for _, s := range res.Trace.Root.Children {
+		names[strings.SplitN(s.Name, " ", 2)[0]] = true
+	}
+	for _, want := range []string{"parse", "safety", "stratify", "stratum", "copy", "commit"} {
+		if !names[want] {
+			t.Errorf("trace root missing %s child: %v", want, names)
+		}
+	}
+	sum := 0
+	for _, rs := range res.Rules {
+		sum += rs.Fired
+	}
+	if len(res.Rules) != 4 || sum != res.Fired {
+		t.Errorf("rules = %+v, want 4 entries whose fired sums to %d", res.Rules, res.Fired)
+	}
+
+	// The trace is retained on the server, listed and retrievable.
+	list, err := c.Traces(ctx, 0)
+	if err != nil || len(list) != 1 || list[0].ID != res.Trace.ID {
+		t.Fatalf("Traces = %+v (%v)", list, err)
+	}
+	if list[0].Spans < 5 || list[0].Outcome != "ok" {
+		t.Errorf("summary = %+v", list[0])
+	}
+	tr, err := c.Trace(ctx, res.Trace.ID)
+	if err != nil || tr.ID != res.Trace.ID || tr.Root == nil {
+		t.Fatalf("Trace = %+v (%v)", tr, err)
+	}
+
+	// Chrome export parses as trace_event JSON.
+	chrome, err := c.TraceChrome(ctx, res.Trace.ID)
+	if err != nil {
+		t.Fatalf("TraceChrome: %v", err)
+	}
+	var export struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(chrome, &export); err != nil || export.DisplayTimeUnit != "ms" || len(export.TraceEvents) < 5 {
+		t.Errorf("chrome export = %s (%v)", chrome, err)
+	}
+
+	// Unknown trace id surfaces the 404 envelope.
+	var ae *APIError
+	if _, err := c.Trace(ctx, "ffffffffffffffffffffffffffffffff"); !errors.As(err, &ae) || ae.Code != "not_found" {
+		t.Errorf("Trace(unknown) = %v", err)
+	}
+}
+
+func TestClientExplainVersion(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	// Before any apply there is nothing to explain.
+	var ae *APIError
+	if _, err := c.ExplainVersion(ctx, "mod(phil)", "sal"); !errors.As(err, &ae) || ae.Code != "not_found" {
+		t.Fatalf("ExplainVersion before apply = %v", err)
+	}
+
+	if _, err := c.Apply(ctx, update); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+
+	facts, err := c.ExplainVersion(ctx, "mod(phil)", "sal")
+	if err != nil || len(facts) == 0 {
+		t.Fatalf("ExplainVersion = %+v (%v)", facts, err)
+	}
+	found := false
+	for _, f := range facts {
+		if !strings.Contains(f.Fact, "4600") {
+			continue
+		}
+		found = true
+		last := f.Chain[len(f.Chain)-1]
+		if last.Provenance != "update" || last.Rule != "rule1" {
+			t.Errorf("chain = %+v", f.Chain)
+		}
+	}
+	if !found {
+		t.Errorf("no 4600 fact in %+v", facts)
+	}
+
+	// A copied fact walks back to the input base.
+	facts, err = c.ExplainVersion(ctx, "mod(phil)", "isa")
+	if err != nil || len(facts) == 0 {
+		t.Fatalf("ExplainVersion isa = %+v (%v)", facts, err)
+	}
+	for _, f := range facts {
+		if last := f.Chain[len(f.Chain)-1]; last.Provenance != "input" {
+			t.Errorf("chain for %s ends with %+v, want input", f.Fact, last)
+		}
+	}
+}

@@ -23,9 +23,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"verlog/internal/obs"
 	"verlog/internal/parser"
 	"verlog/internal/repository"
 	"verlog/internal/server"
@@ -113,7 +115,9 @@ func main() {
 		}
 		close(idle)
 	}()
-	logger.Info("serving", "dir", *dir, "addr", *addr, "slow_threshold", slowThreshold.String())
+	version, commit := obs.BuildInfo()
+	logger.Info("serving", "dir", *dir, "addr", *addr, "slow_threshold", slowThreshold.String(),
+		"version", version, "commit", commit, "go", runtime.Version())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(logger, err)
 	}

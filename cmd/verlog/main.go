@@ -5,6 +5,7 @@
 // Usage:
 //
 //	verlog run    -ob BASE -prog PROG [-o OUT] [-result OUT] [-trace] [-naive]
+//	verlog trace  [-ob BASE] [-json] [-chrome FILE] [-top N] PROG
 //	verlog check  -prog PROG
 //	verlog vet    [-json] [-ob BASE] [-max-depth N] FILES...
 //	verlog strata -prog PROG
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -32,6 +34,7 @@ import (
 	"verlog/internal/derived"
 	"verlog/internal/eval"
 	"verlog/internal/objectbase"
+	"verlog/internal/obs"
 	"verlog/internal/parser"
 	"verlog/internal/repl"
 	"verlog/internal/repository"
@@ -51,6 +54,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
 	case "vet":
@@ -94,6 +99,7 @@ func usage() {
 
 commands:
   run     apply an update-program to an object base
+  trace   run a program and print its evaluation span tree + rule hot list
   check   check a program (safety + stratifiability)
   vet     static analysis with positioned, coded diagnostics
   strata  print a program's stratification and constraints
@@ -200,6 +206,95 @@ func cmdRun(args []string) error {
 		return nil
 	}
 	return os.WriteFile(*outPath, []byte(out), 0o644)
+}
+
+// cmdTrace applies a program with full evaluation tracing and prints the
+// span tree (parse, safety, stratification, every stratum's iterations
+// down to per-rule matching, the copy phase) plus the per-rule hot list —
+// the same tree POST /v1/apply?trace=1 returns.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	obPath := fs.String("ob", "", "object base file (default: base.vlg next to PROG if present, else empty)")
+	asJSON := fs.Bool("json", false, "emit the trace as JSON instead of the tree")
+	chromePath := fs.String("chrome", "", "also write Chrome trace_event JSON here (chrome://tracing, Perfetto)")
+	top := fs.Int("top", 0, "limit the rule hot list to the N hottest rules")
+	naive := fs.Bool("naive", false, "use naive instead of semi-naive iteration")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace: usage: verlog trace [-ob BASE] [-json] [-chrome FILE] [-top N] PROG")
+	}
+	progPath := fs.Arg(0)
+
+	// Default base: a sibling base.vlg, the conventional layout of
+	// examples/ — otherwise start from an empty object base.
+	ob := objectbase.New()
+	path := *obPath
+	if path == "" {
+		sibling := filepath.Join(filepath.Dir(progPath), "base.vlg")
+		if _, err := os.Stat(sibling); err == nil {
+			path = sibling
+		}
+	}
+	if path != "" {
+		var err error
+		if ob, err = loadBase(path); err != nil {
+			return err
+		}
+	}
+
+	tr := obs.NewTrace("verlog trace " + filepath.Base(progPath))
+	parseSpan := tr.Root.StartChild("parse")
+	p, err := loadProgram(progPath)
+	parseSpan.End()
+	if err != nil {
+		return err
+	}
+	parseSpan.SetInt("rules", int64(len(p.Rules)))
+
+	opts := []core.Option{core.WithSpan(tr.Root), core.WithTrace()}
+	if *naive {
+		opts = append(opts, core.WithStrategy(eval.Naive))
+	}
+	res, err := core.New(opts...).Apply(ob, p)
+	tr.Finish()
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tr); err != nil {
+			return err
+		}
+	} else {
+		tr.WriteTree(os.Stdout)
+		stats := res.RuleStats
+		if *top > 0 && *top < len(stats) {
+			stats = stats[:*top]
+		}
+		fmt.Printf("\nhottest rules (%d fired in total):\n", res.Fired)
+		for _, rs := range stats {
+			fmt.Printf("  %-16s stratum %d  fired %-4d emitted %-4d matched %-4d iterations %-3d %dus\n",
+				rs.Rule, rs.Stratum, rs.Fired, rs.Emitted, rs.Matched, rs.Iterations, rs.TimeUS)
+		}
+	}
+
+	if *chromePath != "" {
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *chromePath)
+	}
+	return nil
 }
 
 func cmdCheck(args []string) error {

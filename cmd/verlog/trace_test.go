@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCmdTrace: the tree view shows the full span hierarchy and a rule
+// hot list whose per-rule fired counts sum to the printed total.
+func TestCmdTrace(t *testing.T) {
+	dir := t.TempDir()
+	ob := writeFile(t, dir, "ob.vlg", testBase)
+	prog := writeFile(t, dir, "prog.vlg", testProg)
+
+	out, err := capture(t, func() error {
+		return cmdTrace([]string{"-ob", ob, prog})
+	})
+	if err != nil {
+		t.Fatalf("cmdTrace: %v", err)
+	}
+	for _, want := range []string{
+		"trace ", "├─ parse", "├─ safety", "├─ stratify",
+		"├─ stratum 1", "iteration 1", "rule rule1", "└─ copy",
+		"hottest rules",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// "hottest rules (N fired in total)" vs the sum of "fired X" columns.
+	m := regexp.MustCompile(`hottest rules \((\d+) fired in total\)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no total in output:\n%s", out)
+	}
+	total, _ := strconv.Atoi(m[1])
+	sum := 0
+	for _, f := range regexp.MustCompile(`fired (\d+)`).FindAllStringSubmatch(out, -1) {
+		n, _ := strconv.Atoi(f[1])
+		sum += n
+	}
+	if total == 0 || sum != total {
+		t.Errorf("per-rule fired sums to %d, header says %d:\n%s", sum, total, out)
+	}
+}
+
+// TestCmdTraceDefaultBase: with no -ob, a sibling base.vlg is picked up.
+func TestCmdTraceDefaultBase(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "base.vlg", testBase)
+	prog := writeFile(t, dir, "prog.vlg", testProg)
+
+	out, err := capture(t, func() error {
+		return cmdTrace([]string{"-top", "2", prog})
+	})
+	if err != nil {
+		t.Fatalf("cmdTrace: %v", err)
+	}
+	if !strings.Contains(out, "fired in total") {
+		t.Fatalf("no hot list:\n%s", out)
+	}
+	// -top 2 limits the list: at most 2 rule lines after the header.
+	lines := strings.Split(strings.TrimSpace(out[strings.Index(out, "hottest rules"):]), "\n")
+	if len(lines) != 3 {
+		t.Errorf("-top 2 printed %d hot-list lines:\n%s", len(lines)-1, out)
+	}
+}
+
+// TestCmdTraceJSONAndChrome: -json emits the trace object, -chrome writes
+// loadable trace_event JSON.
+func TestCmdTraceJSONAndChrome(t *testing.T) {
+	dir := t.TempDir()
+	ob := writeFile(t, dir, "ob.vlg", testBase)
+	prog := writeFile(t, dir, "prog.vlg", testProg)
+	chrome := filepath.Join(dir, "trace.json")
+
+	out, err := capture(t, func() error {
+		return cmdTrace([]string{"-ob", ob, "-json", "-chrome", chrome, prog})
+	})
+	if err != nil {
+		t.Fatalf("cmdTrace: %v", err)
+	}
+	var tr struct {
+		ID   string `json:"id"`
+		Root *struct {
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal([]byte(out), &tr); err != nil {
+		t.Fatalf("-json output: %v\n%s", err, out)
+	}
+	if len(tr.ID) != 32 || tr.Root == nil || len(tr.Root.Children) < 5 {
+		t.Errorf("trace json = %s", out)
+	}
+
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatalf("chrome file: %v", err)
+	}
+	var export struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &export); err != nil || export.DisplayTimeUnit != "ms" || len(export.TraceEvents) < 5 {
+		t.Errorf("chrome export = %s (%v)", data, err)
+	}
+}
+
+// TestCmdTraceErrors: a defective program surfaces the error, usage is
+// enforced.
+func TestCmdTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdTrace([]string{}); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("no args: %v", err)
+	}
+	bad := writeFile(t, dir, "bad.vlg", `r1: ins[X].a -> b <- Y.c -> d.`)
+	if _, err := capture(t, func() error { return cmdTrace([]string{bad}) }); err == nil {
+		t.Error("unsafe program accepted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"verlog/internal/eval"
 	"verlog/internal/objectbase"
+	"verlog/internal/obs"
 	"verlog/internal/parser"
 	"verlog/internal/safety"
 	"verlog/internal/strata"
@@ -46,6 +47,12 @@ func WithParallelism(n int) Option { return func(e *Engine) { e.opts.Parallelism
 // fixpoint is identical).
 func WithStaticPlanner() Option { return func(e *Engine) { e.opts.StaticPlanner = true } }
 
+// WithSpan collects the evaluation as a span tree under sp (see
+// internal/obs): safety and stratification checks, each stratum's
+// iterations down to per-rule matching, and the copy phase. A nil sp
+// disables tracing (the default).
+func WithSpan(sp *obs.Span) Option { return func(e *Engine) { e.opts.Span = sp } }
+
 // New returns an Engine with the given options.
 func New(opts ...Option) *Engine {
 	e := &Engine{}
@@ -54,6 +61,11 @@ func New(opts ...Option) *Engine {
 	}
 	return e
 }
+
+// Span returns the span configured with WithSpan (nil when tracing is
+// off), letting callers above core — the repository's constraint check and
+// commit — hang their own children off the same tree.
+func (e *Engine) Span() *obs.Span { return e.opts.Span }
 
 // Check validates a program without running it: safety of every rule and
 // existence of a stratification fulfilling conditions (a)-(d).
@@ -69,7 +81,10 @@ func (e *Engine) Check(p *term.Program) (*strata.Assignment, error) {
 // ob is not modified.
 func (e *Engine) Apply(ob *objectbase.Base, p *term.Program) (*eval.Result, error) {
 	safetyStart := time.Now()
-	if err := safety.Program(p); err != nil {
+	safetySpan := e.opts.Span.StartChild("safety")
+	err := safety.Program(p)
+	safetySpan.End()
+	if err != nil {
 		return nil, err
 	}
 	safetyDur := time.Since(safetyStart)

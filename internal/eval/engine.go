@@ -3,9 +3,11 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"verlog/internal/objectbase"
+	"verlog/internal/obs"
 	"verlog/internal/strata"
 	"verlog/internal/term"
 )
@@ -52,6 +54,12 @@ type Options struct {
 	// generators by index cardinality. The fixpoint is identical; this
 	// exists for the planner ablation experiment.
 	StaticPlanner bool
+	// Span, when non-nil, collects the evaluation as a span tree under it
+	// (see internal/obs): stratify → stratum[i] → iteration[j] → rule[k],
+	// with delta sizes, firing counts and wall time per node, and
+	// runtime/pprof labels (stratum, rule) set around rule matching so CPU
+	// profiles attribute to rules. Nil (the default) skips all of it.
+	Span *obs.Span
 }
 
 // TraceEvent records one fired update during evaluation.
@@ -64,6 +72,31 @@ type TraceEvent struct {
 
 func (t TraceEvent) String() string {
 	return fmt.Sprintf("[stratum %d, iteration %d] %s fires %s", t.Stratum+1, t.Iteration, t.Rule, t.Update)
+}
+
+// RuleStat aggregates one rule's activity across a run. The stats are
+// always collected (a handful of integer adds per iteration); Span-level
+// tracing is not required.
+type RuleStat struct {
+	// Rule is the rule's label (name or r<index>).
+	Rule string `json:"rule"`
+	// Stratum is the 1-based stratum the rule was assigned to.
+	Stratum int `json:"stratum"`
+	// Fired counts the distinct ground updates first derived by this rule
+	// (each update is attributed to the rule that fired it first, so the
+	// per-rule Fired values sum to Result.Fired).
+	Fired int `json:"fired"`
+	// Emitted counts every update the rule emitted, including duplicates
+	// of already-fired updates in later iterations.
+	Emitted int `json:"emitted"`
+	// Matched counts complete body matches (head truth test not yet
+	// applied) — the raw join work the rule caused.
+	Matched int `json:"matched"`
+	// Iterations is how many T_P iterations evaluated the rule.
+	Iterations int `json:"iterations"`
+	// TimeUS is the wall-clock microseconds spent matching the rule,
+	// summed over its step-1 tasks (under parallelism, task times overlap).
+	TimeUS int64 `json:"time_us"`
 }
 
 // StratumTiming is the cost of one stratum's fixpoint.
@@ -119,6 +152,9 @@ type Result struct {
 	Fired int
 	// Trace holds fired-update events when Options.Trace was set.
 	Trace []TraceEvent
+	// RuleStats aggregates per-rule firing counts, match work and wall
+	// time, hottest (most time) first. Always filled.
+	RuleStats []RuleStat
 	// Stats holds per-stage timings for this run; layers above eval add
 	// their own stages (see Stats).
 	Stats Stats
@@ -168,6 +204,19 @@ type engine struct {
 	deepest map[term.OID]term.GVID
 	trace   []TraceEvent
 	fired   int
+	// labels[ri] is rule ri's display label; agg[ri] its running stats.
+	labels []string
+	agg    []ruleAgg
+}
+
+// ruleAgg is the always-on per-rule accumulator behind Result.RuleStats.
+type ruleAgg struct {
+	stratum    int // 1-based; 0 until the rule's stratum runs
+	fired      int
+	emitted    int
+	matched    int64
+	iterations int
+	time       time.Duration
 }
 
 // Run evaluates the update-program p on the object base ob: it stratifies
@@ -176,11 +225,15 @@ type engine struct {
 // modified. Callers wanting safety diagnostics run package safety first;
 // Run itself assumes nothing and surfaces unbound-variable errors lazily.
 func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
+	sp := opts.Span
 	evalStart := time.Now()
+	stratifySpan := sp.StartChild("stratify")
 	assignment, err := strata.Stratify(p)
+	stratifySpan.End()
 	if err != nil {
 		return nil, err
 	}
+	stratifySpan.SetInt("strata", int64(len(assignment.Strata)))
 	stratifyDur := time.Since(evalStart)
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = defaultMaxIterations
@@ -191,10 +244,13 @@ func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
 		opts:    opts,
 		plans:   make([]plan, len(p.Rules)),
 		deepest: make(map[term.OID]term.GVID),
+		labels:  make([]string, len(p.Rules)),
+		agg:     make([]ruleAgg, len(p.Rules)),
 	}
 	e.m = &matcher{base: e.base}
 	for i, r := range p.Rules {
 		e.plans[i] = planRule(r)
+		e.labels[i] = r.Label(i)
 	}
 	if err := e.initDeepest(); err != nil {
 		return nil, err
@@ -204,7 +260,14 @@ func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
 	res.Stats.Stratify = stratifyDur
 	for si, stratum := range assignment.Strata {
 		stratumStart := time.Now()
-		iters, err := e.runStratum(si, stratum)
+		var stratumSpan *obs.Span
+		if sp != nil {
+			stratumSpan = sp.StartChild("stratum " + strconv.Itoa(si+1))
+			stratumSpan.SetInt("rules", int64(len(stratum)))
+		}
+		iters, err := e.runStratum(si, stratum, stratumSpan)
+		stratumSpan.SetInt("iterations", int64(iters))
+		stratumSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -215,10 +278,16 @@ func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
 	}
 	res.Result = e.base
 	copyStart := time.Now()
+	copySpan := sp.StartChild("copy")
 	res.Final = Finalize(e.base)
+	if copySpan != nil {
+		copySpan.SetInt("objects", int64(len(res.Final.VersionsByObject())))
+		copySpan.End()
+	}
 	res.Stats.Copy = time.Since(copyStart)
 	res.Stats.Eval = time.Since(evalStart)
 	res.Fired = e.fired
+	res.RuleStats = e.ruleStats()
 	// Candidate enumeration follows map order, so raw trace order within an
 	// iteration is arbitrary; sort it into a canonical order so runs are
 	// reproducible (parallel or not).
@@ -260,8 +329,29 @@ func (e *engine) initDeepest() error {
 	return nil
 }
 
-// runStratum iterates T_P over the given rules until the fixpoint.
-func (e *engine) runStratum(si int, ruleIdx []int) (int, error) {
+// ruleStats snapshots the per-rule accumulators, hottest first (by match
+// time, then fired count, then rule order).
+func (e *engine) ruleStats() []RuleStat {
+	out := make([]RuleStat, len(e.agg))
+	for i, a := range e.agg {
+		out[i] = RuleStat{
+			Rule: e.labels[i], Stratum: a.stratum,
+			Fired: a.fired, Emitted: a.emitted, Matched: int(a.matched),
+			Iterations: a.iterations, TimeUS: a.time.Microseconds(),
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TimeUS != out[j].TimeUS {
+			return out[i].TimeUS > out[j].TimeUS
+		}
+		return out[i].Fired > out[j].Fired
+	})
+	return out
+}
+
+// runStratum iterates T_P over the given rules until the fixpoint,
+// recording iteration spans under stratumSpan when tracing.
+func (e *engine) runStratum(si int, ruleIdx []int, stratumSpan *obs.Span) (int, error) {
 	// Re-plan this stratum's rules against current statistics: version
 	// populations change as lower strata run, so cardinalities measured
 	// now reflect what the joins will actually scan.
@@ -277,6 +367,9 @@ func (e *engine) runStratum(si int, ruleIdx []int) (int, error) {
 	// updates need their state recomputed in an iteration — everything a
 	// state depends on (the copy source, the target's own update set) is
 	// otherwise unchanged within the stratum.
+	for _, ri := range ruleIdx {
+		e.agg[ri].stratum = si + 1
+	}
 	fired := make(map[Update]int) // update -> rule index, for traces
 	byTarget := make(map[term.GVID][]Update)
 	var delta []term.Fact
@@ -287,6 +380,12 @@ func (e *engine) runStratum(si int, ruleIdx []int) (int, error) {
 		}
 		dirty := make(map[term.GVID]bool)
 		fresh := 0
+		// freshByRule feeds the per-rule iteration spans; only kept when
+		// tracing so the hot path stays map-free.
+		var freshByRule map[int]int
+		if stratumSpan != nil {
+			freshByRule = make(map[int]int)
+		}
 		collect := func(ri int) func(Update) {
 			return func(u Update) {
 				if _, known := fired[u]; known {
@@ -297,10 +396,14 @@ func (e *engine) runStratum(si int, ruleIdx []int) (int, error) {
 				dirty[u.Target()] = true
 				fresh++
 				e.fired++
+				e.agg[ri].fired++
+				if freshByRule != nil {
+					freshByRule[ri]++
+				}
 				if e.opts.Trace {
 					e.trace = append(e.trace, TraceEvent{
 						Stratum: si, Iteration: iter,
-						Rule:   e.prog.Rules[ri].Label(ri),
+						Rule:   e.labels[ri],
 						Update: u,
 					})
 				}
@@ -308,9 +411,17 @@ func (e *engine) runStratum(si int, ruleIdx []int) (int, error) {
 		}
 
 		var tasks []fireTask
+		lastRI := -1
+		addTask := func(t fireTask) {
+			tasks = append(tasks, t)
+			if t.ri != lastRI {
+				e.agg[t.ri].iterations++
+				lastRI = t.ri
+			}
+		}
 		if iter == 1 || e.opts.Strategy == Naive {
 			for _, ri := range ruleIdx {
-				tasks = append(tasks, fireTask{ri: ri, pos: -1})
+				addTask(fireTask{ri: ri, pos: -1})
 			}
 		} else {
 			if len(delta) == 0 {
@@ -318,12 +429,19 @@ func (e *engine) runStratum(si int, ruleIdx []int) (int, error) {
 			}
 			for _, ri := range ruleIdx {
 				for _, pos := range e.plans[ri].deltaPositions {
-					tasks = append(tasks, fireTask{ri: ri, pos: pos})
+					addTask(fireTask{ri: ri, pos: pos})
 				}
 			}
 		}
-		results, err := e.collectFirings(tasks, delta)
+
+		var itSpan *obs.Span
+		if stratumSpan != nil {
+			itSpan = stratumSpan.StartChild("iteration " + strconv.Itoa(iter))
+			itSpan.SetInt("delta_in", int64(len(delta)))
+		}
+		results, stats, err := e.collectFirings(si, tasks, delta)
 		if err != nil {
+			itSpan.End()
 			return iter, err
 		}
 		for ti, ups := range results {
@@ -331,12 +449,25 @@ func (e *engine) runStratum(si int, ruleIdx []int) (int, error) {
 			for _, u := range ups {
 				sink(u)
 			}
+			e.agg[tasks[ti].ri].emitted += len(ups)
+			e.agg[tasks[ti].ri].matched += stats[ti].matched
+			e.agg[tasks[ti].ri].time += stats[ti].dur
+		}
+		if itSpan != nil {
+			e.addRuleSpans(itSpan, tasks, results, stats, freshByRule)
+			itSpan.SetInt("fresh_updates", int64(fresh))
 		}
 
 		if fresh == 0 {
+			itSpan.End()
 			return iter, nil
 		}
 		changed, added, err := e.applyTargets(dirty, byTarget)
+		if itSpan != nil {
+			itSpan.SetInt("targets", int64(len(dirty)))
+			itSpan.SetInt("facts_added", int64(len(added)))
+			itSpan.End()
+		}
 		if err != nil {
 			return iter, err
 		}
@@ -344,6 +475,41 @@ func (e *engine) runStratum(si int, ruleIdx []int) (int, error) {
 			return iter, nil
 		}
 		delta = added
+	}
+}
+
+// addRuleSpans attaches one child span per rule evaluated in the
+// iteration, aggregating its step-1 tasks (a rule can run several delta
+// tasks): earliest start, summed duration, match/emit/fired counts.
+func (e *engine) addRuleSpans(itSpan *obs.Span, tasks []fireTask, results [][]Update, stats []fireStat, freshByRule map[int]int) {
+	type ruleIterAgg struct {
+		start   time.Time
+		dur     time.Duration
+		matched int64
+		emitted int
+	}
+	order := make([]int, 0, len(tasks))
+	byRule := make(map[int]*ruleIterAgg)
+	for ti, t := range tasks {
+		a := byRule[t.ri]
+		if a == nil {
+			a = &ruleIterAgg{start: stats[ti].start}
+			byRule[t.ri] = a
+			order = append(order, t.ri)
+		}
+		if stats[ti].start.Before(a.start) {
+			a.start = stats[ti].start
+		}
+		a.dur += stats[ti].dur
+		a.matched += stats[ti].matched
+		a.emitted += len(results[ti])
+	}
+	for _, ri := range order {
+		a := byRule[ri]
+		rs := itSpan.AddChild("rule "+e.labels[ri], a.start, a.dur)
+		rs.SetInt("matched", a.matched)
+		rs.SetInt("emitted", int64(a.emitted))
+		rs.SetInt("fired", int64(freshByRule[ri]))
 	}
 }
 

@@ -1,7 +1,11 @@
 package eval
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"time"
 
 	"verlog/internal/objectbase"
 	"verlog/internal/term"
@@ -14,28 +18,55 @@ type fireTask struct {
 	pos int
 }
 
+// fireStat is the cost of one step-1 task: when it started, how long the
+// matching took, and how many complete body matches it enumerated.
+type fireStat struct {
+	start   time.Time
+	dur     time.Duration
+	matched int64
+}
+
 // collectFirings runs step 1 for every task and returns the fired updates
-// per task, in task order. Matching only reads the base, so tasks run
-// concurrently when Options.Parallelism allows; results are merged in task
-// order afterwards, keeping evaluation deterministic.
-func (e *engine) collectFirings(tasks []fireTask, delta []term.Fact) ([][]Update, error) {
+// and cost stats per task, in task order. Matching only reads the base, so
+// tasks run concurrently when Options.Parallelism allows; results are
+// merged in task order afterwards, keeping evaluation deterministic. When
+// tracing (Options.Span set), each task runs under runtime/pprof labels
+// (stratum, rule) so CPU profiles attribute samples to rules.
+func (e *engine) collectFirings(si int, tasks []fireTask, delta []term.Fact) ([][]Update, []fireStat, error) {
 	results := make([][]Update, len(tasks))
-	runTask := func(ti int) error {
+	stats := make([]fireStat, len(tasks))
+	match := func(ti int) error {
 		t := tasks[ti]
-		return e.step1Rule(t.ri, t.pos, delta, func(u Update) error {
+		stats[ti].start = time.Now()
+		err := e.step1Rule(t.ri, t.pos, delta, &stats[ti].matched, func(u Update) error {
 			results[ti] = append(results[ti], u)
 			return nil
 		})
+		stats[ti].dur = time.Since(stats[ti].start)
+		return err
+	}
+	runTask := match
+	if e.opts.Span != nil {
+		// Label the goroutine for the duration of the task; the allocation
+		// per task is acceptable because tracing is opt-in per run.
+		stratum := strconv.Itoa(si + 1)
+		runTask = func(ti int) (err error) {
+			labels := pprof.Labels("stratum", stratum, "rule", e.labels[tasks[ti].ri])
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				err = match(ti)
+			})
+			return err
+		}
 	}
 
 	workers := e.opts.Parallelism
 	if workers < 2 || len(tasks) < 2 {
 		for ti := range tasks {
 			if err := runTask(ti); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
-		return results, nil
+		return results, stats, nil
 	}
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -67,9 +98,9 @@ func (e *engine) collectFirings(tasks []fireTask, delta []term.Fact) ([][]Update
 	wg.Wait()
 	select {
 	case err := <-errs:
-		return nil, err
+		return nil, nil, err
 	default:
-		return results, nil
+		return results, stats, nil
 	}
 }
 

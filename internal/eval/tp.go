@@ -57,8 +57,9 @@ func (u Update) compare(v Update) int {
 // step1Rule enumerates the rule's body matches against the matcher's base
 // and emits every fired ground update that also passes the head-position
 // truth test of Section 3. The onFire callback receives the update (one
-// per expanded delete-all entry).
-func (e *engine) step1Rule(ri int, deltaPos int, delta []term.Fact, onFire func(u Update) error) error {
+// per expanded delete-all entry); matched counts complete body matches
+// (i.e. fireHead invocations) for the per-rule stats.
+func (e *engine) step1Rule(ri int, deltaPos int, delta []term.Fact, matched *int64, onFire func(u Update) error) error {
 	r := e.prog.Rules[ri]
 	pl := e.plans[ri]
 	// With a delta restriction, the restricted literal joins first — the
@@ -80,6 +81,7 @@ func (e *engine) step1Rule(ri int, deltaPos int, delta []term.Fact, onFire func(
 	var rec func(step int) error
 	rec = func(step int) error {
 		if step == len(order) {
+			*matched++
 			return e.fireHead(r, s, onFire)
 		}
 		l := r.Body[order[step]]

@@ -68,10 +68,12 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// LatencyBuckets are the histogram upper bounds in seconds: 100µs to 10s,
-// roughly one bucket per 2.5x. They cover everything from a journal fsync
-// to a long fixpoint evaluation.
+// LatencyBuckets are the histogram upper bounds in seconds: 10µs to 10s,
+// roughly one bucket per 2.5x. The sub-100µs bounds resolve the fast eval
+// stages (parse, safety, stratify) that would otherwise collapse into one
+// bucket; the top covers a long fixpoint evaluation.
 var LatencyBuckets = []float64{
+	0.00001, 0.000025, 0.00005,
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
@@ -134,6 +136,32 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string
+
+	collectorMu sync.Mutex
+	collectors  []func()
+}
+
+// RegisterCollector adds a function invoked before every exposition
+// (Prometheus or expvar). Collectors refresh gauges whose source of truth
+// lives elsewhere — runtime memory stats, pool sizes — so the scrape sees
+// current values without a background ticker. Collectors run outside the
+// registry lock and may therefore use the registry freely.
+func (r *Registry) RegisterCollector(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.collectorMu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.collectorMu.Unlock()
+}
+
+func (r *Registry) collect() {
+	r.collectorMu.Lock()
+	fns := append([]func(){}, r.collectors...)
+	r.collectorMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -212,7 +240,9 @@ func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
 
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format, families in registration order, series in creation order.
+// Registered collectors run first.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.collect()
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	fams := make([]*family, len(names))
@@ -274,6 +304,7 @@ func (r *Registry) Handler() http.Handler {
 // flat map (histograms appear as name_count and name_sum_seconds).
 func (r *Registry) Expvar() expvar.Func {
 	return func() any {
+		r.collect()
 		out := make(map[string]any)
 		r.mu.Lock()
 		fams := make([]*family, 0, len(r.families))

@@ -54,13 +54,14 @@ func TestNilInstrumentsAreSafe(t *testing.T) {
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("verlog_apply_seconds", "apply latency")
-	h.Observe(50 * time.Microsecond) // below first bound
+	h.Observe(5 * time.Microsecond)  // below first bound
+	h.Observe(50 * time.Microsecond) // exactly the 0.00005 bound (inclusive)
 	h.Observe(3 * time.Millisecond)  // into the 0.005 bucket
 	h.Observe(20 * time.Second)      // +Inf
-	if h.Count() != 3 {
+	if h.Count() != 4 {
 		t.Fatalf("count = %d", h.Count())
 	}
-	want := 50*time.Microsecond + 3*time.Millisecond + 20*time.Second
+	want := 5*time.Microsecond + 50*time.Microsecond + 3*time.Millisecond + 20*time.Second
 	if h.Sum() != want {
 		t.Errorf("sum = %v, want %v", h.Sum(), want)
 	}
@@ -68,11 +69,13 @@ func TestHistogramBuckets(t *testing.T) {
 	r.WritePrometheus(&b)
 	out := b.String()
 	for _, line := range []string{
-		`verlog_apply_seconds_bucket{le="0.0001"} 1`,
-		`verlog_apply_seconds_bucket{le="0.005"} 2`,
-		`verlog_apply_seconds_bucket{le="10"} 2`,
-		`verlog_apply_seconds_bucket{le="+Inf"} 3`,
-		`verlog_apply_seconds_count 3`,
+		`verlog_apply_seconds_bucket{le="0.00001"} 1`,
+		`verlog_apply_seconds_bucket{le="0.00005"} 2`,
+		`verlog_apply_seconds_bucket{le="0.0001"} 2`,
+		`verlog_apply_seconds_bucket{le="0.005"} 3`,
+		`verlog_apply_seconds_bucket{le="10"} 3`,
+		`verlog_apply_seconds_bucket{le="+Inf"} 4`,
+		`verlog_apply_seconds_count 4`,
 	} {
 		if !strings.Contains(out, line) {
 			t.Errorf("exposition missing %q:\n%s", line, out)
@@ -108,6 +111,9 @@ verlog_http_requests_total{route="/v1/apply",code="200"}
 verlog_recovery_seconds
 # HELP verlog_journal_fsync_seconds Journal fsync latency.
 # TYPE verlog_journal_fsync_seconds histogram
+verlog_journal_fsync_seconds_bucket{le="0.00001"}
+verlog_journal_fsync_seconds_bucket{le="0.000025"}
+verlog_journal_fsync_seconds_bucket{le="0.00005"}
 verlog_journal_fsync_seconds_bucket{le="0.0001"}
 verlog_journal_fsync_seconds_bucket{le="0.00025"}
 verlog_journal_fsync_seconds_bucket{le="0.0005"}
@@ -175,6 +181,57 @@ func TestSlowLogRing(t *testing.T) {
 	}
 	if l.Total() != 5 {
 		t.Errorf("total = %d", l.Total())
+	}
+}
+
+// TestSlowLogConcurrent hammers one ring from many goroutines; under
+// -race (make check) it verifies the ring's locking.
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(8)
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				l.Add(SlowEntry{RequestID: string(rune('a' + w)), Status: i})
+				if i%100 == 0 {
+					l.Entries()
+					l.Total()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Total() != workers*rounds {
+		t.Errorf("total = %d, want %d", l.Total(), workers*rounds)
+	}
+	if got := len(l.Entries()); got != 8 {
+		t.Errorf("retained = %d, want 8", got)
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, name := range []string{
+		"verlog_goroutines ", "verlog_heap_bytes ",
+		"verlog_gc_pause_seconds_total ", "verlog_gc_runs_total ",
+		`verlog_build_info{version=`,
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %q:\n%s", name, out)
+		}
+	}
+	if r.Gauge("verlog_goroutines", "Current number of goroutines.").Value() < 1 {
+		t.Error("goroutine gauge not collected")
+	}
+	if v, c := BuildInfo(); v == "" || c == "" {
+		t.Errorf("BuildInfo() = %q, %q", v, c)
 	}
 }
 

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterRuntimeMetrics registers Go runtime health gauges in r, refreshed
+// by a collector at scrape time: goroutine count, heap bytes, cumulative GC
+// pause seconds and GC cycle count, plus a constant verlog_build_info gauge
+// labelled with the build's version and VCS commit.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	goroutines := r.Gauge("verlog_goroutines", "Current number of goroutines.")
+	heap := r.Gauge("verlog_heap_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	gcPause := r.Gauge("verlog_gc_pause_seconds_total", "Cumulative GC stop-the-world pause seconds.")
+	gcRuns := r.Gauge("verlog_gc_runs_total", "Completed GC cycles.")
+	version, commit := BuildInfo()
+	r.Gauge("verlog_build_info", "Build metadata; value is always 1.",
+		"version", version, "commit", commit).Set(1)
+	r.RegisterCollector(func() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heap.Set(float64(m.HeapAlloc))
+		gcPause.Set(float64(m.PauseTotalNs) / 1e9)
+		gcRuns.Set(float64(m.NumGC))
+	})
+}
+
+// BuildInfo returns the module version and VCS revision embedded by the Go
+// toolchain ("devel"/"unknown" when absent — e.g. in plain `go test`
+// binaries).
+func BuildInfo() (version, commit string) {
+	version, commit = "devel", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, commit
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			commit = s.Value
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+		}
+	}
+	return version, commit
+}

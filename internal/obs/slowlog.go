@@ -18,6 +18,9 @@ type SlowEntry struct {
 	// Detail is an endpoint-specific hint (e.g. the first line of the
 	// program a slow apply evaluated).
 	Detail string `json:"detail,omitempty"`
+	// TraceID joins the entry to a W3C trace (the request's traceparent)
+	// and to the retained trace ring when the request was traced.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // SlowLog is a bounded in-memory ring of the most recent slow requests.

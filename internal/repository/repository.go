@@ -576,21 +576,30 @@ func (r *Repository) ApplyKey(p *term.Program, key string, opts ...core.Option) 
 	if err != nil {
 		return nil, Entry{}, false, err
 	}
-	res, err := core.New(opts...).Apply(head, p)
+	eng := core.New(opts...)
+	res, err := eng.Apply(head, p)
 	if err != nil {
 		return nil, Entry{}, false, err
 	}
+	sp := eng.Span()
 	constraintStart := time.Now()
+	constraintSpan := sp.StartChild("constraints")
 	cs, err := r.constraintsLocked()
 	if err != nil {
+		constraintSpan.End()
 		return nil, Entry{}, false, err
 	}
-	if err := checkConstraints(res.Final, cs); err != nil {
+	err = checkConstraints(res.Final, cs)
+	constraintSpan.SetInt("constraints", int64(len(cs)))
+	constraintSpan.End()
+	if err != nil {
 		r.metrics.ConstraintRejects.Inc()
 		return nil, Entry{}, false, err
 	}
 	res.Stats.ConstraintCheck = time.Since(constraintStart)
 	commitStart := time.Now()
+	commitSpan := sp.StartChild("commit")
+	defer commitSpan.End()
 	diff := objectbase.Compute(head, res.Final)
 	added, removed := storage.EncodeDiff(diff)
 	entry := Entry{

@@ -22,6 +22,9 @@ const requestInfoKey ctxKey = 0
 // reads it afterwards, so no locking is needed.
 type requestInfo struct {
 	ID string
+	// TraceID is the W3C trace id of the request: the caller's (from a
+	// valid traceparent header) or a generated one.
+	TraceID string
 	// Detail is an endpoint-specific hint for the slow-request log (e.g.
 	// the first line of the program a slow apply evaluated).
 	Detail string
@@ -32,6 +35,15 @@ type requestInfo struct {
 func RequestID(ctx context.Context) string {
 	if ri, ok := ctx.Value(requestInfoKey).(*requestInfo); ok {
 		return ri.ID
+	}
+	return ""
+}
+
+// TraceID returns the W3C trace id assigned by the middleware ("" outside
+// a request).
+func TraceID(ctx context.Context) string {
+	if ri, ok := ctx.Value(requestInfoKey).(*requestInfo); ok {
+		return ri.TraceID
 	}
 	return ""
 }
@@ -91,8 +103,16 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 		if !validRequestID(rid) {
 			rid = newRequestID()
 		}
-		ri := &requestInfo{ID: rid}
+		// A valid caller traceparent joins this request to the caller's
+		// distributed trace; otherwise the request starts its own. Either
+		// way the response announces the trace with a fresh span id.
+		traceID, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			traceID = obs.NewTraceID()
+		}
+		ri := &requestInfo{ID: rid, TraceID: traceID}
 		w.Header().Set("X-Request-Id", rid)
+		w.Header().Set("Traceparent", obs.FormatTraceparent(traceID, obs.NewSpanID()))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestInfoKey, ri)))
@@ -117,6 +137,7 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 		}
 		s.logger.LogAttrs(r.Context(), level, "request",
 			slog.String("request_id", rid),
+			slog.String("trace_id", traceID),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
@@ -133,6 +154,7 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 				Start:      start,
 				DurationMS: float64(dur) / float64(time.Millisecond),
 				Detail:     ri.Detail,
+				TraceID:    traceID,
 			})
 		}
 	})

@@ -14,9 +14,12 @@
 //	POST /v1/constraints           install constraints (text body)
 //	POST /v1/check                 analyze a program (text body) -> diagnostics
 //	POST /v1/query                 evaluate a query (text body) -> bindings
-//	POST /v1/apply                 apply an update-program (text body)
+//	POST /v1/apply                 apply an update-program (text body);
+//	                               ?trace=1 returns the span tree + rule hot list
+//	GET  /v1/explain?vid=&method=  provenance chain of a fact back to the input
 //	GET  /v1/debug/slow            recent slow requests
-//	GET  /metrics                  Prometheus text exposition
+//	GET  /v1/debug/traces          ring of recent apply traces (?id=, &format=chrome)
+//	GET  /metrics                  Prometheus text exposition (incl. runtime health)
 //	GET  /debug/vars               expvar JSON
 //
 // Every response is JSON (the /metrics exposition excepted); every error is
@@ -39,6 +42,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -71,6 +75,9 @@ const DefaultSlowThreshold = 250 * time.Millisecond
 // slowLogCapacity bounds the in-memory slow-request ring.
 const slowLogCapacity = 128
 
+// traceRingCapacity bounds the in-memory ring of completed apply traces.
+const traceRingCapacity = 64
+
 // Server handles HTTP requests against one repository.
 type Server struct {
 	repo   *repository.Repository
@@ -81,6 +88,7 @@ type Server struct {
 	reg           *obs.Registry
 	slow          *obs.SlowLog
 	slowThreshold time.Duration
+	traces        *obs.TraceRing
 
 	// applySeconds observes end-to-end apply latency; stage and stratum
 	// histograms aggregate eval.Stats server-side.
@@ -116,6 +124,7 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 		logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 		slow:          obs.NewSlowLog(slowLogCapacity),
 		slowThreshold: DefaultSlowThreshold,
+		traces:        obs.NewTraceRing(traceRingCapacity),
 	}
 	for _, o := range opts {
 		o(s)
@@ -124,6 +133,7 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 		s.reg = obs.NewRegistry()
 	}
 	repo.Instrument(s.reg)
+	obs.RegisterRuntimeMetrics(s.reg)
 	s.applySeconds = s.reg.Histogram("verlog_apply_seconds",
 		"End-to-end apply latency (parse through commit).")
 
@@ -132,12 +142,13 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 	s.route("/v1/log", methods{"GET": s.handleLog})
 	s.route("/v1/history", methods{"GET": s.handleHistory})
 	s.route("/v1/stats", methods{"GET": s.handleStats})
-	s.route("/v1/explain", methods{"POST": s.handleExplain})
+	s.route("/v1/explain", methods{"POST": s.handleExplain, "GET": s.handleExplainVersion})
 	s.route("/v1/constraints", methods{"GET": s.handleGetConstraints, "POST": s.handleSetConstraints})
 	s.route("/v1/check", methods{"POST": s.handleCheck})
 	s.route("/v1/query", methods{"POST": s.handleQuery})
 	s.route("/v1/apply", methods{"POST": s.handleApply})
 	s.route("/v1/debug/slow", methods{"GET": s.handleSlow})
+	s.route("/v1/debug/traces", methods{"GET": s.handleTraces})
 	s.routes["/metrics"] = true
 	s.mux.Handle("/metrics", s.reg.Handler())
 	s.routes["/debug/vars"] = true
@@ -644,15 +655,19 @@ func timingsFromStats(st eval.Stats, total time.Duration) *applyTimings {
 
 // applyResponse reports a committed update. Replayed is set when the
 // request's Idempotency-Key matched an already-journaled update and
-// nothing was re-fired; replays carry no timings.
+// nothing was re-fired; replays carry no timings. Trace and Rules are
+// present only when the request asked for ?trace=1: the span tree of the
+// whole pipeline and the per-rule hot list (most expensive rule first).
 type applyResponse struct {
-	State    int           `json:"state"`
-	Fired    int           `json:"fired"`
-	Strata   int           `json:"strata"`
-	Facts    int           `json:"facts"`
-	Iters    []int         `json:"iterations"`
-	Replayed bool          `json:"replayed,omitempty"`
-	Timings  *applyTimings `json:"timings,omitempty"`
+	State    int             `json:"state"`
+	Fired    int             `json:"fired"`
+	Strata   int             `json:"strata"`
+	Facts    int             `json:"facts"`
+	Iters    []int           `json:"iterations"`
+	Replayed bool            `json:"replayed,omitempty"`
+	Timings  *applyTimings   `json:"timings,omitempty"`
+	Trace    *obs.Trace      `json:"trace,omitempty"`
+	Rules    []eval.RuleStat `json:"rules,omitempty"`
 }
 
 // stratumLabel bounds the cardinality of per-stratum metric labels.
@@ -706,6 +721,12 @@ func setDetail(r *http.Request, body string) {
 // request sends the same Idempotency-Key header both times; the key is
 // journaled with the entry, so a retry of an update that did commit is
 // answered from the journal instead of firing twice.
+// wantTrace reports whether the request asked for a span tree.
+func wantTrace(r *http.Request) bool {
+	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
+}
+
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	src, ok := readBodyOr400(w, r)
@@ -713,23 +734,56 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setDetail(r, src)
+
+	// With ?trace=1 the whole pipeline (parse through commit) is collected
+	// as a span tree, returned in the response and retained in the trace
+	// ring (successful or not). The trace id is the request's W3C trace id,
+	// so the traceparent header, the slog line, the slow log and the ring
+	// all join on it.
+	var tr *obs.Trace
+	var root *obs.Span
+	if wantTrace(r) {
+		tr = obs.NewTrace("apply")
+		if tid := TraceID(r.Context()); tid != "" {
+			tr.ID = tid
+		}
+		tr.SetMeta("request_id", RequestID(r.Context()))
+		root = tr.Root
+	}
+	finishTrace := func(outcome string) {
+		if tr == nil {
+			return
+		}
+		tr.SetMeta("outcome", outcome)
+		tr.Finish()
+		s.traces.Add(tr)
+		tr = nil // at most one ring entry per request
+	}
+
 	parseStart := time.Now()
+	parseSpan := root.StartChild("parse")
 	p, err := parser.Program(src, "request")
+	parseSpan.End()
 	if err != nil {
+		finishTrace("parse_error")
 		writeError(w, r, err)
 		return
 	}
+	parseSpan.SetInt("rules", int64(len(p.Rules)))
 	parseDur := time.Since(parseStart)
 	key := r.Header.Get("Idempotency-Key")
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Trace so that /v1/history and /v1/explain can answer for this run.
-	res, entry, replayed, err := s.repo.ApplyKey(p, key, core.WithTrace())
+	// Trace events so that /v1/history and /v1/explain can answer for this
+	// run; the span tree rides along only when requested.
+	res, entry, replayed, err := s.repo.ApplyKey(p, key, core.WithTrace(), core.WithSpan(root))
 	if err != nil {
+		finishTrace("error")
 		writeError(w, r, err)
 		return
 	}
 	if replayed {
+		finishTrace("replayed")
 		head, err := s.repo.Head()
 		if err != nil {
 			writeError(w, r, err)
@@ -746,6 +800,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.repo.Len()
 	if err != nil {
+		finishTrace("error")
 		writeError(w, r, err)
 		return
 	}
@@ -753,14 +808,20 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	res.Stats.Parse = parseDur
 	total := time.Since(start)
 	s.recordApplyStats(res.Stats, total)
-	writeJSON(w, applyResponse{
+	resp := applyResponse{
 		State:   n,
 		Fired:   res.Fired,
 		Strata:  res.Assignment.NumStrata(),
 		Facts:   res.Final.Size(),
 		Iters:   res.Iterations,
 		Timings: timingsFromStats(res.Stats, total),
-	})
+	}
+	if tr != nil {
+		resp.Trace = tr
+		resp.Rules = res.RuleStats
+		finishTrace("ok")
+	}
+	writeJSON(w, resp)
 }
 
 // slowResponse is the /v1/debug/slow payload.
@@ -780,4 +841,170 @@ func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 		Total:       s.slow.Total(),
 		Entries:     entries,
 	})
+}
+
+// traceSummary is one row of the trace-ring listing.
+type traceSummary struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	RequestID  string    `json:"request_id,omitempty"`
+	Outcome    string    `json:"outcome,omitempty"`
+}
+
+// tracesResponse is the /v1/debug/traces listing payload.
+type tracesResponse struct {
+	Total   int64          `json:"total"`
+	Entries []traceSummary `json:"entries"`
+}
+
+// handleTraces pages the ring of recent apply traces, newest first.
+// ?id= returns one full span tree; &format=chrome renders it in Chrome
+// trace_event JSON (loadable in chrome://tracing and Perfetto).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if id := q.Get("id"); id != "" {
+		tr := s.traces.Get(id)
+		if tr == nil {
+			writeErrorCode(w, r, http.StatusNotFound, CodeNotFound,
+				fmt.Errorf("server: no retained trace %s (the ring keeps the last %d)", id, traceRingCapacity))
+			return
+		}
+		if q.Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			tr.WriteChrome(w)
+			return
+		}
+		writeJSON(w, tr)
+		return
+	}
+	limit := traceRingCapacity
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("server: bad limit %q (want a positive integer)", v))
+			return
+		}
+		limit = n
+	}
+	resp := tracesResponse{Total: s.traces.Total(), Entries: []traceSummary{}}
+	for _, tr := range s.traces.Traces() {
+		if len(resp.Entries) == limit {
+			break
+		}
+		resp.Entries = append(resp.Entries, traceSummary{
+			ID:         tr.ID,
+			Name:       tr.Name,
+			Start:      tr.Start,
+			DurationMS: float64(tr.DurUS) / 1e3,
+			Spans:      tr.SpanCount(),
+			RequestID:  tr.Meta["request_id"],
+			Outcome:    tr.Meta["outcome"],
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// explainStep is one link of a provenance chain: a fact and where it came
+// from. For update provenance the firing rule, stratum, iteration and the
+// ground update are given; for copy provenance the predecessor version the
+// fact was inherited from.
+type explainStep struct {
+	Fact       string `json:"fact"`
+	Provenance string `json:"provenance"`
+	Rule       string `json:"rule,omitempty"`
+	Stratum    int    `json:"stratum,omitempty"`
+	Iteration  int    `json:"iteration,omitempty"`
+	Update     string `json:"update,omitempty"`
+	CopiedFrom string `json:"copied_from,omitempty"`
+}
+
+// explainChain is the provenance of one fact, walked back to the input
+// base: chain[0] is the fact itself, the last step is input or update
+// provenance.
+type explainChain struct {
+	Fact  string        `json:"fact"`
+	Chain []explainStep `json:"chain"`
+}
+
+// explainVersionResponse answers GET /v1/explain?vid=&method=.
+type explainVersionResponse struct {
+	VID    string         `json:"vid"`
+	Method string         `json:"method"`
+	Facts  []explainChain `json:"facts"`
+}
+
+// handleExplainVersion explains every fact vid.method -> ... of the last
+// apply's fixpoint, walking each copy chain back to the version that
+// introduced the fact (an update or the input base).
+func (s *Server) handleExplainVersion(w http.ResponseWriter, r *http.Request) {
+	vid := strings.TrimSpace(r.URL.Query().Get("vid"))
+	method := strings.TrimSpace(r.URL.Query().Get("method"))
+	if vid == "" || method == "" {
+		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest,
+			errors.New("server: missing ?vid= or ?method= (e.g. /v1/explain?vid=mod(bob)&method=sal)"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastResult == nil {
+		writeErrorCode(w, r, http.StatusNotFound, CodeNotFound,
+			errors.New("server: no apply has run in this session; explain needs the traced fixpoint of the last update"))
+		return
+	}
+	// Find the version by its canonical rendering — no VID parser needed,
+	// and the caller can copy ids verbatim from history or trace output.
+	res := s.lastResult
+	var facts []term.Fact
+	for _, versions := range res.Result.VersionsByObject() {
+		for _, v := range versions {
+			if v.String() != vid {
+				continue
+			}
+			res.Result.ForEachFactOf(v, func(f term.Fact) {
+				if f.Method == method {
+					facts = append(facts, f)
+				}
+			})
+		}
+	}
+	if len(facts) == 0 {
+		writeErrorCode(w, r, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("server: no fact %s.%s -> ... in the last apply's fixpoint", vid, method))
+		return
+	}
+	sort.Slice(facts, func(i, j int) bool { return facts[i].String() < facts[j].String() })
+	resp := explainVersionResponse{VID: vid, Method: method}
+	for _, f := range facts {
+		resp.Facts = append(resp.Facts, explainChain{Fact: f.String(), Chain: provenanceChain(res, f)})
+	}
+	writeJSON(w, resp)
+}
+
+// provenanceChain walks a fact's provenance back to its introduction: each
+// copy step moves to the shallower version the fact was inherited from, so
+// the walk ends at input or update provenance (or unknown, defensively).
+func provenanceChain(res *eval.Result, f term.Fact) []explainStep {
+	var chain []explainStep
+	for {
+		e := res.Explain(f)
+		step := explainStep{Fact: f.String(), Provenance: e.Kind.String()}
+		if e.Event != nil {
+			step.Rule = e.Event.Rule
+			step.Stratum = e.Event.Stratum + 1
+			step.Iteration = e.Event.Iteration
+			step.Update = e.Event.Update.String()
+		}
+		if e.Kind == eval.ProvenanceCopy {
+			step.CopiedFrom = e.CopiedFrom.String()
+		}
+		chain = append(chain, step)
+		if e.Kind != eval.ProvenanceCopy || e.CopiedFrom.Path.Len() >= f.V.Path.Len() {
+			return chain
+		}
+		f = f.WithV(e.CopiedFrom)
+	}
 }

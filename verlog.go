@@ -6,6 +6,7 @@ import (
 	"verlog/internal/derived"
 	"verlog/internal/eval"
 	"verlog/internal/objectbase"
+	"verlog/internal/obs"
 	"verlog/internal/parser"
 	"verlog/internal/repository"
 	"verlog/internal/schema"
@@ -43,6 +44,14 @@ type (
 	Update = eval.Update
 	// TraceEvent records one fired update with rule, stratum and iteration.
 	TraceEvent = eval.TraceEvent
+	// RuleStat is one rule's firing statistics from a traced run (see
+	// Result.RuleStats).
+	RuleStat = eval.RuleStat
+	// Span is one timed operation of an evaluation span tree (WithSpan).
+	Span = obs.Span
+	// SpanTrace is a whole span tree with identity and metadata; its Root
+	// is what WithSpan hangs the evaluation spans off.
+	SpanTrace = obs.Trace
 	// Diff is the fact-level difference between two object bases.
 	Diff = objectbase.Diff
 )
@@ -68,6 +77,13 @@ var (
 	WithParallelism = core.WithParallelism
 	// WithStaticPlanner disables statistics-based join ordering (ablation).
 	WithStaticPlanner = core.WithStaticPlanner
+	// WithSpan collects the evaluation as a span tree under the given span:
+	// safety, stratification, every stratum's iterations down to per-rule
+	// matching, and the copy phase. Use NewSpanTrace to build the tree.
+	WithSpan = core.WithSpan
+	// NewSpanTrace starts a named span tree; pass its Root to WithSpan and
+	// call Finish after Apply returns.
+	NewSpanTrace = obs.NewTrace
 )
 
 // Sym returns the symbol OID with the given name.
