@@ -34,10 +34,15 @@ race:
 # The gate: everything a change must pass before it lands.
 check: build vet race
 
-# Smoke check: every benchmark runs once, so a broken benchmark can't rot
-# unnoticed. Real measurements want -benchtime to be raised.
+# Smoke check: every benchmark runs once with allocation stats, so a
+# broken benchmark can't rot unnoticed. The raw output is also converted
+# to machine-readable BENCH_5.json for CI to archive. Real measurements
+# want -benchtime to be raised.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	@cat bench.out
+	$(GO) run ./cmd/verlog-bench -gobench-json bench.out > BENCH_5.json
+	@rm -f bench.out
 
 clean:
 	$(GO) clean ./...

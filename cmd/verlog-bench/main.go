@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	verlog-bench            # run everything
-//	verlog-bench -run E2,E9 # run selected experiments
-//	verlog-bench -list      # list experiments
+//	verlog-bench                      # run everything
+//	verlog-bench -run E2,E9           # run selected experiments
+//	verlog-bench -list                # list experiments
+//	verlog-bench -gobench-json FILE   # convert `go test -bench` output to JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,8 +32,34 @@ func run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	gobenchJSON := fs.String("gobench-json", "", "parse `go test -bench` output from FILE (- for stdin) and print JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *gobenchJSON != "" {
+		in := io.Reader(os.Stdin)
+		if *gobenchJSON != "-" {
+			f, err := os.Open(*gobenchJSON)
+			if err != nil {
+				fmt.Fprintf(errOut, "verlog-bench: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			in = f
+		}
+		rep, err := bench.ParseGoBench(in)
+		if err != nil {
+			fmt.Fprintf(errOut, "verlog-bench: %v\n", err)
+			return 1
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(errOut, "verlog-bench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *list {

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGoBench(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: verlog
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkE16MixedReadWrite/writers=0-4         	     200	       185.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkE17MultiWriter/writers=8-4            	     200	    183218 ns/op	         7.692 recs/fsync	   26486 B/op	     207 allocs/op
+PASS
+ok  	verlog	0.312s
+`
+	rep, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Context["goos"] != "linux" {
+		t.Errorf("context = %v", rep.Context)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rep.Results))
+	}
+	r0 := rep.Results[0]
+	if r0.Name != "BenchmarkE16MixedReadWrite/writers=0" || r0.Procs != 4 || r0.Iterations != 200 {
+		t.Errorf("r0 = %+v", r0)
+	}
+	if r0.Pkg != "verlog" {
+		t.Errorf("r0 pkg = %q, want verlog", r0.Pkg)
+	}
+	if r0.Metrics["ns/op"] != 185.7 || r0.Metrics["allocs/op"] != 0 {
+		t.Errorf("r0 metrics = %v", r0.Metrics)
+	}
+	r1 := rep.Results[1]
+	if r1.Metrics["recs/fsync"] != 7.692 {
+		t.Errorf("r1 metrics = %v", r1.Metrics)
+	}
+}
+
+func TestParseGoBenchBadValue(t *testing.T) {
+	_, err := ParseGoBench(strings.NewReader("BenchmarkX 10 oops ns/op\n"))
+	if err == nil {
+		t.Fatal("want error for unparsable metric value")
+	}
+}

@@ -247,7 +247,7 @@ func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
 		labels:  make([]string, len(p.Rules)),
 		agg:     make([]ruleAgg, len(p.Rules)),
 	}
-	e.m = &matcher{base: e.base}
+	e.m = newMatcher(e.base)
 	for i, r := range p.Rules {
 		e.plans[i] = planRule(r)
 		e.labels[i] = r.Label(i)

@@ -22,9 +22,61 @@ var errStopEnum = errors.New("eval: stop enumeration")
 // backtracking trail: bindings made while exploring a branch are undone
 // when the branch is exhausted. Continuations therefore must read the
 // substitution immediately and never retain it.
+//
+// A matcher carries scratch free-lists for the candidate slices each
+// literal enumeration collects before invoking its continuation.
+// Enumerations nest (the continuation matches the next literal), so the
+// free-lists work as stacks: an enumeration pops a buffer, recurses, and
+// pushes it back when done. A matcher is therefore single-goroutine
+// state; parallel rule matching gives each worker its own (newMatcher).
 type matcher struct {
 	base *objectbase.Base
+	vids [][]term.GVID
+	oids [][]term.OID
+	krs  [][]keyResult
 }
+
+// keyResult is one (method key, result) application collected while
+// scanning a method with unbound arguments.
+type keyResult struct {
+	key term.MethodKey
+	r   term.OID
+}
+
+func newMatcher(base *objectbase.Base) *matcher { return &matcher{base: base} }
+
+func (m *matcher) getVIDs() []term.GVID {
+	if n := len(m.vids); n > 0 {
+		buf := m.vids[n-1]
+		m.vids = m.vids[:n-1]
+		return buf
+	}
+	return nil
+}
+
+func (m *matcher) putVIDs(buf []term.GVID) { m.vids = append(m.vids, buf[:0]) }
+
+func (m *matcher) getOIDs() []term.OID {
+	if n := len(m.oids); n > 0 {
+		buf := m.oids[n-1]
+		m.oids = m.oids[:n-1]
+		return buf
+	}
+	return nil
+}
+
+func (m *matcher) putOIDs(buf []term.OID) { m.oids = append(m.oids, buf[:0]) }
+
+func (m *matcher) getKRs() []keyResult {
+	if n := len(m.krs); n > 0 {
+		buf := m.krs[n-1]
+		m.krs = m.krs[:n-1]
+		return buf
+	}
+	return nil
+}
+
+func (m *matcher) putKRs(buf []keyResult) { m.krs = append(m.krs, buf[:0]) }
 
 // matchLiteral calls k once for every extension of s under which l is
 // true. Bindings added for a branch are visible inside k and removed
@@ -82,18 +134,20 @@ func (m *matcher) forEachBase(v term.VersionID, method string, s unify.Subst, tr
 	if g, ok := s.ResolveVID(v); ok {
 		return k(g)
 	}
-	var cands []term.GVID
+	cands := m.getVIDs()
 	m.base.ForEachVIDWith(v.Path, method, func(g term.GVID) { cands = append(cands, g) })
 	mark := tr.Mark()
 	for _, g := range cands {
 		if tr.MatchObj(s, v.Base, g.Object) {
 			if err := k(g); err != nil {
 				tr.Undo(s, mark)
+				m.putVIDs(cands)
 				return err
 			}
 		}
 		tr.Undo(s, mark)
 	}
+	m.putVIDs(cands)
 	return nil
 }
 
@@ -102,7 +156,7 @@ func (m *matcher) forEachBase(v term.VersionID, method string, s unify.Subst, tr
 // carries the method. The wildcard is existential — k may fire several
 // times for different versions of the same object.
 func (m *matcher) forEachAnyVersion(v term.VersionID, method string, s unify.Subst, tr *unify.Trail, k func(g term.GVID) error) error {
-	var cands []term.GVID
+	cands := m.getVIDs()
 	if o, ok := s.ResolveOID(v.Base); ok {
 		m.base.ForEachVIDWithMethod(method, func(g term.GVID) {
 			if g.Object == o {
@@ -117,11 +171,13 @@ func (m *matcher) forEachAnyVersion(v term.VersionID, method string, s unify.Sub
 		if tr.MatchObj(s, v.Base, g.Object) {
 			if err := k(g); err != nil {
 				tr.Undo(s, mark)
+				m.putVIDs(cands)
 				return err
 			}
 		}
 		tr.Undo(s, mark)
 	}
+	m.putVIDs(cands)
 	return nil
 }
 
@@ -165,40 +221,40 @@ func (m *matcher) matchAppOn(g term.GVID, app term.MethodApp, s unify.Subst, tr 
 			}
 			return nil
 		}
-		var results []term.OID
+		results := m.getOIDs()
 		m.base.ForEachResult(g, key, func(r term.OID) { results = append(results, r) })
 		mark := tr.Mark()
 		for _, r := range results {
 			if tr.MatchObj(s, app.Result, r) {
 				if err := k(key, r); err != nil {
 					tr.Undo(s, mark)
+					m.putOIDs(results)
 					return err
 				}
 			}
 			tr.Undo(s, mark)
 		}
+		m.putOIDs(results)
 		return nil
 	}
 	// Arguments contain unbound variables: scan all applications of the
 	// method on g.
-	type kr struct {
-		key term.MethodKey
-		r   term.OID
-	}
-	var apps []kr
+	apps := m.getKRs()
 	m.base.ForEachOfMethod(g, app.Method, func(key term.MethodKey, r term.OID) {
-		apps = append(apps, kr{key, r})
+		apps = append(apps, keyResult{key, r})
 	})
 	mark := tr.Mark()
 	for _, x := range apps {
 		if tr.MatchArgs(s, app.Args, x.key.Args.Decode()) && tr.MatchObj(s, app.Result, x.r) {
 			if err := k(x.key, x.r); err != nil {
 				tr.Undo(s, mark)
+				m.putKRs(apps)
 				return err
 			}
 		}
 		tr.Undo(s, mark)
 	}
+	m.putKRs(apps)
 	return nil
 }
 
@@ -243,7 +299,7 @@ func (m *matcher) matchModBody(a term.UpdateAtom, s unify.Subst, tr *unify.Trail
 		}
 		return m.matchAppOn(vstar, a.App, s, tr, func(key term.MethodKey, r term.OID) error {
 			// r is bound; now enumerate r' over mod(v).m@args.
-			var newResults []term.OID
+			newResults := m.getOIDs()
 			m.base.ForEachResult(w, key, func(x term.OID) { newResults = append(newResults, x) })
 			mark := tr.Mark()
 			for _, rp := range newResults {
@@ -257,10 +313,12 @@ func (m *matcher) matchModBody(a term.UpdateAtom, s unify.Subst, tr *unify.Trail
 				}
 				if err := k(); err != nil {
 					tr.Undo(s, mark)
+					m.putOIDs(newResults)
 					return err
 				}
 				tr.Undo(s, mark)
 			}
+			m.putOIDs(newResults)
 			return nil
 		})
 	})

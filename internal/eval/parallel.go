@@ -35,10 +35,12 @@ type fireStat struct {
 func (e *engine) collectFirings(si int, tasks []fireTask, delta []term.Fact) ([][]Update, []fireStat, error) {
 	results := make([][]Update, len(tasks))
 	stats := make([]fireStat, len(tasks))
-	match := func(ti int) error {
+	// The matcher carries per-goroutine scratch buffers, so each worker
+	// matches through its own; the sequential path reuses the engine's.
+	match := func(m *matcher, ti int) error {
 		t := tasks[ti]
 		stats[ti].start = time.Now()
-		err := e.step1Rule(t.ri, t.pos, delta, &stats[ti].matched, func(u Update) error {
+		err := e.step1Rule(m, t.ri, t.pos, delta, &stats[ti].matched, func(u Update) error {
 			results[ti] = append(results[ti], u)
 			return nil
 		})
@@ -50,10 +52,10 @@ func (e *engine) collectFirings(si int, tasks []fireTask, delta []term.Fact) ([]
 		// Label the goroutine for the duration of the task; the allocation
 		// per task is acceptable because tracing is opt-in per run.
 		stratum := strconv.Itoa(si + 1)
-		runTask = func(ti int) (err error) {
+		runTask = func(m *matcher, ti int) (err error) {
 			labels := pprof.Labels("stratum", stratum, "rule", e.labels[tasks[ti].ri])
 			pprof.Do(context.Background(), labels, func(context.Context) {
-				err = match(ti)
+				err = match(m, ti)
 			})
 			return err
 		}
@@ -62,7 +64,7 @@ func (e *engine) collectFirings(si int, tasks []fireTask, delta []term.Fact) ([]
 	workers := e.opts.Parallelism
 	if workers < 2 || len(tasks) < 2 {
 		for ti := range tasks {
-			if err := runTask(ti); err != nil {
+			if err := runTask(e.m, ti); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -84,8 +86,9 @@ func (e *engine) collectFirings(si int, tasks []fireTask, delta []term.Fact) ([]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			m := newMatcher(e.base)
 			for ti := range work {
-				if err := runTask(ti); err != nil {
+				if err := runTask(m, ti); err != nil {
 					select {
 					case errs <- err:
 					default:

@@ -35,7 +35,7 @@ func (b Binding) String() string {
 func Query(base *objectbase.Base, body []term.Literal) ([]Binding, error) {
 	rule := term.Rule{Body: body, Name: "query"}
 	pl := planRule(rule)
-	m := &matcher{base: base}
+	m := newMatcher(base)
 	vars := rule.Vars()
 
 	seen := map[string]bool{}

@@ -54,12 +54,13 @@ func (u Update) compare(v Update) int {
 	return u.R2.Compare(v.R2)
 }
 
-// step1Rule enumerates the rule's body matches against the matcher's base
-// and emits every fired ground update that also passes the head-position
-// truth test of Section 3. The onFire callback receives the update (one
-// per expanded delete-all entry); matched counts complete body matches
-// (i.e. fireHead invocations) for the per-rule stats.
-func (e *engine) step1Rule(ri int, deltaPos int, delta []term.Fact, matched *int64, onFire func(u Update) error) error {
+// step1Rule enumerates the rule's body matches against m's base and emits
+// every fired ground update that also passes the head-position truth test
+// of Section 3. The onFire callback receives the update (one per expanded
+// delete-all entry); matched counts complete body matches (i.e. fireHead
+// invocations) for the per-rule stats. m carries per-goroutine scratch
+// state, so concurrent callers must pass distinct matchers.
+func (e *engine) step1Rule(m *matcher, ri int, deltaPos int, delta []term.Fact, matched *int64, onFire func(u Update) error) error {
 	r := e.prog.Rules[ri]
 	pl := e.plans[ri]
 	// With a delta restriction, the restricted literal joins first — the
@@ -90,7 +91,7 @@ func (e *engine) step1Rule(ri int, deltaPos int, delta []term.Fact, matched *int
 				return rec(step + 1)
 			})
 		}
-		return e.m.matchLiteral(l, s, &tr, func() error {
+		return m.matchLiteral(l, s, &tr, func() error {
 			return rec(step + 1)
 		})
 	}

@@ -163,6 +163,29 @@ type Base struct {
 	// mod(E).sal -> S.
 	byPathMethod map[pathMethod]map[term.GVID]struct{}
 	size         int
+	// frozen marks a base published for concurrent readers; every mutator
+	// panics on it. See Freeze.
+	frozen bool
+}
+
+// Freeze marks the base immutable and returns it. A frozen base is safe to
+// share across goroutines without locking: every mutating method panics,
+// so a published snapshot can never be changed under a reader's feet.
+// Clone returns an unfrozen deep copy, which is the only way to derive a
+// mutable base from a frozen one.
+func (b *Base) Freeze() *Base {
+	b.frozen = true
+	return b
+}
+
+// Frozen reports whether the base has been frozen.
+func (b *Base) Frozen() bool { return b.frozen }
+
+// mutable panics when the base is frozen; every mutator calls it first.
+func (b *Base) mutable() {
+	if b.frozen {
+		panic("objectbase: mutation of a frozen base (Clone it first)")
+	}
 }
 
 // New returns an empty object base.
@@ -230,6 +253,7 @@ func (b *Base) VStar(v term.GVID) (term.GVID, bool) {
 
 // Insert adds a fact, reporting whether it was new.
 func (b *Base) Insert(f term.Fact) bool {
+	b.mutable()
 	s, ok := b.states[f.V]
 	if !ok {
 		s = NewState()
@@ -251,6 +275,7 @@ func (b *Base) Insert(f term.Fact) bool {
 
 // Remove deletes a fact, reporting whether it was present.
 func (b *Base) Remove(f term.Fact) bool {
+	b.mutable()
 	s, ok := b.states[f.V]
 	if !ok || !s.Remove(f.Key(), f.Result) {
 		return false
@@ -290,6 +315,7 @@ func (b *Base) EnsureObject(o term.OID) {
 // SetState replaces the entire state of v. An empty or nil state removes
 // the version. It returns true when the base changed.
 func (b *Base) SetState(v term.GVID, st *State) bool {
+	b.mutable()
 	old, had := b.states[v]
 	if st == nil || st.Empty() {
 		if !had {

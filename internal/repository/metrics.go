@@ -14,7 +14,7 @@ type Metrics struct {
 	AppendWrite *obs.Histogram
 	// AppendFsync is the journal fsync — the dominant durability cost.
 	AppendFsync *obs.Histogram
-	// HeadWrite is the head-cache replacement after a commit.
+	// HeadWrite is the head-cache replacement after a commit batch.
 	HeadWrite *obs.Histogram
 	// Compaction is the duration of Compact calls.
 	Compaction *obs.Histogram
@@ -26,23 +26,44 @@ type Metrics struct {
 	ReplayHits *obs.Counter
 	// ConstraintRejects counts updates refused by integrity constraints.
 	ConstraintRejects *obs.Counter
+	// CommitBatchSize is the number of journal records the last group-commit
+	// batch carried (1 = no batching benefit; >1 = amortized fsync).
+	CommitBatchSize *obs.Gauge
+	// CommitBatches counts flushed group-commit batches (i.e. fsyncs);
+	// CommitBatchRecords counts the records they carried. Their ratio is
+	// the average batch size.
+	CommitBatches      *obs.Counter
+	CommitBatchRecords *obs.Counter
+	// CommitWait is how long an apply waits for its batch to become
+	// durable (from joining the batch to the fsync completing).
+	CommitWait *obs.Histogram
+	// HeadCacheHits counts reads served wait-free from the in-memory
+	// published head (Head, At, Initial, Log) — with the resident head,
+	// every read is a hit and none touches disk.
+	HeadCacheHits *obs.Counter
 }
 
 // Instrument wires the repository to the registry under the standard
 // verlog_* metric names and records the recovery the last Open performed.
 func (r *Repository) Instrument(reg *obs.Registry) {
-	m := Metrics{
-		AppendWrite:       reg.Histogram("verlog_journal_append_seconds", "Journal append write latency (excluding fsync)."),
-		AppendFsync:       reg.Histogram("verlog_journal_fsync_seconds", "Journal fsync latency."),
-		HeadWrite:         reg.Histogram("verlog_head_write_seconds", "Head cache replacement latency."),
-		Compaction:        reg.Histogram("verlog_compaction_seconds", "Compact duration."),
-		RecoverySeconds:   reg.Gauge("verlog_recovery_seconds", "Duration of the last open-time recovery."),
-		Applies:           reg.Counter("verlog_applies_total", "Committed updates (idempotent replays excluded)."),
-		ReplayHits:        reg.Counter("verlog_idempotency_replays_total", "Applies answered from the idempotency-key cache."),
-		ConstraintRejects: reg.Counter("verlog_constraint_rejects_total", "Updates refused by integrity constraints."),
+	m := &Metrics{
+		AppendWrite:        reg.Histogram("verlog_journal_append_seconds", "Journal append write latency (excluding fsync)."),
+		AppendFsync:        reg.Histogram("verlog_journal_fsync_seconds", "Journal fsync latency."),
+		HeadWrite:          reg.Histogram("verlog_head_write_seconds", "Head cache replacement latency."),
+		Compaction:         reg.Histogram("verlog_compaction_seconds", "Compact duration."),
+		RecoverySeconds:    reg.Gauge("verlog_recovery_seconds", "Duration of the last open-time recovery."),
+		Applies:            reg.Counter("verlog_applies_total", "Committed updates (idempotent replays excluded)."),
+		ReplayHits:         reg.Counter("verlog_idempotency_replays_total", "Applies answered from the idempotency-key cache."),
+		ConstraintRejects:  reg.Counter("verlog_constraint_rejects_total", "Updates refused by integrity constraints."),
+		CommitBatchSize:    reg.Gauge("verlog_commit_batch_size", "Journal records in the last group-commit batch."),
+		CommitBatches:      reg.Counter("verlog_commit_batches_total", "Group-commit batches flushed (one fsync each)."),
+		CommitBatchRecords: reg.Counter("verlog_commit_batch_records_total", "Journal records flushed across all group-commit batches."),
+		CommitWait:         reg.Histogram("verlog_commit_wait_seconds", "Time an apply waits for its group-commit batch to become durable."),
+		HeadCacheHits:      reg.Counter("verlog_head_cache_hits", "Reads served wait-free from the in-memory published head."),
 	}
-	r.mu.Lock()
-	r.metrics = m
-	m.RecoverySeconds.SetDuration(r.recovery.Duration)
-	r.mu.Unlock()
+	r.metricsP.Store(m)
+	r.commitMu.Lock()
+	rec := r.recovery
+	r.commitMu.Unlock()
+	m.RecoverySeconds.SetDuration(rec.Duration)
 }

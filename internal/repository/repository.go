@@ -20,6 +20,29 @@
 // on Open, while corruption anywhere else is reported, never repaired
 // silently. All file writes go through internal/fsio, whose fault
 // injection drives the crash sweep in crash_test.go.
+//
+// # Concurrency model
+//
+// The current state lives in memory as an immutable (frozen) object base
+// behind an atomic pointer, published only after its journal record is
+// durable. Reads (Head, At, Initial, Log, Len, Constraints, ...) are
+// wait-free loads of that pointer: zero disk I/O, never blocked by an
+// in-flight apply, at most one committed update behind it.
+//
+// Writes run in two phases. Evaluation — the expensive part — runs outside
+// any lock against a snapshot of the head; the paper's T_P is a pure
+// function from an old base to a new one, so a snapshot is all it needs.
+// Commit is then a short critical section under commitMu: an optimistic
+// check that the snapshot is still the head (retrying the evaluation
+// otherwise), a seq assignment, and an append of the framed record to the
+// pending group-commit batch. Disk I/O is serialized by diskMu: the first
+// writer into a batch becomes its leader, writes every queued record in
+// one write+fsync, publishes the new head, and wakes the batch; later
+// writers piggyback on the batch their leader is about to flush, so under
+// contention one fsync commits many updates. The head-cache file is
+// rewritten once per batch, after the batch is already durable and
+// published, keeping it off the commit critical path (a failed rewrite is
+// healed by the same repair machinery a crash is).
 package repository
 
 import (
@@ -31,6 +54,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"verlog/internal/core"
@@ -67,29 +91,109 @@ type Entry struct {
 	Strata int `json:"strata"`
 }
 
+// headState is one published state of the repository: the frozen object
+// base after seq applied programs, together with the frozen snapshot base
+// and the journal entries that connect them. States form a chain — each
+// commit derives the next from the previous — and are immutable once
+// built, so a reader holding one sees a perfectly consistent view no
+// matter what commits land after its load.
+type headState struct {
+	snap    *objectbase.Base // frozen snapshot base (state snapSeq)
+	base    *objectbase.Base // frozen current base (state seq)
+	seq     int
+	snapSeq int
+	entries []Entry // journal entries snapSeq+1..seq, in order
+}
+
+// commitBatch is one group-commit batch: the framed journal records of
+// every committer that joined it, flushed with a single write+fsync by
+// its leader. done is closed once the batch's fate is decided; err is set
+// before that when the flush failed.
+type commitBatch struct {
+	buf   []byte // framed records, in seq order
+	count int
+	keys  []string   // idempotency keys registered by this batch
+	last  *headState // head state after the batch's final record
+	done  chan struct{}
+	err   error
+}
+
+// consState is the installed integrity-constraint set, kept resident so
+// applies never re-read or re-parse the constraints file. The pointer
+// identity doubles as a version: a commit whose evaluation saw an older
+// set retries.
+type consState struct {
+	src string
+	cs  []term.Constraint
+}
+
+// keyRecord is one idempotency-key cache entry. batch is the commit batch
+// the key's update rides in, nil once the update is durable; a replay hit
+// on a still-pending key waits for the batch so a replayed answer always
+// refers to a durable update.
+type keyRecord struct {
+	entry Entry // diff stripped
+	batch *commitBatch
+}
+
 // Repository is an object base under journal control. All methods are
-// safe for concurrent use.
+// safe for concurrent use; see the package comment for the concurrency
+// model.
 type Repository struct {
 	dir string
 	fs  fsio.FS
 
-	// mu serializes every operation: the repository performs one update
-	// transaction at a time, as Section 2.2 treats a program as one
-	// mapping from old to new object base.
-	mu sync.Mutex
-	// snapSeq and seq cache the snapshot's seq stamp and the last applied
-	// seq; both are rebuilt by recoverLocked.
-	snapSeq int
-	seq     int
-	// keys maps idempotency keys of journaled entries (diffs stripped) so
-	// a retried apply is answered without re-firing.
-	keys map[string]Entry
-	// needRepair is set when an apply failed after possibly touching disk;
-	// the next operation re-runs recovery before proceeding.
+	// published is the durable head: the state after the last fsynced
+	// journal record. Readers load it wait-free.
+	published atomic.Pointer[headState]
+	// cons is the resident constraint set (never nil after init/open).
+	cons atomic.Pointer[consState]
+	// metricsP holds nil-safe instruments; see Instrument.
+	metricsP atomic.Pointer[Metrics]
+
+	// commitMu guards the in-memory commit state: the speculative head
+	// chain, the pending batch, the idempotency-key map, and the repair
+	// flags. It is only ever held for pointer swaps and map updates —
+	// never across evaluation or disk I/O.
+	commitMu sync.Mutex
+	cond     *sync.Cond // signals paused committers; see pause/resume
+	paused   bool
+	// spec is the speculative head: published plus any commits that are
+	// queued in the pending batch but not yet durable. New evaluations
+	// start from it so commit N+1 can evaluate while commit N fsyncs.
+	spec *headState
+	// gen counts recoveries; a commit whose evaluation predates the
+	// current generation retries instead of committing onto a repaired
+	// chain.
+	gen     uint64
+	keys    map[string]*keyRecord
+	pending *commitBatch
+	// needRepair is set when a flush failed after possibly touching disk;
+	// the next write operation re-runs recovery before proceeding.
 	needRepair bool
 	recovery   Recovery
-	// metrics are nil-safe instruments; see Instrument.
-	metrics Metrics
+
+	// diskMu serializes every file operation: journal appends, snapshot
+	// and head rewrites, truncation, recovery. The published head only
+	// advances under it.
+	diskMu sync.Mutex
+}
+
+func newRepository(dir string, fs fsio.FS) *Repository {
+	r := &Repository{dir: dir, fs: fs, keys: make(map[string]*keyRecord)}
+	r.cond = sync.NewCond(&r.commitMu)
+	r.cons.Store(&consState{})
+	return r
+}
+
+var zeroMetrics Metrics
+
+// met returns the wired instruments, or all-nil (no-op) ones.
+func (r *Repository) met() *Metrics {
+	if m := r.metricsP.Load(); m != nil {
+		return m
+	}
+	return &zeroMetrics
 }
 
 // Recovery summarizes what Open had to do to bring the repository to a
@@ -140,7 +244,7 @@ func InitFS(dir string, initial *objectbase.Base, fs fsio.FS) (*Repository, erro
 	if _, err := fs.Stat(filepath.Join(dir, snapshotFile)); err == nil {
 		return nil, fmt.Errorf("repository: %s already contains a repository", dir)
 	}
-	r := &Repository{dir: dir, fs: fs, keys: make(map[string]Entry)}
+	r := newRepository(dir, fs)
 	if err := r.removeStaleTemps(nil); err != nil {
 		return nil, err
 	}
@@ -164,6 +268,10 @@ func InitFS(dir string, initial *objectbase.Base, fs fsio.FS) (*Repository, erro
 	if err := fs.SyncDir(dir); err != nil {
 		return nil, fmt.Errorf("repository: %w", err)
 	}
+	base := initial.Clone().Freeze()
+	hs := &headState{snap: base, base: base}
+	r.spec = hs
+	r.published.Store(hs)
 	return r, nil
 }
 
@@ -183,7 +291,7 @@ func OpenFS(dir string, fs fsio.FS) (*Repository, error) {
 			return nil, fmt.Errorf("repository: %s is not a repository (missing %s)", dir, f)
 		}
 	}
-	r := &Repository{dir: dir, fs: fs, keys: make(map[string]Entry)}
+	r := newRepository(dir, fs)
 	if err := r.recoverLocked(); err != nil {
 		return nil, err
 	}
@@ -195,8 +303,8 @@ func (r *Repository) Dir() string { return r.dir }
 
 // Recovery returns what the last Open (or in-flight repair) had to fix.
 func (r *Repository) Recovery() Recovery {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
 	return r.recovery
 }
 
@@ -219,8 +327,10 @@ func (r *Repository) removeStaleTemps(rec *Recovery) error {
 	return nil
 }
 
-// recoverLocked reconciles the three files; r.mu must be held (or the
-// repository not yet shared). See Open for what it repairs.
+// recoverLocked reconciles the three files and rebuilds the in-memory
+// published state from them. The caller must hold diskMu with commits
+// paused (or the repository not yet shared). See Open for what it
+// repairs.
 func (r *Repository) recoverLocked() error {
 	start := time.Now()
 	var rec Recovery
@@ -228,7 +338,7 @@ func (r *Repository) recoverLocked() error {
 		return err
 	}
 	// The snapshot is ground truth; if it cannot be read nothing can.
-	state, snapSeq, err := r.readBase(snapshotFile)
+	snapState, snapSeq, err := r.readBase(snapshotFile)
 	if err != nil {
 		return fmt.Errorf("repository: unreadable snapshot: %w", err)
 	}
@@ -272,8 +382,12 @@ func (r *Repository) recoverLocked() error {
 			return fmt.Errorf("repository: journal entry %d has seq %d, want %d; the repository is corrupted", i+1, e.Seq, snapSeq+1+i)
 		}
 	}
-	// Replay the journal onto the snapshot; that result, not head.bin, is
-	// the truth the head cache must match.
+	// Replay the journal onto a copy of the snapshot; that result, not
+	// head.bin, is the truth the head cache must match.
+	state := snapState
+	if len(live) > 0 {
+		state = snapState.Clone()
+	}
 	for _, e := range live {
 		d, err := storage.DecodeDiff(e.Added, e.Removed)
 		if err != nil {
@@ -289,26 +403,91 @@ func (r *Repository) recoverLocked() error {
 		}
 		rec.HeadRebuilt = true
 	}
-	keys := make(map[string]Entry)
+	cons, err := r.loadConstraints()
+	if err != nil {
+		return err
+	}
+	keys := make(map[string]*keyRecord)
 	for _, e := range live {
 		if e.Key != "" {
-			keys[e.Key] = slimEntry(e)
+			keys[e.Key] = &keyRecord{entry: slimEntry(e)}
 		}
 	}
 	rec.Entries = len(live)
 	rec.Duration = time.Since(start)
-	r.snapSeq, r.seq, r.keys = snapSeq, seq, keys
+	hs := &headState{
+		snap:    snapState.Freeze(),
+		base:    state.Freeze(),
+		seq:     seq,
+		snapSeq: snapSeq,
+		entries: live,
+	}
+	r.commitMu.Lock()
+	r.spec = hs
+	r.keys = keys
+	r.gen++
 	r.recovery = rec
 	r.needRepair = false
-	r.metrics.RecoverySeconds.SetDuration(rec.Duration)
+	r.commitMu.Unlock()
+	r.published.Store(hs)
+	r.cons.Store(cons)
+	r.met().RecoverySeconds.SetDuration(rec.Duration)
 	return nil
 }
 
-// repairLocked re-runs recovery if a previous operation failed partway.
-func (r *Repository) repairLocked() error {
-	if !r.needRepair {
+// loadConstraints reads and parses the constraints file (empty set when
+// absent).
+func (r *Repository) loadConstraints() (*consState, error) {
+	src, err := r.fs.ReadFile(filepath.Join(r.dir, constraintsFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return &consState{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	cs, err := parser.Constraints(string(src), constraintsFile)
+	if err != nil {
+		return nil, err
+	}
+	return &consState{src: string(src), cs: cs}, nil
+}
+
+// pauseCommits stops new commits from entering the commit section; the
+// caller must hold diskMu and must call resumeCommits. While paused, the
+// speculative chain is quiescent: spec, keys and pending only change
+// under the pauser's control.
+func (r *Repository) pauseCommits() {
+	r.commitMu.Lock()
+	r.paused = true
+	r.commitMu.Unlock()
+}
+
+func (r *Repository) resumeCommits() {
+	r.commitMu.Lock()
+	r.paused = false
+	r.commitMu.Unlock()
+	r.cond.Broadcast()
+}
+
+// repair re-runs recovery if a previous flush failed partway. It drains
+// (and fails) any queued commits first so recovery sees a quiescent
+// repository.
+func (r *Repository) repair() error {
+	r.diskMu.Lock()
+	defer r.diskMu.Unlock()
+	return r.repairDiskLocked()
+}
+
+func (r *Repository) repairDiskLocked() error {
+	r.commitMu.Lock()
+	need := r.needRepair
+	r.commitMu.Unlock()
+	if !need {
 		return nil
 	}
+	r.pauseCommits()
+	defer r.resumeCommits()
+	r.flushPendingLocked() // fails the batch: needRepair is set
 	return r.recoverLocked()
 }
 
@@ -353,23 +532,32 @@ func (r *Repository) readBase(name string) (*objectbase.Base, int, error) {
 	return storage.LoadBinaryAt(f)
 }
 
-// Head returns the current object base.
+// Head returns the current object base: a wait-free load of the published
+// in-memory head, with zero disk I/O. The returned base is frozen and
+// shared — Clone it before mutating. It reflects every durable update and
+// may trail an in-flight apply by one seq (an update is published the
+// moment its journal record is fsynced).
 func (r *Repository) Head() (*objectbase.Base, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.repairLocked(); err != nil {
-		return nil, err
-	}
-	b, _, err := r.readBase(headFile)
-	return b, err
+	hs := r.published.Load()
+	r.met().HeadCacheHits.Inc()
+	return hs.base, nil
+}
+
+// Snapshot returns the published head base together with its seq, as one
+// consistent wait-free load.
+func (r *Repository) Snapshot() (*objectbase.Base, int) {
+	hs := r.published.Load()
+	r.met().HeadCacheHits.Inc()
+	return hs.base, hs.seq
 }
 
 // Initial returns the object base the journal starts from (the snapshot).
+// Like Head it is a wait-free load of resident state; the returned base
+// is frozen and shared.
 func (r *Repository) Initial() (*objectbase.Base, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	b, _, err := r.readBase(snapshotFile)
-	return b, err
+	hs := r.published.Load()
+	r.met().HeadCacheHits.Inc()
+	return hs.snap, nil
 }
 
 // readJournalRaw parses the journal file. The error may be a
@@ -398,16 +586,13 @@ func (r *Repository) readJournalRaw() ([]Entry, int64, error) {
 	return out, good, nil
 }
 
-// Entries reads the full journal. A repository whose journal has a torn
-// tail must be reopened (Open repairs it); Entries reports it as an error
-// rather than silently dropping the record.
+// Entries reads the full journal from disk — the integrity-checking read:
+// unlike Log it surfaces a torn tail or checksum damage as an error
+// rather than silently dropping records. It serializes with in-flight
+// flushes; use Log for the wait-free view.
 func (r *Repository) Entries() ([]Entry, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.entriesLocked()
-}
-
-func (r *Repository) entriesLocked() ([]Entry, error) {
+	r.diskMu.Lock()
+	defer r.diskMu.Unlock()
 	entries, _, err := r.readJournalRaw()
 	if err != nil {
 		return nil, err
@@ -415,20 +600,26 @@ func (r *Repository) entriesLocked() ([]Entry, error) {
 	return entries, nil
 }
 
+// Log returns the journal entries of the published head (those since the
+// snapshot), wait-free and without disk I/O. The slice is shared and must
+// not be mutated. It may trail an in-flight apply by one entry.
+func (r *Repository) Log() []Entry {
+	hs := r.published.Load()
+	r.met().HeadCacheHits.Inc()
+	return hs.entries
+}
+
 // Len returns the number of applied programs since the snapshot.
 func (r *Repository) Len() (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.seq - r.snapSeq, nil
+	hs := r.published.Load()
+	return hs.seq - hs.snapSeq, nil
 }
 
 // SnapshotSeq returns the journal sequence number the snapshot
 // represents (0 for a never-compacted repository). State numbers in At
 // count from it, so a journal entry e is state e.Seq-SnapshotSeq().
 func (r *Repository) SnapshotSeq() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.snapSeq
+	return r.published.Load().snapSeq
 }
 
 // ConstraintViolationError reports an update whose result satisfies an
@@ -450,25 +641,32 @@ func (e *ConstraintViolationError) Error() string {
 // SetConstraints installs integrity constraints (denial form, concrete
 // syntax; see parser.Constraints). Every subsequent Apply verifies the
 // updated base against them and refuses to commit on violation. The
-// current head must already satisfy them.
+// current head must already satisfy them. Installation quiesces commits
+// so no update can slip between the validation and the switch; applies
+// whose evaluation saw the previous constraint set retry against the new
+// one.
 func (r *Repository) SetConstraints(src string) error {
 	cs, err := parser.Constraints(src, constraintsFile)
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.repairLocked(); err != nil {
+	r.diskMu.Lock()
+	defer r.diskMu.Unlock()
+	if err := r.repairDiskLocked(); err != nil {
 		return err
 	}
-	head, _, err := r.readBase(headFile)
-	if err != nil {
-		return err
-	}
+	r.pauseCommits()
+	defer r.resumeCommits()
+	r.flushPendingLocked()
+	head := r.published.Load().base
 	if err := checkConstraints(head, cs); err != nil {
 		return fmt.Errorf("repository: current head already violates constraints: %w", err)
 	}
-	return r.writeFileDurable(constraintsFile, []byte(src))
+	if err := r.writeFileDurable(constraintsFile, []byte(src)); err != nil {
+		return err
+	}
+	r.cons.Store(&consState{src: src, cs: cs})
+	return nil
 }
 
 // writeFileDurable atomically replaces name with data (tmp, fsync,
@@ -503,22 +701,10 @@ func (r *Repository) writeFileDurable(name string, data []byte) error {
 	return nil
 }
 
-// Constraints returns the installed constraints (nil if none).
+// Constraints returns the installed constraints (nil if none), from the
+// resident set — wait-free, no disk I/O.
 func (r *Repository) Constraints() ([]term.Constraint, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.constraintsLocked()
-}
-
-func (r *Repository) constraintsLocked() ([]term.Constraint, error) {
-	src, err := r.fs.ReadFile(filepath.Join(r.dir, constraintsFile))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("repository: %w", err)
-	}
-	return parser.Constraints(string(src), constraintsFile)
+	return r.cons.Load().cs, nil
 }
 
 func checkConstraints(base *objectbase.Base, cs []term.Constraint) error {
@@ -556,54 +742,84 @@ func (r *Repository) Apply(p *term.Program, opts ...core.Option) (*eval.Result, 
 // replayed=false. Keys are remembered as far back as the journal reaches;
 // Compact clears them along with the entries that held them.
 //
+// Evaluation runs outside any lock against a snapshot of the head; if
+// another update commits first, ApplyKey re-evaluates against the new
+// head and tries again (the optimistic retry the pure T_P of the paper
+// makes safe). The journal record is fsynced as part of a group-commit
+// batch shared with concurrent committers; ApplyKey returns only after
+// its record is durable.
+//
 // The update is durable (and will be answered as a replay) as soon as the
-// journal record is synced, even if ApplyKey then fails writing the head
-// cache — the error says so, and the repository repairs the head on its
-// next operation.
+// journal record is synced, even if the batch leader then fails writing
+// the head cache — the error says so, and the repository repairs the head
+// on its next operation.
 func (r *Repository) ApplyKey(p *term.Program, key string, opts ...core.Option) (*eval.Result, Entry, bool, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.repairLocked(); err != nil {
-		return nil, Entry{}, false, err
+	for {
+		res, entry, replayed, retry, err := r.tryApply(p, key, opts)
+		if retry {
+			continue
+		}
+		return res, entry, replayed, err
+	}
+}
+
+// tryApply is one optimistic attempt: snapshot, evaluate, commit if the
+// snapshot is still the head. retry=true means the attempt was invalidated
+// by a concurrent commit, repair or constraint change and must rerun.
+func (r *Repository) tryApply(p *term.Program, key string, opts []core.Option) (_ *eval.Result, _ Entry, replayed, retry bool, _ error) {
+	r.commitMu.Lock()
+	if r.needRepair {
+		r.commitMu.Unlock()
+		if err := r.repair(); err != nil {
+			return nil, Entry{}, false, false, err
+		}
+		return nil, Entry{}, false, true, nil
 	}
 	if key != "" {
-		if e, ok := r.keys[key]; ok {
-			r.metrics.ReplayHits.Inc()
-			return nil, e, true, nil
+		if kr, ok := r.keys[key]; ok {
+			b, e := kr.batch, kr.entry
+			r.commitMu.Unlock()
+			if b != nil {
+				<-b.done
+				if b.err != nil {
+					// The update the key rode in never became durable (its
+					// key was dropped with the batch); apply afresh.
+					return nil, Entry{}, false, true, nil
+				}
+			}
+			r.met().ReplayHits.Inc()
+			return nil, e, true, false, nil
 		}
 	}
-	head, _, err := r.readBase(headFile)
-	if err != nil {
-		return nil, Entry{}, false, err
-	}
+	snap := r.spec
+	gen := r.gen
+	cons := r.cons.Load()
+	r.commitMu.Unlock()
+
+	// Phase 1: evaluate against the immutable snapshot, no locks held.
 	eng := core.New(opts...)
-	res, err := eng.Apply(head, p)
+	res, err := eng.Apply(snap.base, p)
 	if err != nil {
-		return nil, Entry{}, false, err
+		return nil, Entry{}, false, false, err
 	}
 	sp := eng.Span()
 	constraintStart := time.Now()
 	constraintSpan := sp.StartChild("constraints")
-	cs, err := r.constraintsLocked()
-	if err != nil {
-		constraintSpan.End()
-		return nil, Entry{}, false, err
-	}
-	err = checkConstraints(res.Final, cs)
-	constraintSpan.SetInt("constraints", int64(len(cs)))
+	err = checkConstraints(res.Final, cons.cs)
+	constraintSpan.SetInt("constraints", int64(len(cons.cs)))
 	constraintSpan.End()
 	if err != nil {
-		r.metrics.ConstraintRejects.Inc()
-		return nil, Entry{}, false, err
+		r.met().ConstraintRejects.Inc()
+		return nil, Entry{}, false, false, err
 	}
 	res.Stats.ConstraintCheck = time.Since(constraintStart)
 	commitStart := time.Now()
 	commitSpan := sp.StartChild("commit")
 	defer commitSpan.End()
-	diff := objectbase.Compute(head, res.Final)
+	diff := objectbase.Compute(snap.base, res.Final)
 	added, removed := storage.EncodeDiff(diff)
 	entry := Entry{
-		Seq:     r.seq + 1,
+		Seq:     snap.seq + 1,
 		Program: parser.FormatProgram(p),
 		Key:     key,
 		Added:   added,
@@ -613,51 +829,158 @@ func (r *Repository) ApplyKey(p *term.Program, key string, opts ...core.Option) 
 	}
 	payload, err := json.Marshal(entry)
 	if err != nil {
-		return nil, Entry{}, false, fmt.Errorf("repository: %w", err)
+		return nil, Entry{}, false, false, fmt.Errorf("repository: %w", err)
 	}
-	if err := r.appendJournalLocked(storage.FrameJournalRecord(payload)); err != nil {
-		return nil, Entry{}, false, err
+	framed := storage.FrameJournalRecord(payload)
+
+	// Phase 2: the short commit section — validate the snapshot is still
+	// the head, extend the speculative chain, join the pending batch.
+	r.commitMu.Lock()
+	for r.paused {
+		r.cond.Wait()
 	}
-	// The record is durable: the update is committed from here on.
-	r.seq = entry.Seq
-	r.metrics.Applies.Inc()
+	if r.needRepair || r.gen != gen || r.spec != snap || r.cons.Load() != cons {
+		r.commitMu.Unlock()
+		return nil, Entry{}, false, true, nil
+	}
+	ns := &headState{
+		snap:    snap.snap,
+		base:    res.Final.Freeze(),
+		seq:     entry.Seq,
+		snapSeq: snap.snapSeq,
+		entries: append(snap.entries, entry),
+	}
+	b := r.pending
+	leader := b == nil
+	if leader {
+		b = &commitBatch{done: make(chan struct{})}
+		r.pending = b
+	}
+	b.buf = append(b.buf, framed...)
+	b.count++
+	b.last = ns
 	if key != "" {
-		r.keys[key] = slimEntry(entry)
+		b.keys = append(b.keys, key)
+		r.keys[key] = &keyRecord{entry: slimEntry(entry), batch: b}
 	}
-	headStart := time.Now()
-	if err := r.writeBase(headFile, res.Final, r.seq); err != nil {
-		r.needRepair = true
-		return nil, Entry{}, false, fmt.Errorf("repository: update %d is journaled but the head cache was not updated (repaired on the next operation): %w", entry.Seq, err)
+	r.spec = ns
+	r.commitMu.Unlock()
+
+	waitStart := time.Now()
+	var cacheErr error
+	if leader {
+		r.diskMu.Lock()
+		cacheErr = r.flushPendingLocked()
+		r.diskMu.Unlock()
 	}
-	r.metrics.HeadWrite.Observe(time.Since(headStart))
+	<-b.done
+	r.met().CommitWait.Observe(time.Since(waitStart))
+	if b.err != nil {
+		return nil, Entry{}, false, false, b.err
+	}
+	r.met().Applies.Inc()
 	res.Stats.Commit = time.Since(commitStart)
-	return res, entry, false, nil
+	if cacheErr != nil {
+		return nil, Entry{}, false, false, fmt.Errorf("repository: update %d is journaled but the head cache was not updated (repaired on the next operation): %w", entry.Seq, cacheErr)
+	}
+	return res, entry, false, false, nil
 }
 
-// appendJournalLocked appends one framed record and fsyncs it. Any
-// failure may have left a partial record, so it flags the repository for
-// repair (torn-tail truncation) before the next operation.
-func (r *Repository) appendJournalLocked(line []byte) error {
+// flushPendingLocked seals the pending batch, writes all its records in
+// one append+fsync, publishes the new head and wakes the batch. The
+// caller must hold diskMu. The returned error is the (non-fatal)
+// head-cache rewrite failure; journal failures are delivered through the
+// batch itself.
+func (r *Repository) flushPendingLocked() error {
+	r.commitMu.Lock()
+	b := r.pending
+	r.pending = nil
+	if b == nil {
+		r.commitMu.Unlock()
+		return nil
+	}
+	if r.needRepair {
+		b.err = errors.New("repository: commit aborted: the repository needs repair")
+		r.dropBatchKeysLocked(b)
+		r.commitMu.Unlock()
+		close(b.done)
+		return nil
+	}
+	buf, count, last := b.buf, b.count, b.last
+	r.commitMu.Unlock()
+
+	err := r.appendJournal(buf)
+	if err != nil {
+		r.commitMu.Lock()
+		// The speculative chain now runs ahead of a disk state we no
+		// longer trust; recovery rebuilds both before the next commit.
+		r.needRepair = true
+		b.err = err
+		r.dropBatchKeysLocked(b)
+		r.commitMu.Unlock()
+		close(b.done)
+		return nil
+	}
+	// The records are durable: publish the head and release the batch.
+	r.commitMu.Lock()
+	for _, k := range b.keys {
+		if kr := r.keys[k]; kr != nil && kr.batch == b {
+			kr.batch = nil
+		}
+	}
+	r.commitMu.Unlock()
+	r.published.Store(last)
+	m := r.met()
+	m.CommitBatchSize.Set(float64(count))
+	m.CommitBatches.Inc()
+	m.CommitBatchRecords.Add(int64(count))
+	close(b.done)
+
+	// The head cache is rewritten after the batch is already durable and
+	// published — off the commit critical path. A failure here loses no
+	// data (the cache is rebuilt from snapshot+journal) but flags repair
+	// so the file converges.
+	headStart := time.Now()
+	if cerr := r.writeBase(headFile, last.base, last.seq); cerr != nil {
+		r.commitMu.Lock()
+		r.needRepair = true
+		r.commitMu.Unlock()
+		return cerr
+	}
+	r.met().HeadWrite.Observe(time.Since(headStart))
+	return nil
+}
+
+// dropBatchKeysLocked removes the idempotency keys a failed batch
+// registered; commitMu must be held.
+func (r *Repository) dropBatchKeysLocked(b *commitBatch) {
+	for _, k := range b.keys {
+		if kr := r.keys[k]; kr != nil && kr.batch == b {
+			delete(r.keys, k)
+		}
+	}
+}
+
+// appendJournal appends the framed records and fsyncs them; diskMu must
+// be held.
+func (r *Repository) appendJournal(buf []byte) error {
 	jf, err := r.fs.Append(filepath.Join(r.dir, journalFile))
 	if err != nil {
 		return fmt.Errorf("repository: %w", err)
 	}
 	writeStart := time.Now()
-	if _, err := jf.Write(line); err != nil {
+	if _, err := jf.Write(buf); err != nil {
 		jf.Close()
-		r.needRepair = true
 		return fmt.Errorf("repository: %w", err)
 	}
-	r.metrics.AppendWrite.Observe(time.Since(writeStart))
+	r.met().AppendWrite.Observe(time.Since(writeStart))
 	syncStart := time.Now()
 	if err := jf.Sync(); err != nil {
 		jf.Close()
-		r.needRepair = true
 		return fmt.Errorf("repository: %w", err)
 	}
-	r.metrics.AppendFsync.Observe(time.Since(syncStart))
+	r.met().AppendFsync.Observe(time.Since(syncStart))
 	if err := jf.Close(); err != nil {
-		r.needRepair = true
 		return fmt.Errorf("repository: %w", err)
 	}
 	return nil
@@ -674,15 +997,24 @@ func (e *VerifyError) Error() string {
 }
 
 // Verify replays the whole journal from the snapshot and checks that the
-// result equals the head — the repository's integrity check.
+// result equals the published head — the repository's integrity check.
 func (r *Repository) Verify() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.verifyLocked()
+	r.diskMu.Lock()
+	defer r.diskMu.Unlock()
+	if err := r.repairDiskLocked(); err != nil {
+		return err
+	}
+	if err := r.flushPendingLocked(); err != nil {
+		return err
+	}
+	return r.verifyDiskLocked()
 }
 
-func (r *Repository) verifyLocked() error {
-	entries, err := r.entriesLocked()
+// verifyDiskLocked replays disk state and compares it to the published
+// head; diskMu must be held with the pending batch flushed, so disk and
+// published agree unless something is corrupted.
+func (r *Repository) verifyDiskLocked() error {
+	entries, _, err := r.readJournalRaw()
 	if err != nil {
 		return err
 	}
@@ -700,10 +1032,7 @@ func (r *Repository) verifyLocked() error {
 		}
 		d.Apply(state)
 	}
-	head, _, err := r.readBase(headFile)
-	if err != nil {
-		return err
-	}
+	head := r.published.Load().base
 	if !state.Equal(head) {
 		return &VerifyError{Replayed: state.Size(), Head: head.Size()}
 	}
@@ -715,29 +1044,45 @@ func (r *Repository) verifyLocked() error {
 // longer reconstructable and idempotency keys are forgotten; Verify is run
 // first so a corrupted repository is never compacted. A crash between the
 // snapshot rewrite and the journal truncation is healed by Open, which
-// drops journal entries the snapshot already contains.
+// drops journal entries the snapshot already contains. Commits are
+// quiesced for the duration; reads are not.
 func (r *Repository) Compact() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.diskMu.Lock()
+	defer r.diskMu.Unlock()
 	start := time.Now()
-	defer func() { r.metrics.Compaction.Observe(time.Since(start)) }()
-	if err := r.repairLocked(); err != nil {
+	defer func() { r.met().Compaction.Observe(time.Since(start)) }()
+	if err := r.repairDiskLocked(); err != nil {
 		return err
 	}
-	if err := r.verifyLocked(); err != nil {
+	r.pauseCommits()
+	defer r.resumeCommits()
+	r.flushPendingLocked()
+	r.commitMu.Lock()
+	if r.needRepair {
+		r.commitMu.Unlock()
+		if err := r.recoverLocked(); err != nil {
+			return err
+		}
+	} else {
+		r.commitMu.Unlock()
+	}
+	if err := r.verifyDiskLocked(); err != nil {
 		return err
 	}
-	head, _, err := r.readBase(headFile)
-	if err != nil {
+	hs := r.published.Load()
+	if err := r.writeBase(snapshotFile, hs.base, hs.seq); err != nil {
 		return err
 	}
-	if err := r.writeBase(snapshotFile, head, r.seq); err != nil {
-		return err
-	}
-	r.snapSeq = r.seq
-	r.keys = make(map[string]Entry)
+	ns := &headState{snap: hs.base, base: hs.base, seq: hs.seq, snapSeq: hs.seq}
+	r.commitMu.Lock()
+	r.spec = ns
+	r.keys = make(map[string]*keyRecord)
+	r.commitMu.Unlock()
+	r.published.Store(ns)
 	if err := r.fs.Truncate(filepath.Join(r.dir, journalFile), 0); err != nil {
+		r.commitMu.Lock()
 		r.needRepair = true
+		r.commitMu.Unlock()
 		return fmt.Errorf("repository: %w", err)
 	}
 	return nil
@@ -747,38 +1092,29 @@ func (r *Repository) Compact() error {
 var ErrNoSuchState = errors.New("repository: no such state")
 
 // At reconstructs the object base after the first seq programs since the
-// snapshot (seq 0 is the snapshot itself) by replaying journal diffs.
+// snapshot (seq 0 is the snapshot itself) by replaying the resident
+// journal diffs — wait-free with respect to writers, no disk I/O. For
+// seq 0 the returned base is the frozen shared snapshot; otherwise it is
+// a private mutable copy.
 func (r *Repository) At(seq int) (*objectbase.Base, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if seq < 0 {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchState, seq)
 	}
-	base, snapSeq, err := r.readBase(snapshotFile)
-	if err != nil {
-		return nil, err
-	}
+	hs := r.published.Load()
+	r.met().HeadCacheHits.Inc()
 	if seq == 0 {
-		return base, nil
+		return hs.snap, nil
 	}
-	entries, err := r.entriesLocked()
-	if err != nil {
-		return nil, err
+	if seq > len(hs.entries) {
+		return nil, fmt.Errorf("%w: %d (journal has %d)", ErrNoSuchState, seq, len(hs.entries))
 	}
-	replayed := 0
-	for _, e := range entries {
-		if e.Seq <= snapSeq || replayed == seq {
-			continue
-		}
+	base := hs.snap.Clone()
+	for _, e := range hs.entries[:seq] {
 		d, err := storage.DecodeDiff(e.Added, e.Removed)
 		if err != nil {
 			return nil, err
 		}
 		d.Apply(base)
-		replayed++
-	}
-	if replayed < seq {
-		return nil, fmt.Errorf("%w: %d (journal has %d)", ErrNoSuchState, seq, replayed)
 	}
 	return base, nil
 }

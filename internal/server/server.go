@@ -94,7 +94,10 @@ type Server struct {
 	// histograms aggregate eval.Stats server-side.
 	applySeconds *obs.Histogram
 
-	// mu serializes apply/constraint installs and guards lastResult.
+	// mu guards lastResult only. Applies and reads are not serialized
+	// here: the repository runs commits through its own group-commit
+	// pipeline and serves reads from a wait-free published snapshot, so
+	// concurrent requests proceed independently.
 	mu sync.Mutex
 	// lastResult retains the most recent apply's fixpoint for /v1/history.
 	lastResult *eval.Result
@@ -278,8 +281,6 @@ type baseResponse struct {
 }
 
 func (s *Server) handleHead(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	head, err := s.repo.Head()
 	if err != nil {
 		writeError(w, r, err)
@@ -295,8 +296,6 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: bad state number %q", r.URL.Query().Get("n")))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	base, err := s.repo.At(n)
 	if err != nil {
 		writeError(w, r, err)
@@ -328,13 +327,8 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	entries, err := s.repo.Entries()
-	if err != nil {
-		writeError(w, r, err)
-		return
-	}
+	// The resident log of the published head: wait-free, no disk I/O.
+	entries := s.repo.Log()
 	resp := logResponse{Entries: []logEntry{}}
 	for _, e := range entries {
 		if e.Seq <= after {
@@ -434,8 +428,6 @@ type methodStatEntry struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	head, err := s.repo.Head()
 	if err != nil {
 		writeError(w, r, err)
@@ -500,8 +492,6 @@ type constraintsResponse struct {
 }
 
 func (s *Server) handleGetConstraints(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cs, err := s.repo.Constraints()
 	if err != nil {
 		writeError(w, r, err)
@@ -522,8 +512,6 @@ func (s *Server) handleSetConstraints(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.repo.SetConstraints(src); err != nil {
 		writeError(w, r, err)
 		return
@@ -550,9 +538,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setDetail(r, src)
-	s.mu.Lock()
 	head, err := s.repo.Head()
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -599,8 +585,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setDetail(r, src)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	head, err := s.repo.Head()
 	if err != nil {
 		writeError(w, r, err)
@@ -772,10 +756,10 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	parseSpan.SetInt("rules", int64(len(p.Rules)))
 	parseDur := time.Since(parseStart)
 	key := r.Header.Get("Idempotency-Key")
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Trace events so that /v1/history and /v1/explain can answer for this
-	// run; the span tree rides along only when requested.
+	// run; the span tree rides along only when requested. ApplyKey is safe
+	// for concurrent use: the repository evaluates against a snapshot and
+	// group-commits, so requests are not serialized here.
 	res, entry, replayed, err := s.repo.ApplyKey(p, key, core.WithTrace(), core.WithSpan(root))
 	if err != nil {
 		finishTrace("error")
@@ -798,14 +782,13 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	n, err := s.repo.Len()
-	if err != nil {
-		finishTrace("error")
-		writeError(w, r, err)
-		return
-	}
-	s.lastResult = res
+	// Number the state from this commit's own journal entry rather than
+	// Len(): under concurrency the published head may already be past it.
+	n := entry.Seq - s.repo.SnapshotSeq()
 	res.Stats.Parse = parseDur
+	s.mu.Lock()
+	s.lastResult = res
+	s.mu.Unlock()
 	total := time.Since(start)
 	s.recordApplyStats(res.Stats, total)
 	resp := applyResponse{
