@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check bench clean
+.PHONY: all build test vet lint race check bench soak clean
 
 all: check
 
@@ -33,6 +33,14 @@ race:
 
 # The gate: everything a change must pass before it lands.
 check: build vet race
+
+# Two-process replication soak: builds verlog-server, runs a real
+# primary/follower pair over TCP with enterprise (Figure 2) traffic,
+# kill -9s the primary, promotes the follower, and verifies every acked
+# apply survived exactly once. Gated behind VERLOG_SOAK so plain
+# `go test ./...` stays hermetic.
+soak:
+	VERLOG_SOAK=1 $(GO) test -race -count=1 -v -run TestSoakTwoProcessFailover ./internal/replication/
 
 # Smoke check: every benchmark runs once with allocation stats, so a
 # broken benchmark can't rot unnoticed. The raw output is also converted

@@ -25,6 +25,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -41,17 +42,27 @@ const (
 	DefaultBackoff = 250 * time.Millisecond
 )
 
-// Client talks to one verlog server. Requests that fail transiently
-// (connection errors, per-attempt timeouts, 429/502/503/504) are retried
-// with exponential backoff. Retrying Apply is safe because every Apply
-// call carries an Idempotency-Key the server deduplicates against the
-// journal: an update that did commit before the connection died is not
-// fired twice, the recorded result is replayed.
+// Client talks to a verlog server — or to a replicated group of them
+// (NewMulti). Requests that fail transiently (connection errors,
+// per-attempt timeouts, 429/5xx) are retried with exponential backoff; with
+// multiple endpoints each retry rotates to the next one, so reads fail
+// over to any live replica. A write answered 403 read_only (the endpoint
+// is a replication follower) follows the envelope's primary URL, which is
+// then remembered for subsequent writes. Retrying Apply is safe because
+// every Apply call carries an Idempotency-Key the server deduplicates
+// against the journal: an update that did commit before the connection
+// died is not fired twice — even across a failover, since keys ride the
+// replication stream — the recorded result is replayed.
 type Client struct {
-	base    string
-	http    *http.Client
-	retries int
-	backoff time.Duration
+	endpoints []string
+	http      *http.Client
+	retries   int
+	backoff   time.Duration
+
+	// mu guards the rotation cursor and the learned primary.
+	mu      sync.Mutex
+	cur     int
+	primary string // write target learned from a read_only redirect
 }
 
 // Option configures a Client.
@@ -76,16 +87,78 @@ func WithRetry(retries int, backoff time.Duration) Option {
 // New returns a client for the server at baseURL (e.g.
 // "http://localhost:8487").
 func New(baseURL string, opts ...Option) *Client {
+	return NewMulti([]string{baseURL}, opts...)
+}
+
+// NewMulti returns a client for a replicated group: reads go to the
+// current endpoint and rotate to the next on connection errors and 5xx;
+// writes additionally follow the read_only redirect to the primary. The
+// default retry budget grows with the endpoint count so one dead replica
+// cannot exhaust it.
+func NewMulti(endpoints []string, opts ...Option) *Client {
 	c := &Client{
-		base:    strings.TrimRight(baseURL, "/"),
 		http:    &http.Client{Timeout: DefaultTimeout},
-		retries: DefaultRetries,
+		retries: DefaultRetries + len(endpoints) - 1,
 		backoff: DefaultBackoff,
+	}
+	for _, e := range endpoints {
+		c.endpoints = append(c.endpoints, strings.TrimRight(e, "/"))
+	}
+	if len(c.endpoints) == 0 {
+		c.endpoints = []string{""}
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// Endpoints returns the configured endpoints.
+func (c *Client) Endpoints() []string { return append([]string(nil), c.endpoints...) }
+
+// current returns the endpoint reads currently use.
+func (c *Client) current() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.endpoints[c.cur]
+}
+
+// rotate advances past a failed endpoint (no-op with one endpoint). If
+// the failed endpoint was the remembered primary, it is forgotten — the
+// next write rediscovers the primary through a read_only redirect.
+func (c *Client) rotate(failed string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.endpoints[c.cur] == failed {
+		c.cur = (c.cur + 1) % len(c.endpoints)
+	}
+	if c.primary == failed {
+		c.primary = ""
+	}
+}
+
+// writeTarget returns where a mutating request should start: the learned
+// primary, or the current endpoint when none is known.
+func (c *Client) writeTarget() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.primary != "" {
+		return c.primary
+	}
+	return c.endpoints[c.cur]
+}
+
+func (c *Client) setPrimary(p string) {
+	c.mu.Lock()
+	c.primary = strings.TrimRight(p, "/")
+	c.mu.Unlock()
+}
+
+// mutating reports whether a request can be answered read_only on a
+// follower and should therefore start at the learned primary.
+func mutating(method, path string) bool {
+	return method == http.MethodPost &&
+		(strings.HasPrefix(path, "/v1/apply") || path == "/v1/constraints")
 }
 
 // Position locates a diagnostic or error in submitted program text.
@@ -136,6 +209,10 @@ type APIError struct {
 	// RequestID is the X-Request-Id the failed exchange ran under, for
 	// joining against the server's logs.
 	RequestID string
+	// Primary is the primary's base URL on read_only rejections (the
+	// answering endpoint is a replication follower). The client follows it
+	// automatically; it is surfaced for callers doing their own routing.
+	Primary string
 }
 
 func (e *APIError) Error() string {
@@ -184,23 +261,45 @@ func (c *Client) do(ctx context.Context, method, path, body string) ([]byte, err
 	return c.doKey(ctx, method, path, body, "")
 }
 
-// doKey issues one logical request with retries. A fresh X-Request-Id is
-// generated for the call and sent on every attempt, so all retries of one
-// logical request join to the same id in the server's logs. idemKey, when
-// non-empty, is sent as the Idempotency-Key header on every attempt so the
-// server can deduplicate a retry of a request that actually committed.
+// doKey issues one logical request with retries and endpoint failover. A
+// fresh X-Request-Id is generated for the call and sent on every attempt,
+// so all retries of one logical request join to the same id in the
+// server's logs. idemKey, when non-empty, is sent as the Idempotency-Key
+// header on every attempt so the server can deduplicate a retry of a
+// request that actually committed.
+//
+// Failover: a transient failure rotates the shared endpoint cursor before
+// backing off, so the retry (and subsequent calls) land on the next
+// replica. A read_only rejection — the endpoint is a follower — retargets
+// this call at the primary URL from the envelope without consuming a
+// retry, and remembers it for later writes.
 func (c *Client) doKey(ctx context.Context, method, path, body, idemKey string) ([]byte, error) {
 	reqID := randomHex(8)
+	base := c.current()
+	if mutating(method, path) {
+		base = c.writeTarget()
+	}
+	redirected := false
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, err := c.attempt(ctx, method, path, body, idemKey, reqID)
+		data, err := c.attempt(ctx, base, method, path, body, idemKey, reqID)
 		if err == nil {
 			return data, nil
 		}
 		lastErr = err
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Code == "read_only" && ae.Primary != "" && !redirected {
+			// The endpoint is a follower: follow the redirect once, free.
+			c.setPrimary(ae.Primary)
+			base = strings.TrimRight(ae.Primary, "/")
+			redirected = true
+			continue
+		}
 		if attempt >= c.retries || !retryable(err) || ctx.Err() != nil {
 			return nil, lastErr
 		}
+		c.rotate(base)
+		base = c.current()
 		wait := c.backoff << attempt
 		t := time.NewTimer(wait)
 		select {
@@ -212,12 +311,12 @@ func (c *Client) doKey(ctx context.Context, method, path, body, idemKey string) 
 	}
 }
 
-func (c *Client) attempt(ctx context.Context, method, path, body, idemKey, reqID string) ([]byte, error) {
+func (c *Client) attempt(ctx context.Context, base, method, path, body, idemKey, reqID string) ([]byte, error) {
 	var rdr io.Reader
 	if body != "" {
 		rdr = strings.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rdr)
 	if err != nil {
 		return nil, err
 	}
@@ -258,12 +357,13 @@ func (c *Client) attempt(ctx context.Context, method, path, body, idemKey, reqID
 				Code      string    `json:"code"`
 				Message   string    `json:"message"`
 				Position  *Position `json:"position"`
+				Primary   string    `json:"primary"`
 				RequestID string    `json:"request_id"`
 			}
 			var flat string
 			switch {
 			case json.Unmarshal(envelope.Error, &inner) == nil && inner.Message != "":
-				ae.Code, ae.Message, ae.Position = inner.Code, inner.Message, inner.Position
+				ae.Code, ae.Message, ae.Position, ae.Primary = inner.Code, inner.Message, inner.Position, inner.Primary
 				if inner.RequestID != "" {
 					ae.RequestID = inner.RequestID
 				}
@@ -745,4 +845,68 @@ func (c *Client) Slow(ctx context.Context) ([]SlowEntry, error) {
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	b, err := c.do(ctx, http.MethodGet, "/metrics", "")
 	return string(b), err
+}
+
+// ReplFollower is one row of a primary's follower table.
+type ReplFollower struct {
+	ID         string  `json:"id"`
+	AckSeq     int     `json:"ack_seq"`
+	LagSeq     int     `json:"lag_seq"`
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// ReplStatus is a node's replication state from /v1/repl/status.
+type ReplStatus struct {
+	Role        string         `json:"role"` // "primary" or "follower"
+	Epoch       uint64         `json:"epoch"`
+	HeadSeq     int            `json:"head_seq"`
+	SnapshotSeq int            `json:"snapshot_seq"`
+	Primary     string         `json:"primary"`
+	Connected   bool           `json:"connected"`
+	Fenced      bool           `json:"fenced"`
+	LagSeq      int            `json:"lag_seq"`
+	LagSeconds  float64        `json:"lag_seconds"`
+	LastError   string         `json:"last_error"`
+	Followers   []ReplFollower `json:"followers"`
+}
+
+// ReplStatusOf fetches the replication status of one specific endpoint
+// (no failover — status questions are about a particular node).
+func (c *Client) ReplStatusOf(ctx context.Context, endpoint string) (*ReplStatus, error) {
+	b, err := c.attempt(ctx, strings.TrimRight(endpoint, "/"), http.MethodGet, "/v1/repl/status", "", "", randomHex(8))
+	if err != nil {
+		return nil, err
+	}
+	var out ReplStatus
+	return &out, json.Unmarshal(b, &out)
+}
+
+// ReplStatus fetches the replication status of the current endpoint.
+func (c *Client) ReplStatus(ctx context.Context) (*ReplStatus, error) {
+	return c.ReplStatusOf(ctx, c.current())
+}
+
+// PromoteResult reports a completed promotion.
+type PromoteResult struct {
+	Role    string `json:"role"`
+	Epoch   uint64 `json:"epoch"`
+	HeadSeq int    `json:"head_seq"`
+}
+
+// Promote promotes the node at endpoint to primary (POST
+// /v1/repl/promote) and retargets this client's writes at it. Promotion
+// is deliberately endpoint-specific: failover chooses WHICH follower
+// takes over, so it never rotates.
+func (c *Client) Promote(ctx context.Context, endpoint string) (*PromoteResult, error) {
+	endpoint = strings.TrimRight(endpoint, "/")
+	b, err := c.attempt(ctx, endpoint, http.MethodPost, "/v1/repl/promote", "", "", randomHex(8))
+	if err != nil {
+		return nil, err
+	}
+	var out PromoteResult
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, err
+	}
+	c.setPrimary(endpoint)
+	return &out, nil
 }

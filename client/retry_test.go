@@ -44,7 +44,7 @@ func (f *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // commits exactly once.
 func TestClientRetriesTransientFailures(t *testing.T) {
 	c0 := newClient(t)
-	backendURL := c0.base
+	backendURL := c0.current()
 	proxy := &flakyProxy{failures: 2, status: http.StatusServiceUnavailable,
 		backend: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			req, err := http.NewRequest(r.Method, backendURL+r.URL.String(), r.Body)

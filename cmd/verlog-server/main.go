@@ -5,8 +5,21 @@
 //
 //	verlog-server -dir DIR [-addr :8487] [-init BASE.vlg]
 //	              [-log text|json] [-slow-threshold 250ms]
+//	              [-follow http://primary:8487] [-follower-id NAME]
+//	              [-max-retention 65536]
 //
 // With -init the repository is created from the given object base first.
+// With -follow the server runs as a replication follower of the primary
+// at the given base URL: it pulls the primary's journal over
+// /v1/repl/stream (bootstrapping from /v1/repl/snapshot when the
+// directory is empty or too far behind), serves all read endpoints from
+// its replicated head, and rejects writes with 403 read_only pointing at
+// the primary. POST /v1/repl/promote turns it into the primary.
+// Without -follow the server is a primary: it serves the replication
+// stream and retains up to -max-retention journal records past the acks
+// of its connected followers so they can resume without a snapshot
+// transfer.
+//
 // Request logs are structured (log/slog); -log json emits one JSON object
 // per request for log shippers. Requests slower than -slow-threshold land
 // in the bounded in-memory slow log at GET /v1/debug/slow (0 records
@@ -23,14 +36,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"verlog/internal/obs"
 	"verlog/internal/parser"
+	"verlog/internal/replication"
 	"verlog/internal/repository"
 	"verlog/internal/server"
+	"verlog/internal/storage"
 )
 
 func main() {
@@ -40,6 +57,10 @@ func main() {
 	logFormat := flag.String("log", "text", "request log format: text or json")
 	slowThreshold := flag.Duration("slow-threshold", server.DefaultSlowThreshold,
 		"record requests at least this slow in /v1/debug/slow (0 = all, negative = off)")
+	follow := flag.String("follow", "", "run as a replication follower of the primary at this base URL")
+	followerID := flag.String("follower-id", "", "stable follower identity in the primary's ack table (default: random)")
+	maxRetention := flag.Int("max-retention", replication.DefaultMaxRetention,
+		"journal records retained past follower acks before they must re-bootstrap (negative = unbounded)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "verlog-server: -dir is required")
@@ -72,6 +93,15 @@ func main() {
 		}
 		logger.Info("initialized repository", "dir", *dir, "facts", ob.Size())
 	}
+	// An empty directory under -follow bootstraps from the primary's
+	// snapshot, so a fresh follower needs no -init and no shared disk.
+	if *follow != "" {
+		if _, err := os.Stat(filepath.Join(*dir, "snapshot.bin")); errors.Is(err, os.ErrNotExist) {
+			if err := bootstrapFollower(logger, *dir, *follow); err != nil {
+				fatal(logger, err)
+			}
+		}
+	}
 	repo, err := repository.Open(*dir)
 	if err != nil {
 		fatal(logger, err)
@@ -84,9 +114,21 @@ func main() {
 			"recovery_ms", rec.Duration.Milliseconds())
 	}
 
+	node := replication.NewNode(repo, replication.Config{
+		PrimaryURL:   *follow,
+		FollowerID:   *followerID,
+		MaxRetention: *maxRetention,
+		Logger:       logger,
+	})
+	node.Start()
+	if *follow != "" {
+		logger.Info("following primary", "primary", *follow, "epoch", repo.Epoch())
+	}
+
 	api := server.New(repo,
 		server.WithLogger(logger),
 		server.WithSlowThreshold(*slowThreshold),
+		server.WithReplication(node),
 	)
 	// Mirror the metric registry into the process-global expvar namespace so
 	// /debug/vars carries the counters alongside the runtime's memstats.
@@ -122,6 +164,31 @@ func main() {
 		fatal(logger, err)
 	}
 	<-idle
+	node.Stop()
+}
+
+// bootstrapFollower initializes an empty follower directory from the
+// primary's snapshot transfer, so the first stream request resumes from
+// the transferred seq instead of replaying history from zero.
+func bootstrapFollower(logger *slog.Logger, dir, primary string) error {
+	logger.Info("bootstrapping follower from primary snapshot", "primary", primary)
+	resp, err := http.Get(strings.TrimRight(primary, "/") + "/v1/repl/snapshot")
+	if err != nil {
+		return fmt.Errorf("fetching primary snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("primary snapshot returned %d", resp.StatusCode)
+	}
+	base, seq, err := storage.LoadBinaryAt(resp.Body)
+	if err != nil {
+		return fmt.Errorf("decoding primary snapshot: %w", err)
+	}
+	if _, err := repository.InitAt(dir, base, seq); err != nil {
+		return err
+	}
+	logger.Info("follower bootstrapped", "seq", seq, "facts", base.Size())
+	return nil
 }
 
 func fatal(logger *slog.Logger, err error) {

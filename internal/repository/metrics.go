@@ -41,6 +41,9 @@ type Metrics struct {
 	// published head (Head, At, Initial, Log) — with the resident head,
 	// every read is a hit and none touches disk.
 	HeadCacheHits *obs.Counter
+	// ReplicaApplies counts journal entries applied from a replication
+	// stream (follower mode) rather than evaluated locally.
+	ReplicaApplies *obs.Counter
 }
 
 // Instrument wires the repository to the registry under the standard
@@ -60,8 +63,25 @@ func (r *Repository) Instrument(reg *obs.Registry) {
 		CommitBatchRecords: reg.Counter("verlog_commit_batch_records_total", "Journal records flushed across all group-commit batches."),
 		CommitWait:         reg.Histogram("verlog_commit_wait_seconds", "Time an apply waits for its group-commit batch to become durable."),
 		HeadCacheHits:      reg.Counter("verlog_head_cache_hits", "Reads served wait-free from the in-memory published head."),
+		ReplicaApplies:     reg.Counter("verlog_replica_applies_total", "Journal entries applied from a replication stream."),
 	}
 	r.metricsP.Store(m)
+	// The seq gauges read the published head at scrape time: head_seq is
+	// the durable head every read serves from; journal_seq is the highest
+	// seq resident in the journal (they are equal by invariant — a lasting
+	// divergence on a dashboard means the commit path is wedged). On a
+	// follower, primary head_seq minus local head_seq is the lag in
+	// updates.
+	headSeq := reg.Gauge("verlog_head_seq", "Journal seq of the published (durable, readable) head.")
+	journalSeq := reg.Gauge("verlog_journal_seq", "Highest journal seq resident on disk (snapshot seq + resident entries).")
+	reg.RegisterCollector(func() {
+		hs := r.published.Load()
+		if hs == nil {
+			return
+		}
+		headSeq.Set(float64(hs.seq))
+		journalSeq.Set(float64(hs.snapSeq + len(hs.entries)))
+	})
 	r.commitMu.Lock()
 	rec := r.recovery
 	r.commitMu.Unlock()

@@ -1,0 +1,286 @@
+// Replication support: the repository-side primitives journal shipping is
+// built from. A base is a deterministic function of its snapshot plus the
+// ordered journal (the paper's T_P is pure), so a follower that appends
+// the primary's records through ApplyReplicaBatch — the same diff-replay
+// code recovery uses — holds a base provably equal to the primary's at the
+// same seq. internal/replication wires these primitives to HTTP.
+package repository
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"verlog/internal/fsio"
+	"verlog/internal/objectbase"
+	"verlog/internal/storage"
+)
+
+// InitAt creates a repository at dir whose snapshot is base stamped with
+// journal seq — the bootstrap path for a replication follower that starts
+// from a primary's snapshot transfer rather than from seq 0. Init is
+// InitAt with seq 0.
+func InitAt(dir string, base *objectbase.Base, seq int) (*Repository, error) {
+	return InitAtFS(dir, base, seq, fsio.OS)
+}
+
+// InitAtFS is InitAt on an explicit filesystem (fault injection in tests).
+func InitAtFS(dir string, base *objectbase.Base, seq int, fs fsio.FS) (*Repository, error) {
+	if seq < 0 {
+		return nil, fmt.Errorf("repository: negative snapshot seq %d", seq)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if _, err := fs.Stat(filepath.Join(dir, snapshotFile)); err == nil {
+		return nil, fmt.Errorf("repository: %s already contains a repository", dir)
+	}
+	r := newRepository(dir, fs)
+	if err := r.removeStaleTemps(nil); err != nil {
+		return nil, err
+	}
+	if err := r.writeBase(snapshotFile, base, seq); err != nil {
+		return nil, err
+	}
+	if err := r.writeBase(headFile, base, seq); err != nil {
+		return nil, err
+	}
+	jf, err := fs.Create(filepath.Join(dir, journalFile))
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if err := jf.Sync(); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if err := jf.Close(); err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	frozen := base.Clone().Freeze()
+	hs := &headState{snap: frozen, base: frozen, seq: seq, snapSeq: seq}
+	r.spec = hs
+	r.publish(hs)
+	return r, nil
+}
+
+// EntriesAfter returns the resident journal entries with seq > after, the
+// published head seq, and whether the request can be served: ok is false
+// when after precedes the snapshot, i.e. the records were compacted away
+// and the caller needs a snapshot transfer. Wait-free, no disk I/O; the
+// returned slice is shared and must not be mutated.
+func (r *Repository) EntriesAfter(after int) (entries []Entry, headSeq int, ok bool) {
+	hs := r.published.Load()
+	if after < hs.snapSeq {
+		return nil, hs.seq, false
+	}
+	if after >= hs.seq {
+		return nil, hs.seq, true
+	}
+	return hs.entries[after-hs.snapSeq:], hs.seq, true
+}
+
+// WaitPublished blocks until the published head seq exceeds after (then
+// returns nil) or ctx ends (then returns ctx's error). It is the long-poll
+// primitive of the replication stream: zero records are never busy-waited.
+func (r *Repository) WaitPublished(ctx context.Context, after int) error {
+	for {
+		if r.published.Load().seq > after {
+			return nil
+		}
+		r.notifyMu.Lock()
+		ch := r.notifyCh
+		r.notifyMu.Unlock()
+		// Re-check after arming: a publish between the first check and the
+		// channel grab closed the previous channel, not this one.
+		if r.published.Load().seq > after {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// ErrReplicaSeqGap reports a replicated entry that does not extend the
+// follower's journal contiguously — the stream must resume from the
+// follower's last durable seq.
+var ErrReplicaSeqGap = errors.New("repository: replicated entry does not extend the journal contiguously")
+
+// ApplyReplicaBatch appends already-evaluated journal entries received
+// from a replication stream: each record is CRC-framed and fsynced into
+// the journal exactly as a local commit would be (one write+fsync for the
+// whole batch — followers group-commit too), its diff replayed onto the
+// head, and the new state published for the same wait-free reads a
+// primary serves. Entries at or below the published seq are skipped
+// (idempotent re-delivery); an entry beyond published+1 fails with
+// ErrReplicaSeqGap and nothing is written. Idempotency keys ride along,
+// so a client retry after a failover is still answered as a replay.
+func (r *Repository) ApplyReplicaBatch(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	r.diskMu.Lock()
+	defer r.diskMu.Unlock()
+	if err := r.repairDiskLocked(); err != nil {
+		return err
+	}
+	r.pauseCommits()
+	defer r.resumeCommits()
+	r.flushPendingLocked()
+	hs := r.published.Load()
+	base := hs.base
+	cloned := false
+	var buf []byte
+	newEntries := hs.entries
+	seq := hs.seq
+	applied := 0
+	for _, e := range entries {
+		if e.Seq <= seq {
+			continue // already durable here
+		}
+		if e.Seq != seq+1 {
+			return fmt.Errorf("%w: got seq %d, journal is at %d", ErrReplicaSeqGap, e.Seq, seq)
+		}
+		d, err := storage.DecodeDiff(e.Added, e.Removed)
+		if err != nil {
+			return err
+		}
+		if !cloned {
+			base = base.Clone()
+			cloned = true
+		}
+		d.Apply(base)
+		payload, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("repository: %w", err)
+		}
+		buf = append(buf, storage.FrameJournalRecord(payload)...)
+		newEntries = append(newEntries, e)
+		seq = e.Seq
+		applied++
+	}
+	if applied == 0 {
+		return nil
+	}
+	if err := r.appendJournal(buf); err != nil {
+		r.commitMu.Lock()
+		r.needRepair = true
+		r.commitMu.Unlock()
+		return err
+	}
+	ns := &headState{snap: hs.snap, base: base.Freeze(), seq: seq, snapSeq: hs.snapSeq, entries: newEntries}
+	r.commitMu.Lock()
+	r.spec = ns
+	for _, e := range entries {
+		if e.Key != "" {
+			r.keys[e.Key] = &keyRecord{entry: slimEntry(e)}
+		}
+	}
+	r.commitMu.Unlock()
+	r.publish(ns)
+	m := r.met()
+	m.ReplicaApplies.Add(int64(applied))
+	m.Applies.Add(int64(applied))
+	// The head cache rewrite is off the durability path, exactly as in the
+	// local commit flow: a failure here loses nothing, repair heals it.
+	if err := r.writeBase(headFile, ns.base, ns.seq); err != nil {
+		r.commitMu.Lock()
+		r.needRepair = true
+		r.commitMu.Unlock()
+	}
+	return nil
+}
+
+// ResetToSnapshot replaces the repository's contents with base at journal
+// seq: the journal is emptied, base becomes both snapshot and head, and
+// every idempotency key is forgotten. It is the follower's catch-up path
+// when the primary has compacted past the follower's position. The
+// journal is truncated before the snapshot is replaced, so a crash
+// between the two leaves a consistent (merely stale) repository that the
+// next bootstrap attempt overwrites.
+func (r *Repository) ResetToSnapshot(base *objectbase.Base, seq int) error {
+	if seq < 0 {
+		return fmt.Errorf("repository: negative snapshot seq %d", seq)
+	}
+	r.diskMu.Lock()
+	defer r.diskMu.Unlock()
+	r.pauseCommits()
+	defer r.resumeCommits()
+	r.flushPendingLocked()
+	if err := r.fs.Truncate(filepath.Join(r.dir, journalFile), 0); err != nil {
+		return fmt.Errorf("repository: %w", err)
+	}
+	if err := r.writeBase(snapshotFile, base, seq); err != nil {
+		return err
+	}
+	frozen := base.Clone().Freeze()
+	ns := &headState{snap: frozen, base: frozen, seq: seq, snapSeq: seq}
+	r.commitMu.Lock()
+	r.spec = ns
+	r.keys = make(map[string]*keyRecord)
+	r.gen++
+	r.needRepair = false
+	r.commitMu.Unlock()
+	r.publish(ns)
+	if err := r.writeBase(headFile, ns.base, ns.seq); err != nil {
+		r.commitMu.Lock()
+		r.needRepair = true
+		r.commitMu.Unlock()
+	}
+	return nil
+}
+
+// Epoch returns the replication epoch this repository last accepted (1
+// for a repository that has never seen a promotion). The epoch fences
+// journal streams: a promoted follower advances it, and records offered
+// under an older epoch — a deposed primary's — are rejected.
+func (r *Repository) Epoch() uint64 {
+	return r.epoch.Load()
+}
+
+// AdvanceEpoch durably raises the repository's epoch to e. Advancing to
+// the current epoch is a no-op; moving backwards is an error — epochs
+// only grow, which is what makes them a fence.
+func (r *Repository) AdvanceEpoch(e uint64) error {
+	r.diskMu.Lock()
+	defer r.diskMu.Unlock()
+	cur := r.epoch.Load()
+	if e == cur {
+		return nil
+	}
+	if e < cur {
+		return fmt.Errorf("repository: epoch may not move backwards (%d -> %d)", cur, e)
+	}
+	if err := r.writeFileDurable(epochFile, []byte(strconv.FormatUint(e, 10)+"\n")); err != nil {
+		return err
+	}
+	r.epoch.Store(e)
+	return nil
+}
+
+// loadEpoch reads the persisted epoch (1 when the file is absent, as in
+// every repository that predates replication).
+func (r *Repository) loadEpoch() (uint64, error) {
+	data, err := r.fs.ReadFile(filepath.Join(r.dir, epochFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return 1, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("repository: %w", err)
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil || e == 0 {
+		return 0, fmt.Errorf("repository: corrupt epoch file %q", strings.TrimSpace(string(data)))
+	}
+	return e, nil
+}

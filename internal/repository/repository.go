@@ -71,6 +71,7 @@ const (
 	headFile        = "head.bin"
 	journalFile     = "journal.jsonl"
 	constraintsFile = "constraints.vlg"
+	epochFile       = "epoch"
 )
 
 // Entry is one journal record: an applied program and its effect.
@@ -150,6 +151,20 @@ type Repository struct {
 	cons atomic.Pointer[consState]
 	// metricsP holds nil-safe instruments; see Instrument.
 	metricsP atomic.Pointer[Metrics]
+	// epoch is the replication generation this repository last accepted
+	// (see AdvanceEpoch); persisted in epochFile, 1 when the file is absent.
+	epoch atomic.Uint64
+
+	// notifyMu guards notifyCh, which is closed and replaced on every
+	// publish so WaitPublished can block for the next durable state.
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
+
+	// retention, when set, is consulted by Compact: it returns the lowest
+	// journal seq that must stay replayable for replication followers, and
+	// Compact folds only the entries below it into the snapshot.
+	retentionMu sync.Mutex
+	retention   func() int
 
 	// commitMu guards the in-memory commit state: the speculative head
 	// chain, the pending batch, the idempotency-key map, and the repair
@@ -183,7 +198,19 @@ func newRepository(dir string, fs fsio.FS) *Repository {
 	r := &Repository{dir: dir, fs: fs, keys: make(map[string]*keyRecord)}
 	r.cond = sync.NewCond(&r.commitMu)
 	r.cons.Store(&consState{})
+	r.epoch.Store(1)
+	r.notifyCh = make(chan struct{})
 	return r
+}
+
+// publish installs hs as the durable head and wakes every WaitPublished
+// blocked on an older seq.
+func (r *Repository) publish(hs *headState) {
+	r.published.Store(hs)
+	r.notifyMu.Lock()
+	close(r.notifyCh)
+	r.notifyCh = make(chan struct{})
+	r.notifyMu.Unlock()
 }
 
 var zeroMetrics Metrics
@@ -271,7 +298,7 @@ func InitFS(dir string, initial *objectbase.Base, fs fsio.FS) (*Repository, erro
 	base := initial.Clone().Freeze()
 	hs := &headState{snap: base, base: base}
 	r.spec = hs
-	r.published.Store(hs)
+	r.publish(hs)
 	return r, nil
 }
 
@@ -359,23 +386,24 @@ func (r *Repository) recoverLocked() error {
 		rec.TornTail, rec.TruncatedBytes = true, st.Size()-torn.Offset
 	}
 	// Entries at or below the snapshot's seq are the residue of a Compact
-	// that crashed between rewriting the snapshot and emptying the
-	// journal; finish the job. A partial overlap cannot result from any
-	// crash of ours and is reported as corruption.
+	// that crashed between rewriting the snapshot and trimming the
+	// journal; finish the job. A full overlap is truncated away; a partial
+	// one (a retention-preserving Compact that died mid-way) drops just the
+	// obsolete prefix and keeps the live suffix. Contiguity of what remains
+	// is still enforced below, so genuine corruption keeps being reported.
 	live := entries
 	for len(live) > 0 && live[0].Seq <= snapSeq {
 		live = live[1:]
 	}
 	if dropped := len(entries) - len(live); dropped > 0 {
-		if dropped != len(entries) {
-			return fmt.Errorf("repository: journal straddles snapshot seq %d (entries %d..%d); the repository is corrupted",
-				snapSeq, entries[0].Seq, entries[len(entries)-1].Seq)
-		}
-		if err := r.fs.Truncate(jpath, 0); err != nil {
-			return fmt.Errorf("repository: dropping pre-snapshot journal entries: %w", err)
+		if len(live) == 0 {
+			if err := r.fs.Truncate(jpath, 0); err != nil {
+				return fmt.Errorf("repository: dropping pre-snapshot journal entries: %w", err)
+			}
+		} else if err := r.rewriteJournal(live); err != nil {
+			return fmt.Errorf("repository: dropping pre-snapshot journal prefix: %w", err)
 		}
 		rec.ObsoleteDropped = dropped
-		live = nil
 	}
 	for i, e := range live {
 		if e.Seq != snapSeq+1+i {
@@ -407,6 +435,10 @@ func (r *Repository) recoverLocked() error {
 	if err != nil {
 		return err
 	}
+	epoch, err := r.loadEpoch()
+	if err != nil {
+		return err
+	}
 	keys := make(map[string]*keyRecord)
 	for _, e := range live {
 		if e.Key != "" {
@@ -429,10 +461,26 @@ func (r *Repository) recoverLocked() error {
 	r.recovery = rec
 	r.needRepair = false
 	r.commitMu.Unlock()
-	r.published.Store(hs)
+	r.publish(hs)
 	r.cons.Store(cons)
+	r.epoch.Store(epoch)
 	r.met().RecoverySeconds.SetDuration(rec.Duration)
 	return nil
+}
+
+// rewriteJournal durably replaces the journal with the framed records of
+// entries (tmp, fsync, rename, dir fsync). Used by the retention-preserving
+// Compact and by recovery when only a prefix of the journal is obsolete.
+func (r *Repository) rewriteJournal(entries []Entry) error {
+	var buf []byte
+	for _, e := range entries {
+		payload, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("repository: %w", err)
+		}
+		buf = append(buf, storage.FrameJournalRecord(payload)...)
+	}
+	return r.writeFileDurable(journalFile, buf)
 }
 
 // loadConstraints reads and parses the constraints file (empty set when
@@ -929,7 +977,7 @@ func (r *Repository) flushPendingLocked() error {
 		}
 	}
 	r.commitMu.Unlock()
-	r.published.Store(last)
+	r.publish(last)
 	m := r.met()
 	m.CommitBatchSize.Set(float64(count))
 	m.CommitBatches.Inc()
@@ -1039,13 +1087,47 @@ func (r *Repository) verifyDiskLocked() error {
 	return nil
 }
 
+// SetRetention installs a hook Compact consults before folding journal
+// entries into the snapshot: the hook returns the lowest journal seq that
+// must remain replayable (a replication primary returns the lowest seq a
+// connected follower still needs). Entries at or below the returned floor
+// are compacted; the rest stay in the journal so a follower can resume
+// from its last durable seq instead of re-bootstrapping from a snapshot.
+// A nil hook (the default) restores the full compact.
+func (r *Repository) SetRetention(fn func() int) {
+	r.retentionMu.Lock()
+	r.retention = fn
+	r.retentionMu.Unlock()
+}
+
+// compactFloor returns the highest seq Compact may fold into the
+// snapshot: the head seq, lowered to the retention hook's floor.
+func (r *Repository) compactFloor(hs *headState) int {
+	floor := hs.seq
+	r.retentionMu.Lock()
+	fn := r.retention
+	r.retentionMu.Unlock()
+	if fn != nil {
+		if f := fn(); f < floor {
+			floor = f
+		}
+	}
+	if floor < hs.snapSeq {
+		floor = hs.snapSeq
+	}
+	return floor
+}
+
 // Compact collapses the repository onto its current head: the head becomes
 // the new snapshot and the journal is emptied. Earlier states are no
 // longer reconstructable and idempotency keys are forgotten; Verify is run
-// first so a corrupted repository is never compacted. A crash between the
-// snapshot rewrite and the journal truncation is healed by Open, which
-// drops journal entries the snapshot already contains. Commits are
-// quiesced for the duration; reads are not.
+// first so a corrupted repository is never compacted. When a retention
+// hook (SetRetention) pins a floor below the head, only entries at or
+// below the floor are folded in and the journal keeps the suffix — along
+// with the idempotency keys it holds. A crash between the snapshot
+// rewrite and the journal trim is healed by Open, which drops journal
+// entries the snapshot already contains. Commits are quiesced for the
+// duration; reads are not.
 func (r *Repository) Compact() error {
 	r.diskMu.Lock()
 	defer r.diskMu.Unlock()
@@ -1070,20 +1152,61 @@ func (r *Repository) Compact() error {
 		return err
 	}
 	hs := r.published.Load()
-	if err := r.writeBase(snapshotFile, hs.base, hs.seq); err != nil {
+	floor := r.compactFloor(hs)
+	if floor == hs.snapSeq {
+		return nil // every entry is still needed; nothing to fold
+	}
+	if floor == hs.seq {
+		// Full compact: the head becomes the snapshot, the journal empties.
+		if err := r.writeBase(snapshotFile, hs.base, hs.seq); err != nil {
+			return err
+		}
+		ns := &headState{snap: hs.base, base: hs.base, seq: hs.seq, snapSeq: hs.seq}
+		r.commitMu.Lock()
+		r.spec = ns
+		r.keys = make(map[string]*keyRecord)
+		r.commitMu.Unlock()
+		r.publish(ns)
+		if err := r.fs.Truncate(filepath.Join(r.dir, journalFile), 0); err != nil {
+			r.commitMu.Lock()
+			r.needRepair = true
+			r.commitMu.Unlock()
+			return fmt.Errorf("repository: %w", err)
+		}
+		return nil
+	}
+	// Retention-preserving compact: fold entries snapSeq+1..floor into the
+	// snapshot; the suffix floor+1..seq stays in the journal for followers.
+	state := hs.snap.Clone()
+	fold := hs.entries[:floor-hs.snapSeq]
+	remaining := hs.entries[floor-hs.snapSeq:]
+	for _, e := range fold {
+		d, err := storage.DecodeDiff(e.Added, e.Removed)
+		if err != nil {
+			return err
+		}
+		d.Apply(state)
+	}
+	if err := r.writeBase(snapshotFile, state, floor); err != nil {
 		return err
 	}
-	ns := &headState{snap: hs.base, base: hs.base, seq: hs.seq, snapSeq: hs.seq}
+	ns := &headState{snap: state.Freeze(), base: hs.base, seq: hs.seq, snapSeq: floor, entries: remaining}
+	keys := make(map[string]*keyRecord)
+	for _, e := range remaining {
+		if e.Key != "" {
+			keys[e.Key] = &keyRecord{entry: slimEntry(e)}
+		}
+	}
 	r.commitMu.Lock()
 	r.spec = ns
-	r.keys = make(map[string]*keyRecord)
+	r.keys = keys
 	r.commitMu.Unlock()
-	r.published.Store(ns)
-	if err := r.fs.Truncate(filepath.Join(r.dir, journalFile), 0); err != nil {
+	r.publish(ns)
+	if err := r.rewriteJournal(remaining); err != nil {
 		r.commitMu.Lock()
 		r.needRepair = true
 		r.commitMu.Unlock()
-		return fmt.Errorf("repository: %w", err)
+		return err
 	}
 	return nil
 }

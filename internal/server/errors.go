@@ -39,6 +39,12 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodePayloadTooLarge: the request body exceeds the server limit.
 	CodePayloadTooLarge = "payload_too_large"
+	// CodeReadOnly: this node is a replication follower; writes must go to
+	// the primary (the envelope's "primary" field carries its base URL).
+	CodeReadOnly = "read_only"
+	// CodeSnapshotRequired: the requested replication resume point
+	// predates the primary's snapshot; bootstrap via /v1/repl/snapshot.
+	CodeSnapshotRequired = "snapshot_required"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal = "internal"
 )
@@ -47,10 +53,13 @@ const (
 // when the error originates in program text (parse, safety and
 // stratification rejections), so clients can point at the offending line.
 type errorBody struct {
-	Code      string    `json:"code"`
-	Message   string    `json:"message"`
-	Position  *term.Pos `json:"position,omitempty"`
-	RequestID string    `json:"request_id,omitempty"`
+	Code     string    `json:"code"`
+	Message  string    `json:"message"`
+	Position *term.Pos `json:"position,omitempty"`
+	// Primary is the primary's base URL on read_only rejections, so a
+	// client can redirect the write without a discovery round trip.
+	Primary   string `json:"primary,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // errorEnvelope is the one JSON error shape every /v1 endpoint returns:

@@ -94,6 +94,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush passes through to the underlying writer so long-poll responses
+// (the replication stream) can be delivered without buffering.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withObservability is the outermost handler: it assigns or propagates the
 // X-Request-Id, times the request, records route metrics, emits one
 // structured log line, and feeds the slow-request log.

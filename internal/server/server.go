@@ -54,6 +54,7 @@ import (
 	"verlog/internal/objectbase"
 	"verlog/internal/obs"
 	"verlog/internal/parser"
+	"verlog/internal/replication"
 	"verlog/internal/repository"
 	"verlog/internal/strata"
 	"verlog/internal/term"
@@ -81,6 +82,7 @@ const traceRingCapacity = 64
 // Server handles HTTP requests against one repository.
 type Server struct {
 	repo   *repository.Repository
+	repl   *replication.Node // nil when replication is not configured
 	mux    *http.ServeMux
 	routes map[string]bool // registered paths, for the route metric label
 
@@ -118,6 +120,11 @@ func WithRegistry(r *obs.Registry) Option { return func(s *Server) { s.reg = r }
 // log.
 func WithSlowThreshold(d time.Duration) Option { return func(s *Server) { s.slowThreshold = d } }
 
+// WithReplication attaches a replication node: the /v1/repl/* endpoints
+// are served from it, and while the node is a follower every mutating
+// endpoint answers 403 read_only with the primary's URL in the envelope.
+func WithReplication(n *replication.Node) Option { return func(s *Server) { s.repl = n } }
+
 // New returns a handler serving the repository.
 func New(repo *repository.Repository, opts ...Option) *Server {
 	s := &Server{
@@ -150,6 +157,13 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 	s.route("/v1/check", methods{"POST": s.handleCheck})
 	s.route("/v1/query", methods{"POST": s.handleQuery})
 	s.route("/v1/apply", methods{"POST": s.handleApply})
+	if s.repl != nil {
+		s.route("/v1/repl/stream", methods{"GET": s.handleReplStream})
+		s.route("/v1/repl/snapshot", methods{"GET": s.handleReplSnapshot})
+		s.route("/v1/repl/status", methods{"GET": s.handleReplStatus})
+		s.route("/v1/repl/promote", methods{"POST": s.handleReplPromote})
+		s.repl.Instrument(s.reg)
+	}
 	s.route("/v1/debug/slow", methods{"GET": s.handleSlow})
 	s.route("/v1/debug/traces", methods{"GET": s.handleTraces})
 	s.routes["/metrics"] = true
@@ -508,6 +522,9 @@ func (s *Server) handleGetConstraints(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSetConstraints(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfReadOnly(w, r) {
+		return
+	}
 	src, ok := readBodyOr400(w, r)
 	if !ok {
 		return
@@ -712,6 +729,9 @@ func wantTrace(r *http.Request) bool {
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfReadOnly(w, r) {
+		return
+	}
 	start := time.Now()
 	src, ok := readBodyOr400(w, r)
 	if !ok {
