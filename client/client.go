@@ -272,14 +272,19 @@ func (c *Client) do(ctx context.Context, method, path, body string) ([]byte, err
 // backing off, so the retry (and subsequent calls) land on the next
 // replica. A read_only rejection — the endpoint is a follower — retargets
 // this call at the primary URL from the envelope without consuming a
-// retry, and remembers it for later writes.
+// retry, and remembers it for later writes. Redirects are bounded per
+// call rather than single-use: when the learned primary then fails and
+// rotate() sends a retry back to a follower (the window of an in-flight
+// failover), the follower's next read_only answer is followed again
+// instead of failing the call with retry budget left.
 func (c *Client) doKey(ctx context.Context, method, path, body, idemKey string) ([]byte, error) {
 	reqID := randomHex(8)
 	base := c.current()
 	if mutating(method, path) {
 		base = c.writeTarget()
 	}
-	redirected := false
+	redirects := 0
+	maxRedirects := len(c.endpoints) + 1
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		data, err := c.attempt(ctx, base, method, path, body, idemKey, reqID)
@@ -288,11 +293,11 @@ func (c *Client) doKey(ctx context.Context, method, path, body, idemKey string) 
 		}
 		lastErr = err
 		var ae *APIError
-		if errors.As(err, &ae) && ae.Code == "read_only" && ae.Primary != "" && !redirected {
-			// The endpoint is a follower: follow the redirect once, free.
+		if errors.As(err, &ae) && ae.Code == "read_only" && ae.Primary != "" && redirects < maxRedirects {
+			// The endpoint is a follower: follow the redirect, free.
 			c.setPrimary(ae.Primary)
 			base = strings.TrimRight(ae.Primary, "/")
-			redirected = true
+			redirects++
 			continue
 		}
 		if attempt >= c.retries || !retryable(err) || ctx.Err() != nil {

@@ -3,7 +3,9 @@ package client
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -109,6 +111,51 @@ func TestClientRotatesEndpointsOnRefusedConnection(t *testing.T) {
 	}
 	if got := c.current(); got != rp.psrv.URL {
 		t.Errorf("current endpoint = %q, want rotation to %q", got, rp.psrv.URL)
+	}
+}
+
+// TestClientRefollowsRedirectAfterPrimaryBlip: a read_only redirect is
+// not single-use per call. The learned primary fails transiently, the
+// retry rotates back to the follower, and the follower's second
+// read_only answer must be followed again — with retry budget left, the
+// write lands once the primary responds.
+func TestClientRefollowsRedirectAfterPrimaryBlip(t *testing.T) {
+	var mu sync.Mutex
+	primaryHits := 0
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		primaryHits++
+		first := primaryHits == 1
+		mu.Unlock()
+		if first {
+			// The transient blip: mid-failover the primary overloads once.
+			http.Error(w, "catching my breath", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"state":1,"fired":1}`)
+	}))
+	t.Cleanup(primary.Close)
+
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		fmt.Fprintf(w, `{"error":{"code":"read_only","message":"follower","primary":%q}}`, primary.URL)
+	}))
+	t.Cleanup(follower.Close)
+
+	c := NewMulti([]string{follower.URL}, WithRetry(3, time.Millisecond))
+	res, err := c.Apply(context.Background(), raiseSrc(10))
+	if err != nil {
+		t.Fatalf("Apply through the blipping primary: %v", err)
+	}
+	if res.State != 1 {
+		t.Errorf("apply state = %d, want 1", res.State)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if primaryHits != 2 {
+		t.Errorf("primary saw %d requests, want 2 (the blip, then the re-followed redirect)", primaryHits)
 	}
 }
 

@@ -129,7 +129,7 @@ func runFailover(t *testing.T, point int, mode string, progs []*term.Program, ke
 
 	// Kill the primary's server and promote the follower.
 	psrv.Close()
-	epoch, err := fnode.Promote()
+	epoch, err := fnode.Promote(0)
 	if err != nil || epoch != 2 {
 		t.Fatalf("point %d %s: Promote = %d, %v; want epoch 2", point, mode, epoch, err)
 	}

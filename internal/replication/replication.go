@@ -21,6 +21,17 @@
 // as its own, so a deposed primary (older epoch) cannot roll back a
 // promoted follower.
 //
+// The fence also covers the reverse direction — a deposed primary
+// rejoining as a follower. Its journal suffix past the promotion point
+// was written under the dead epoch and may diverge from the new
+// primary's history, so it must never be grafted onto. The stream
+// request carries the follower's epoch (&epoch=E); when that epoch is
+// stale the response adds X-Verlog-Fence-Seq, the earliest seq at which
+// any newer epoch was adopted. A follower whose resume point lies past
+// the fence discards its suffix by re-bootstrapping from the snapshot
+// instead of adopting the epoch, and a resume point past the primary's
+// own head is answered snapshot_required for the same reason.
+//
 // The follower side is a pull loop: resume from the last durable seq,
 // jittered exponential backoff on any failure, snapshot bootstrap when
 // the primary has compacted past the resume point, and torn/corrupt
@@ -55,6 +66,11 @@ const (
 	HeaderEpoch = "X-Verlog-Epoch"
 	// HeaderSeq is the sender's head seq at response time (decimal).
 	HeaderSeq = "X-Verlog-Seq"
+	// HeaderFenceSeq is the earliest journal seq at which the sender
+	// adopted an epoch newer than the requester's (decimal). Present only
+	// when the requester's epoch is behind; a follower whose local head
+	// exceeds it holds a divergent suffix and must re-bootstrap.
+	HeaderFenceSeq = "X-Verlog-Fence-Seq"
 )
 
 // Defaults for the node's knobs.
@@ -86,6 +102,10 @@ var ErrSnapshotRequired = errors.New("replication: resume point predates the sna
 // ErrStaleEpoch reports records offered under an epoch older than the
 // repository's own — the sender is a deposed primary.
 var ErrStaleEpoch = errors.New("replication: upstream epoch is older than ours; refusing its records")
+
+// ErrBadPromoteTarget reports an explicit promotion target epoch that is
+// not past the node's current epoch.
+var ErrBadPromoteTarget = errors.New("replication: promote target epoch is not past the current epoch")
 
 // Config configures a Node.
 type Config struct {
@@ -253,14 +273,23 @@ type StreamBatch struct {
 	Records int
 	HeadSeq int
 	Epoch   uint64
+	// FenceSeq is the earliest seq at which an epoch newer than the
+	// requester's was adopted here; valid only when HasFence (the
+	// requester's epoch is behind ours).
+	FenceSeq int
+	HasFence bool
 }
 
 // Stream serves one long-poll stream request: records with seq > after,
 // blocking up to wait for the first when none are pending. The request
 // doubles as the follower's ack — asking for records after N means N is
-// durable there — which feeds retention and the status table. Returns
-// ErrSnapshotRequired when after predates the snapshot.
-func (n *Node) Stream(ctx context.Context, followerID string, after int, wait time.Duration) (*StreamBatch, error) {
+// durable there — which feeds retention and the status table. epoch is
+// the follower's own epoch; when it is behind ours the batch carries the
+// fence seq the follower checks its resume point against. Returns
+// ErrSnapshotRequired when after predates the snapshot, or exceeds our
+// head — a follower ahead of its upstream holds a forked suffix and must
+// rebuild from the snapshot, not wait for records that will never come.
+func (n *Node) Stream(ctx context.Context, followerID string, after int, epoch uint64, wait time.Duration) (*StreamBatch, error) {
 	if followerID != "" {
 		n.mu.Lock()
 		f := n.followers[followerID]
@@ -277,6 +306,9 @@ func (n *Node) Stream(ctx context.Context, followerID string, after int, wait ti
 	entries, head, ok := n.repo.EntriesAfter(after)
 	if !ok {
 		return nil, fmt.Errorf("%w (want records after %d, snapshot is at %d)", ErrSnapshotRequired, after, head)
+	}
+	if after > head {
+		return nil, fmt.Errorf("%w (resume point %d is past our head %d; the histories have diverged)", ErrSnapshotRequired, after, head)
 	}
 	if len(entries) == 0 && wait > 0 {
 		wctx, cancel := context.WithTimeout(ctx, wait)
@@ -304,26 +336,55 @@ func (n *Node) Stream(ctx context.Context, followerID string, after int, wait ti
 	if n.streamed != nil {
 		n.streamed.Add(int64(len(entries)))
 	}
-	return &StreamBatch{Frames: buf.Bytes(), Records: len(entries), HeadSeq: head, Epoch: n.repo.Epoch()}, nil
+	batch := &StreamBatch{Frames: buf.Bytes(), Records: len(entries), HeadSeq: head, Epoch: n.repo.Epoch()}
+	if epoch < batch.Epoch {
+		batch.FenceSeq, batch.HasFence = n.repo.FenceSeq(epoch)
+	}
+	return batch, nil
 }
 
 // Promote turns a follower into the primary: the pull loop is stopped and
 // the epoch durably advanced past the old primary's, so its records are
-// fenced out everywhere this node's epoch propagates. Idempotent — on a
-// node that is already primary it reports the current epoch.
-func (n *Node) Promote() (uint64, error) {
+// fenced out everywhere this node's epoch propagates. The adoption seq —
+// the promotion point — is recorded with the epoch, fencing any deposed
+// node whose journal extends past it. Idempotent — on a node that is
+// already primary it reports the current epoch.
+//
+// target is the epoch to promote to; 0 means the current epoch plus one.
+// Epochs fence only because exactly one primary ever holds a given one:
+// promote at most one follower per failover, or — when an operator must
+// race promotions — pass each candidate a distinct explicit target.
+// A target at or below the current epoch is rejected (except the exact
+// current epoch on a node already primary, which is an idempotent retry).
+func (n *Node) Promote(target uint64) (uint64, error) {
 	n.mu.Lock()
 	wasFollower := n.follower
 	cancel, done := n.cancel, n.done
 	n.mu.Unlock()
 	if !wasFollower {
+		cur := n.repo.Epoch()
+		if target != 0 && target != cur {
+			if target < cur {
+				return 0, fmt.Errorf("%w (target %d, current %d)", ErrBadPromoteTarget, target, cur)
+			}
+			if err := n.repo.AdvanceEpoch(target, n.headSeq()); err != nil {
+				return 0, err
+			}
+		}
 		return n.repo.Epoch(), nil
 	}
 	if cancel != nil {
 		cancel()
 		<-done
 	}
-	if err := n.repo.AdvanceEpoch(n.repo.Epoch() + 1); err != nil {
+	next := n.repo.Epoch() + 1
+	if target != 0 {
+		if target <= n.repo.Epoch() {
+			return 0, fmt.Errorf("%w (target %d, current %d)", ErrBadPromoteTarget, target, n.repo.Epoch())
+		}
+		next = target
+	}
+	if err := n.repo.AdvanceEpoch(next, n.headSeq()); err != nil {
 		return 0, err
 	}
 	n.mu.Lock()
@@ -474,13 +535,15 @@ func (n *Node) run(ctx context.Context, done chan struct{}) {
 }
 
 // syncOnce performs one stream exchange: long-poll for records after the
-// local head, vet the epoch, apply the valid prefix, and bootstrap from a
-// snapshot when the primary has compacted past our resume point.
+// local head, vet the epoch (adopting a legitimate promotion, refusing a
+// deposed primary, re-bootstrapping when our own suffix is the divergent
+// one), apply the valid prefix, and bootstrap from a snapshot when the
+// primary has compacted past our resume point.
 func (n *Node) syncOnce(ctx context.Context) error {
 	after := n.headSeq()
 	wait := n.cfg.PollWait
-	u := fmt.Sprintf("%s/v1/repl/stream?after=%d&wait=%s&id=%s",
-		n.primary, after, wait, url.QueryEscape(n.cfg.FollowerID))
+	u := fmt.Sprintf("%s/v1/repl/stream?after=%d&wait=%s&id=%s&epoch=%d",
+		n.primary, after, wait, url.QueryEscape(n.cfg.FollowerID), n.repo.Epoch())
 	rctx, cancel := context.WithTimeout(ctx, wait+30*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
@@ -494,25 +557,49 @@ func (n *Node) syncOnce(ctx context.Context) error {
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusConflict:
-		// The primary compacted past our resume point: bootstrap.
+		// The primary compacted past our resume point — or our resume point
+		// is past its head (a fork): either way, rebuild from its snapshot.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		return n.bootstrap(ctx)
 	case resp.StatusCode != http.StatusOK:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("replication: stream returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
-	epoch, head, err := parseReplHeaders(resp.Header)
+	epoch, head, fence, err := parseReplHeaders(resp.Header)
 	if err != nil {
 		return err
 	}
-	if err := n.vetEpoch(epoch); err != nil {
-		return err
+	own := n.repo.Epoch()
+	if epoch < own {
+		if n.staleEpochs != nil {
+			n.staleEpochs.Inc()
+		}
+		return fmt.Errorf("%w (upstream %d, ours %d)", ErrStaleEpoch, epoch, own)
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxStreamBody))
-	if err != nil {
+	if epoch > own {
+		// A promotion happened upstream. If our journal extends past the
+		// promotion point, our suffix was written under the dead epoch and
+		// may diverge from the new primary's history — grafting its stream
+		// on would fork this replica silently. Discard the suffix by
+		// rebuilding from the new primary's snapshot; only a head at or
+		// before the fence is a provable prefix we may stream onto.
+		if fence >= 0 && after > fence {
+			n.logger.Warn("local journal extends past the promotion point; re-bootstrapping",
+				slog.Int("head_seq", after), slog.Int("fence_seq", fence), slog.Uint64("epoch", epoch))
+			return n.bootstrap(ctx)
+		}
+		// Adopt the epoch durably before applying anything under it. The
+		// adoption seq is our own head: everything beyond it will come from
+		// the new epoch's stream.
+		if err := n.repo.AdvanceEpoch(epoch, after); err != nil {
+			return err
+		}
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxStreamBody))
+	if rerr != nil {
 		// A connection cut mid-body: whatever full frames arrived are still
 		// usable; the CRC framing below cuts at the tear.
-		n.logger.Warn("stream body truncated", slog.String("error", err.Error()))
+		n.logger.Warn("stream body truncated", slog.String("error", rerr.Error()))
 	}
 	entries, perr := decodeFrames(body)
 	if perr != nil {
@@ -528,6 +615,16 @@ func (n *Node) syncOnce(ctx context.Context) error {
 		if err := n.repo.ApplyReplicaBatch(entries); err != nil {
 			return err
 		}
+	} else if rerr != nil || perr != nil {
+		// The exchange produced nothing and the body was damaged: report it
+		// as a failure so a persistently broken path (a proxy cutting every
+		// response, first-frame corruption on repeat) backs off and shows in
+		// lastErr instead of hot-looping as "connected".
+		err := rerr
+		if err == nil {
+			err = perr
+		}
+		return fmt.Errorf("replication: stream body unusable, no records applied: %w", err)
 	}
 	n.mu.Lock()
 	n.connected = true
@@ -541,25 +638,12 @@ func (n *Node) syncOnce(ctx context.Context) error {
 	return nil
 }
 
-// vetEpoch enforces the fence: an upstream epoch older than ours is a
-// deposed primary and its records must not be applied; a newer one is a
-// legitimate promotion we adopt durably before applying anything under it.
-func (n *Node) vetEpoch(epoch uint64) error {
-	own := n.repo.Epoch()
-	if epoch < own {
-		if n.staleEpochs != nil {
-			n.staleEpochs.Inc()
-		}
-		return fmt.Errorf("%w (upstream %d, ours %d)", ErrStaleEpoch, epoch, own)
-	}
-	if epoch > own {
-		return n.repo.AdvanceEpoch(epoch)
-	}
-	return nil
-}
-
 // bootstrap fetches the primary's snapshot and resets the repository onto
-// it — the catch-up path when the journal suffix we need is gone.
+// it — the catch-up path when the journal suffix we need is gone, and the
+// fork-repair path when our own suffix must be discarded. The reset runs
+// before any epoch adoption: a crash in between leaves a consistent
+// (merely stale) repository whose old epoch makes the next sync bootstrap
+// again, never a divergent journal under an adopted epoch.
 func (n *Node) bootstrap(ctx context.Context) error {
 	rctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
 	defer cancel()
@@ -576,12 +660,15 @@ func (n *Node) bootstrap(ctx context.Context) error {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("replication: snapshot returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
-	epoch, _, err := parseReplHeaders(resp.Header)
+	epoch, _, _, err := parseReplHeaders(resp.Header)
 	if err != nil {
 		return err
 	}
-	if err := n.vetEpoch(epoch); err != nil {
-		return err
+	if own := n.repo.Epoch(); epoch < own {
+		if n.staleEpochs != nil {
+			n.staleEpochs.Inc()
+		}
+		return fmt.Errorf("%w (upstream %d, ours %d)", ErrStaleEpoch, epoch, own)
 	}
 	base, seq, err := storage.LoadBinaryAt(resp.Body)
 	if err != nil {
@@ -590,6 +677,13 @@ func (n *Node) bootstrap(ctx context.Context) error {
 	if err := n.repo.ResetToSnapshot(base, seq); err != nil {
 		return err
 	}
+	if epoch > n.repo.Epoch() {
+		// The whole repository is now the new primary's history; the epoch
+		// starts for us at the snapshot seq.
+		if err := n.repo.AdvanceEpoch(epoch, seq); err != nil {
+			return err
+		}
+	}
 	if n.snapshotLoads != nil {
 		n.snapshotLoads.Inc()
 	}
@@ -597,18 +691,26 @@ func (n *Node) bootstrap(ctx context.Context) error {
 	return nil
 }
 
-// parseReplHeaders reads the epoch and seq headers of a replication
-// response.
-func parseReplHeaders(h http.Header) (epoch uint64, seq int, err error) {
+// parseReplHeaders reads the epoch, seq and optional fence-seq headers of
+// a replication response. fence is -1 when the header is absent — the
+// requester's epoch is current, or the sender predates fencing.
+func parseReplHeaders(h http.Header) (epoch uint64, seq, fence int, err error) {
 	epoch, err = strconv.ParseUint(h.Get(HeaderEpoch), 10, 64)
 	if err != nil {
-		return 0, 0, fmt.Errorf("replication: bad %s header %q", HeaderEpoch, h.Get(HeaderEpoch))
+		return 0, 0, -1, fmt.Errorf("replication: bad %s header %q", HeaderEpoch, h.Get(HeaderEpoch))
 	}
 	seq, err = strconv.Atoi(h.Get(HeaderSeq))
 	if err != nil {
-		return 0, 0, fmt.Errorf("replication: bad %s header %q", HeaderSeq, h.Get(HeaderSeq))
+		return 0, 0, -1, fmt.Errorf("replication: bad %s header %q", HeaderSeq, h.Get(HeaderSeq))
 	}
-	return epoch, seq, nil
+	fence = -1
+	if v := h.Get(HeaderFenceSeq); v != "" {
+		fence, err = strconv.Atoi(v)
+		if err != nil || fence < 0 {
+			return 0, 0, -1, fmt.Errorf("replication: bad %s header %q", HeaderFenceSeq, v)
+		}
+	}
+	return epoch, seq, fence, nil
 }
 
 // decodeFrames parses a stream body of CRC-framed journal records into
@@ -617,19 +719,15 @@ func parseReplHeaders(h http.Header) (epoch uint64, seq int, err error) {
 // it are intact (each passed its checksum and decoded) and safe to apply.
 func decodeFrames(body []byte) ([]repository.Entry, error) {
 	var entries []repository.Entry
-	payloads, _, err := storage.ReadJournal(bytes.NewReader(body), func(p []byte) error {
+	_, _, err := storage.ReadJournal(bytes.NewReader(body), func(p []byte) error {
+		// Capture each entry as it validates: ReadJournal keeps exactly the
+		// payloads this callback accepts, so entries is the valid prefix.
 		var e repository.Entry
 		if derr := json.Unmarshal(p, &e); derr != nil {
 			return derr
 		}
+		entries = append(entries, e)
 		return nil
 	})
-	for _, p := range payloads {
-		var e repository.Entry
-		if derr := json.Unmarshal(p, &e); derr != nil {
-			return entries, derr // unreachable: validated above
-		}
-		entries = append(entries, e)
-	}
 	return entries, err
 }

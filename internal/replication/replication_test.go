@@ -394,7 +394,7 @@ func TestEpochFencing(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Init follower: %v", err)
 	}
-	if err := frepo.AdvanceEpoch(5); err != nil {
+	if err := frepo.AdvanceEpoch(5, 0); err != nil {
 		t.Fatalf("AdvanceEpoch: %v", err)
 	}
 	fnode := replication.NewNode(frepo, replication.Config{
@@ -426,6 +426,157 @@ func TestEpochFencing(t *testing.T) {
 	}
 	if st := getStatus(t, f.srv.URL); st.Fenced {
 		t.Errorf("follower still fenced after adopting the newer epoch: %+v", st)
+	}
+}
+
+// TestDeposedPrimaryRejoinsPastPromotionPoint: a primary dies with an
+// unreplicated journal suffix, the follower is promoted and commits its
+// own history, and the deposed primary rejoins as a follower. Its suffix
+// diverges from the new primary's records at the same seqs; the fence
+// seq in the stream response must force it through a snapshot bootstrap
+// so it converges to the new history instead of grafting the stream onto
+// its fork and silently serving wrong reads forever.
+func TestDeposedPrimaryRejoinsPastPromotionPoint(t *testing.T) {
+	p := startPrimary(t, replication.Config{})
+	f := startFollower(t, p.srv.URL)
+
+	// Shared history: seqs 1..2 on both sides.
+	for i := 1; i <= 2; i++ {
+		if _, err := p.repo.Apply(raiseProgram(t, 10*i)); err != nil {
+			t.Fatalf("Apply %d: %v", i, err)
+		}
+	}
+	waitConverged(t, p.repo, f.repo, 2)
+	f.node.Stop()
+
+	// The primary runs ahead unreplicated (seq 3), then "dies".
+	if _, err := p.repo.Apply(raiseProgram(t, 999)); err != nil {
+		t.Fatalf("Apply unreplicated: %v", err)
+	}
+	p.srv.Close()
+
+	// Failover: the follower is promoted at seq 2 and commits a different
+	// history for seqs 3..4.
+	if epoch, err := f.node.Promote(0); err != nil || epoch != 2 {
+		t.Fatalf("Promote = %d, %v; want epoch 2", epoch, err)
+	}
+	for i := 3; i <= 4; i++ {
+		if _, err := f.repo.Apply(raiseProgram(t, i)); err != nil {
+			t.Fatalf("Apply on promoted follower %d: %v", i, err)
+		}
+	}
+
+	// The deposed primary rejoins as a follower of the new primary. Its
+	// head (3) is past the promotion point (2): the fence must reject the
+	// resume and rebuild it from the new primary's snapshot.
+	rejoin := replication.NewNode(p.repo, replication.Config{
+		PrimaryURL: f.srv.URL,
+		FollowerID: "deposed-primary",
+		PollWait:   100 * time.Millisecond,
+	})
+	rejoin.Start()
+	t.Cleanup(rejoin.Stop)
+
+	waitConverged(t, f.repo, p.repo, 4)
+	if got := p.repo.Epoch(); got != 2 {
+		t.Errorf("rejoined node epoch = %d, want the adopted 2", got)
+	}
+	// Convergence went via snapshot transfer: the rejoined node's snapshot
+	// is the new primary's head, not its own pre-failover snapshot at 0.
+	if got := p.repo.SnapshotSeq(); got != 4 {
+		t.Errorf("rejoined node snapshot seq = %d, want 4 (bootstrapped from the new primary)", got)
+	}
+}
+
+// TestDeposedPrimaryAheadOfNewPrimary: the deposed primary's head is past
+// the new primary's — it asks for records after a seq the new primary has
+// never reached. The stream must answer snapshot_required (waiting would
+// hang, serving would be impossible), and the rejoining node must drop
+// its forked suffix and converge onto the shorter, authoritative history.
+func TestDeposedPrimaryAheadOfNewPrimary(t *testing.T) {
+	p := startPrimary(t, replication.Config{})
+	f := startFollower(t, p.srv.URL)
+
+	if _, err := p.repo.Apply(raiseProgram(t, 10)); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	waitConverged(t, p.repo, f.repo, 1)
+	f.node.Stop()
+
+	// Two unreplicated applies, then death: the deposed primary is at seq
+	// 3 while the promoted follower stays at 1.
+	for i := 2; i <= 3; i++ {
+		if _, err := p.repo.Apply(raiseProgram(t, 100*i)); err != nil {
+			t.Fatalf("Apply unreplicated %d: %v", i, err)
+		}
+	}
+	p.srv.Close()
+	if epoch, err := f.node.Promote(0); err != nil || epoch != 2 {
+		t.Fatalf("Promote = %d, %v; want epoch 2", epoch, err)
+	}
+
+	rejoin := replication.NewNode(p.repo, replication.Config{
+		PrimaryURL: f.srv.URL,
+		FollowerID: "deposed-primary",
+		PollWait:   100 * time.Millisecond,
+	})
+	rejoin.Start()
+	t.Cleanup(rejoin.Stop)
+
+	// The rejoined node must come BACK to seq 1 — its seqs 2..3 never
+	// happened on the surviving history.
+	waitFor(t, "deposed primary to reset onto the new history", func() bool {
+		_, seq := p.repo.Snapshot()
+		return seq == 1 && p.repo.SnapshotSeq() == 1
+	})
+	pb, _ := f.repo.Snapshot()
+	rb, _ := p.repo.Snapshot()
+	if !pb.Equal(rb) {
+		t.Fatal("rejoined node's base diverges from the new primary's")
+	}
+}
+
+// TestBrokenStreamPathReportsUnhealthy: a path that serves 200s whose
+// bodies never contain one usable record (every response cut or corrupted
+// at the first frame) is a failure, not a healthy idle stream — the
+// follower must report disconnected with a last_error and back off rather
+// than hot-loop while Status claims all is well.
+func TestBrokenStreamPathReportsUnhealthy(t *testing.T) {
+	p := startPrimary(t, replication.Config{})
+	if _, err := p.repo.Apply(raiseProgram(t, 10)); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// A proxy that mangles EVERY stream body beyond recovery.
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(p.srv.URL + r.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		if strings.HasPrefix(r.URL.Path, "/v1/repl/stream") && resp.StatusCode == http.StatusOK {
+			w.Write([]byte("v1 00000000 {cut")) // first frame corrupt, no newline
+		}
+	}))
+	t.Cleanup(proxy.Close)
+
+	f := startFollower(t, proxy.URL)
+	waitFor(t, "follower to report the broken path", func() bool {
+		st := getStatus(t, f.srv.URL)
+		return !st.Connected && st.LastError != ""
+	})
+	if _, seq := f.repo.Snapshot(); seq != 0 {
+		t.Errorf("follower applied %d records from a fully corrupt stream", seq)
+	}
+	if r := metricValue(t, f.srv.URL, "verlog_repl_reconnects_total"); r < 1 {
+		t.Errorf("verlog_repl_reconnects_total = %v, want >= 1 (the broken path must back off)", r)
 	}
 }
 
@@ -497,9 +648,11 @@ func TestStaleFollowerBootstrapsViaSnapshot(t *testing.T) {
 
 	f.node.Start()
 	waitConverged(t, p.repo, f.repo, 8)
-	if loads := metricValue(t, f.srv.URL, "verlog_repl_snapshot_loads_total"); loads < 1 {
-		t.Errorf("verlog_repl_snapshot_loads_total = %v, want >= 1 — resume had to go via snapshot", loads)
-	}
+	// The counter increments after the reset publishes (and the head cache
+	// rewrites), so poll rather than assert the post-convergence instant.
+	waitFor(t, "snapshot load counted", func() bool {
+		return metricValue(t, f.srv.URL, "verlog_repl_snapshot_loads_total") >= 1
+	})
 	if err := f.repo.Verify(); err != nil {
 		t.Errorf("follower Verify after snapshot bootstrap: %v", err)
 	}
@@ -533,7 +686,7 @@ func TestPromoteIsIdempotent(t *testing.T) {
 	}
 
 	// Again: same epoch, no second advance.
-	if epoch, err := f.node.Promote(); err != nil || epoch != 2 {
+	if epoch, err := f.node.Promote(0); err != nil || epoch != 2 {
 		t.Errorf("second Promote = %d, %v; want 2, nil", epoch, err)
 	}
 
@@ -543,5 +696,48 @@ func TestPromoteIsIdempotent(t *testing.T) {
 	}
 	if ro, _ := f.node.ReadOnly(); ro {
 		t.Error("promoted node still reports read-only")
+	}
+}
+
+// TestPromoteExplicitTarget: epochs fence only while unique, so an
+// operator who must issue more than one promotion per failover passes
+// each candidate a distinct target epoch. The target is honored, retrying
+// the same target is idempotent, and a non-advancing target is rejected.
+func TestPromoteExplicitTarget(t *testing.T) {
+	p := startPrimary(t, replication.Config{})
+	f := startFollower(t, p.srv.URL)
+	if _, err := p.repo.Apply(raiseProgram(t, 1)); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	waitConverged(t, p.repo, f.repo, 1)
+
+	resp, err := http.Post(f.srv.URL+"/v1/repl/promote?epoch=9", "application/json", nil)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	var pr struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatalf("decode promote response: %v", err)
+	}
+	resp.Body.Close()
+	if pr.Epoch != 9 {
+		t.Fatalf("promote epoch = %d, want the explicit target 9", pr.Epoch)
+	}
+	if epoch, err := f.node.Promote(9); err != nil || epoch != 9 {
+		t.Errorf("retry of the same target = %d, %v; want 9, nil", epoch, err)
+	}
+	if _, err := f.node.Promote(3); err == nil {
+		t.Error("promote to an epoch behind the current one succeeded")
+	}
+	resp, err = http.Post(f.srv.URL+"/v1/repl/promote?epoch=3", "application/json", nil)
+	if err != nil {
+		t.Fatalf("promote with stale target: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale promote target returned %d, want 409", resp.StatusCode)
 	}
 }

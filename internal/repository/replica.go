@@ -248,10 +248,22 @@ func (r *Repository) Epoch() uint64 {
 	return r.epoch.Load()
 }
 
-// AdvanceEpoch durably raises the repository's epoch to e. Advancing to
-// the current epoch is a no-op; moving backwards is an error — epochs
-// only grow, which is what makes them a fence.
-func (r *Repository) AdvanceEpoch(e uint64) error {
+// EpochMark records one epoch adoption: the epoch and the journal seq the
+// repository's head was at when it adopted it. For a promoted follower the
+// seq is the promotion point — every record beyond it belongs to the new
+// epoch's history, so the marks are what lets a primary tell a rejoining
+// node whether its journal suffix predates a promotion (see FenceSeq).
+type EpochMark struct {
+	Epoch uint64
+	Seq   int
+}
+
+// AdvanceEpoch durably raises the repository's epoch to e, recording that
+// it was adopted at journal seq atSeq. Advancing to the current epoch is
+// a no-op; moving backwards is an error — epochs only grow, which is what
+// makes them a fence. The adoption history is persisted alongside the
+// epoch (one line per adoption) and survives reopen.
+func (r *Repository) AdvanceEpoch(e uint64, atSeq int) error {
 	r.diskMu.Lock()
 	defer r.diskMu.Unlock()
 	cur := r.epoch.Load()
@@ -261,26 +273,74 @@ func (r *Repository) AdvanceEpoch(e uint64) error {
 	if e < cur {
 		return fmt.Errorf("repository: epoch may not move backwards (%d -> %d)", cur, e)
 	}
-	if err := r.writeFileDurable(epochFile, []byte(strconv.FormatUint(e, 10)+"\n")); err != nil {
+	r.epochMu.Lock()
+	hist := append(append([]EpochMark(nil), r.epochHist...), EpochMark{Epoch: e, Seq: atSeq})
+	r.epochMu.Unlock()
+	var buf strings.Builder
+	for _, m := range hist {
+		fmt.Fprintf(&buf, "%d %d\n", m.Epoch, m.Seq)
+	}
+	if err := r.writeFileDurable(epochFile, []byte(buf.String())); err != nil {
 		return err
 	}
+	r.epochMu.Lock()
+	r.epochHist = hist
+	r.epochMu.Unlock()
 	r.epoch.Store(e)
 	return nil
 }
 
-// loadEpoch reads the persisted epoch (1 when the file is absent, as in
-// every repository that predates replication).
-func (r *Repository) loadEpoch() (uint64, error) {
+// FenceSeq returns the earliest journal seq at which an epoch newer than
+// since was adopted here — the promotion point a follower still on epoch
+// since must not have written past. ok is false when no such adoption is
+// recorded (the requester's epoch is current). A follower whose head
+// exceeds the fence holds a journal suffix written under a deposed
+// primary; its suffix may diverge from this node's history and it must
+// re-bootstrap from a snapshot rather than graft the stream on.
+func (r *Repository) FenceSeq(since uint64) (fence int, ok bool) {
+	r.epochMu.Lock()
+	defer r.epochMu.Unlock()
+	for _, m := range r.epochHist {
+		if m.Epoch > since && (!ok || m.Seq < fence) {
+			fence, ok = m.Seq, true
+		}
+	}
+	return fence, ok
+}
+
+// loadEpoch reads the persisted epoch and its adoption history (epoch 1
+// with no history when the file is absent, as in every repository that
+// predates replication). Each line is "<epoch> <seq>"; a bare "<epoch>"
+// line (the format before adoption seqs existed) is read as adopted at
+// seq 0, the conservative fence.
+func (r *Repository) loadEpoch() (uint64, []EpochMark, error) {
 	data, err := r.fs.ReadFile(filepath.Join(r.dir, epochFile))
 	if errors.Is(err, os.ErrNotExist) {
-		return 1, nil
+		return 1, nil, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("repository: %w", err)
+		return 0, nil, fmt.Errorf("repository: %w", err)
 	}
-	e, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
-	if err != nil || e == 0 {
-		return 0, fmt.Errorf("repository: corrupt epoch file %q", strings.TrimSpace(string(data)))
+	epoch := uint64(1)
+	var hist []EpochMark
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		e, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil || e == 0 || e < epoch || len(fields) > 2 {
+			return 0, nil, fmt.Errorf("repository: corrupt epoch file line %q", line)
+		}
+		seq := 0
+		if len(fields) == 2 {
+			if seq, err = strconv.Atoi(fields[1]); err != nil || seq < 0 {
+				return 0, nil, fmt.Errorf("repository: corrupt epoch file line %q", line)
+			}
+		}
+		epoch = e
+		hist = append(hist, EpochMark{Epoch: e, Seq: seq})
 	}
-	return e, nil
+	return epoch, hist, nil
 }

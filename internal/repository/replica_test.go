@@ -227,21 +227,38 @@ func TestEpochFencing(t *testing.T) {
 	if got := r.Epoch(); got != 1 {
 		t.Fatalf("fresh epoch = %d, want 1", got)
 	}
-	if err := r.AdvanceEpoch(1); err != nil {
+	if err := r.AdvanceEpoch(1, 0); err != nil {
 		t.Fatalf("no-op advance: %v", err)
 	}
-	if err := r.AdvanceEpoch(3); err != nil {
+	if err := r.AdvanceEpoch(3, 7); err != nil {
 		t.Fatalf("AdvanceEpoch(3): %v", err)
 	}
-	if err := r.AdvanceEpoch(2); err == nil {
+	if err := r.AdvanceEpoch(2, 9); err == nil {
 		t.Fatalf("epoch moved backwards")
+	}
+	if err := r.AdvanceEpoch(5, 11); err != nil {
+		t.Fatalf("AdvanceEpoch(5): %v", err)
+	}
+	// The fence is the earliest adoption past the asking epoch.
+	if fence, ok := r.FenceSeq(1); !ok || fence != 7 {
+		t.Fatalf("FenceSeq(1) = %d, %v; want 7 (epoch 3's adoption)", fence, ok)
+	}
+	if fence, ok := r.FenceSeq(3); !ok || fence != 11 {
+		t.Fatalf("FenceSeq(3) = %d, %v; want 11 (epoch 5's adoption)", fence, ok)
+	}
+	if _, ok := r.FenceSeq(5); ok {
+		t.Fatalf("FenceSeq(5) reported a fence; the asking epoch is current")
 	}
 	reopened, err := Open(dir)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
-	if got := reopened.Epoch(); got != 3 {
-		t.Fatalf("epoch after reopen = %d, want 3", got)
+	if got := reopened.Epoch(); got != 5 {
+		t.Fatalf("epoch after reopen = %d, want 5", got)
+	}
+	// The adoption history survives reopen, so fences do too.
+	if fence, ok := reopened.FenceSeq(1); !ok || fence != 7 {
+		t.Fatalf("FenceSeq(1) after reopen = %d, %v; want 7", fence, ok)
 	}
 }
 

@@ -154,6 +154,10 @@ type Repository struct {
 	// epoch is the replication generation this repository last accepted
 	// (see AdvanceEpoch); persisted in epochFile, 1 when the file is absent.
 	epoch atomic.Uint64
+	// epochMu guards epochHist, the durable record of every epoch adoption
+	// and the journal seq it happened at (see FenceSeq).
+	epochMu   sync.Mutex
+	epochHist []EpochMark
 
 	// notifyMu guards notifyCh, which is closed and replaced on every
 	// publish so WaitPublished can block for the next durable state.
@@ -435,7 +439,7 @@ func (r *Repository) recoverLocked() error {
 	if err != nil {
 		return err
 	}
-	epoch, err := r.loadEpoch()
+	epoch, epochHist, err := r.loadEpoch()
 	if err != nil {
 		return err
 	}
@@ -463,6 +467,9 @@ func (r *Repository) recoverLocked() error {
 	r.commitMu.Unlock()
 	r.publish(hs)
 	r.cons.Store(cons)
+	r.epochMu.Lock()
+	r.epochHist = epochHist
+	r.epochMu.Unlock()
 	r.epoch.Store(epoch)
 	r.met().RecoverySeconds.SetDuration(rec.Duration)
 	return nil

@@ -72,7 +72,18 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 			wait = maxStreamWait
 		}
 	}
-	batch, err := s.repl.Stream(r.Context(), q.Get("id"), after, wait)
+	// The follower's own epoch; absent (0) is treated as maximally behind,
+	// so the fence computation stays conservative.
+	var epoch uint64
+	if v := q.Get("epoch"); v != "" {
+		epoch, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("server: bad epoch %q (want a non-negative integer)", v))
+			return
+		}
+	}
+	batch, err := s.repl.Stream(r.Context(), q.Get("id"), after, epoch, wait)
 	if err != nil {
 		if errors.Is(err, replication.ErrSnapshotRequired) {
 			writeErrorCode(w, r, http.StatusConflict, CodeSnapshotRequired, err)
@@ -84,6 +95,9 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-verlog-journal")
 	w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(batch.Epoch, 10))
 	w.Header().Set(replication.HeaderSeq, strconv.Itoa(batch.HeadSeq))
+	if batch.HasFence {
+		w.Header().Set(replication.HeaderFenceSeq, strconv.Itoa(batch.FenceSeq))
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(batch.Frames)
 	if f, ok := w.(http.Flusher); ok {
@@ -121,10 +135,26 @@ type promoteResponse struct {
 
 // handleReplPromote serves POST /v1/repl/promote: stop following, advance
 // the epoch, accept writes. Idempotent — promoting a primary reports its
-// current epoch.
+// current epoch. An optional ?epoch=N names the target epoch, for
+// operators that must issue more than one promotion per failover and need
+// the epochs to stay distinct (epochs fence only while unique).
 func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
-	epoch, err := s.repl.Promote()
+	var target uint64
+	if v := r.URL.Query().Get("epoch"); v != "" {
+		var err error
+		target, err = strconv.ParseUint(v, 10, 64)
+		if err != nil || target == 0 {
+			writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("server: bad epoch %q (want a positive integer)", v))
+			return
+		}
+	}
+	epoch, err := s.repl.Promote(target)
 	if err != nil {
+		if errors.Is(err, replication.ErrBadPromoteTarget) {
+			writeErrorCode(w, r, http.StatusConflict, CodeConflict, err)
+			return
+		}
 		writeError(w, r, err)
 		return
 	}
