@@ -44,13 +44,16 @@ soak:
 
 # Smoke check: every benchmark runs once with allocation stats, so a
 # broken benchmark can't rot unnoticed. The raw output is also converted
-# to machine-readable BENCH_5.json for CI to archive. Real measurements
-# want -benchtime to be raised.
+# to machine-readable BENCH_5.json for CI to archive, and the
+# multi-tenant residency experiment (E19: 1000 tenants under a 64-tenant
+# cap) runs end-to-end, archiving its table as BENCH_7.json. Real
+# measurements want -benchtime to be raised.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	@cat bench.out
 	$(GO) run ./cmd/verlog-bench -gobench-json bench.out > BENCH_5.json
 	@rm -f bench.out
+	$(GO) run ./cmd/verlog-bench -run E19 -table-json BENCH_7.json
 
 clean:
 	$(GO) clean ./...

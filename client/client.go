@@ -53,13 +53,32 @@ const (
 // against the journal: an update that did commit before the connection
 // died is not fired twice — even across a failover, since keys ride the
 // replication stream — the recorded result is replayed.
+// A Client is scoped to one tenant namespace: New returns a handle on the
+// "default" tenant, Tenant(name) a handle on any other. Handles made from
+// one client share the transport, the endpoint rotation cursor and the
+// learned primary, so a failover discovered through one tenant
+// immediately redirects every tenant's writes.
 type Client struct {
 	endpoints []string
 	http      *http.Client
 	retries   int
 	backoff   time.Duration
 
-	// mu guards the rotation cursor and the learned primary.
+	// prefix is the tenant-scoped route prefix repository endpoints are
+	// issued under: "/v1/t/<name>" for tenant handles, "/v1" for the
+	// default handle (the deprecated-but-stable legacy form, kept so the
+	// default client works against older servers too). Server-global
+	// endpoints (/v1/repl/*, /v1/debug/*, /metrics) never take the prefix.
+	prefix string
+
+	// st is the mutable failover state, shared by every handle of this
+	// client family.
+	st *clientState
+}
+
+// clientState is the rotation cursor and learned primary shared across
+// all tenant handles of one client.
+type clientState struct {
 	mu      sync.Mutex
 	cur     int
 	primary string // write target learned from a read_only redirect
@@ -100,6 +119,8 @@ func NewMulti(endpoints []string, opts ...Option) *Client {
 		http:    &http.Client{Timeout: DefaultTimeout},
 		retries: DefaultRetries + len(endpoints) - 1,
 		backoff: DefaultBackoff,
+		prefix:  "/v1",
+		st:      &clientState{},
 	}
 	for _, e := range endpoints {
 		c.endpoints = append(c.endpoints, strings.TrimRight(e, "/"))
@@ -116,49 +137,74 @@ func NewMulti(endpoints []string, opts ...Option) *Client {
 // Endpoints returns the configured endpoints.
 func (c *Client) Endpoints() []string { return append([]string(nil), c.endpoints...) }
 
+// Tenant returns a handle scoped to the named tenant: every
+// repository-scoped call is issued under /v1/t/<name>/..., against the
+// tenant's own journal, constraints and idempotency keys. The handle
+// shares this client's transport, retry budget, endpoint rotation and
+// learned primary — scoping is free, and a read_only redirect followed by
+// any handle retargets them all. The name is validated by the server
+// ([a-z0-9][a-z0-9-_]{0,63}); an invalid one answers invalid_tenant.
+//
+// Tenant("default") addresses the same namespace as the top-level
+// methods, through the successor route form.
+func (c *Client) Tenant(name string) *Client {
+	t := *c
+	t.prefix = "/v1/t/" + name
+	return &t
+}
+
+// api scopes a repository endpoint suffix ("/apply", "/head?n=1", ...)
+// to this handle's tenant prefix.
+func (c *Client) api(suffix string) string { return c.prefix + suffix }
+
 // current returns the endpoint reads currently use.
 func (c *Client) current() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.endpoints[c.cur]
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	return c.endpoints[c.st.cur]
 }
 
 // rotate advances past a failed endpoint (no-op with one endpoint). If
 // the failed endpoint was the remembered primary, it is forgotten — the
 // next write rediscovers the primary through a read_only redirect.
 func (c *Client) rotate(failed string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.endpoints[c.cur] == failed {
-		c.cur = (c.cur + 1) % len(c.endpoints)
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	if c.endpoints[c.st.cur] == failed {
+		c.st.cur = (c.st.cur + 1) % len(c.endpoints)
 	}
-	if c.primary == failed {
-		c.primary = ""
+	if c.st.primary == failed {
+		c.st.primary = ""
 	}
 }
 
 // writeTarget returns where a mutating request should start: the learned
 // primary, or the current endpoint when none is known.
 func (c *Client) writeTarget() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.primary != "" {
-		return c.primary
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	if c.st.primary != "" {
+		return c.st.primary
 	}
-	return c.endpoints[c.cur]
+	return c.endpoints[c.st.cur]
 }
 
 func (c *Client) setPrimary(p string) {
-	c.mu.Lock()
-	c.primary = strings.TrimRight(p, "/")
-	c.mu.Unlock()
+	c.st.mu.Lock()
+	c.st.primary = strings.TrimRight(p, "/")
+	c.st.mu.Unlock()
 }
 
 // mutating reports whether a request can be answered read_only on a
-// follower and should therefore start at the learned primary.
+// follower and should therefore start at the learned primary. The check
+// is on the path's suffix so it holds for both the tenant-prefixed form
+// (/v1/t/acme/apply) and the legacy one (/v1/apply).
 func mutating(method, path string) bool {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
 	return method == http.MethodPost &&
-		(strings.HasPrefix(path, "/v1/apply") || path == "/v1/constraints")
+		(strings.HasSuffix(path, "/apply") || strings.HasSuffix(path, "/constraints"))
 }
 
 // Position locates a diagnostic or error in submitted program text.
@@ -389,7 +435,7 @@ type baseEnvelope struct {
 
 // Head returns the current object base in concrete text syntax.
 func (c *Client) Head(ctx context.Context) (string, error) {
-	b, err := c.do(ctx, http.MethodGet, "/v1/head", "")
+	b, err := c.do(ctx, http.MethodGet, c.api("/head"), "")
 	if err != nil {
 		return "", err
 	}
@@ -402,7 +448,7 @@ func (c *Client) Head(ctx context.Context) (string, error) {
 
 // State returns the object base after the first n applied programs.
 func (c *Client) State(ctx context.Context, n int) (string, error) {
-	b, err := c.do(ctx, http.MethodGet, "/v1/state?n="+strconv.Itoa(n), "")
+	b, err := c.do(ctx, http.MethodGet, c.api("/state?n="+strconv.Itoa(n)), "")
 	if err != nil {
 		return "", err
 	}
@@ -427,7 +473,7 @@ type LogEntry struct {
 // with Seq > after (limit <= 0 uses the server default). next is the
 // cursor for the following page, or 0 when this page was the last.
 func (c *Client) LogPage(ctx context.Context, limit, after int) (entries []LogEntry, next int, err error) {
-	q := "/v1/log?"
+	q := c.api("/log?")
 	if limit > 0 {
 		q += "limit=" + strconv.Itoa(limit) + "&"
 	}
@@ -507,7 +553,7 @@ func (c *Client) Apply(ctx context.Context, program string) (*ApplyResult, error
 // the recorded result with Replayed set. An empty key disables
 // deduplication.
 func (c *Client) ApplyWithKey(ctx context.Context, program, key string) (*ApplyResult, error) {
-	b, err := c.doKey(ctx, http.MethodPost, "/v1/apply", program, key)
+	b, err := c.doKey(ctx, http.MethodPost, c.api("/apply"), program, key)
 	if err != nil {
 		return nil, err
 	}
@@ -518,7 +564,7 @@ func (c *Client) ApplyWithKey(ctx context.Context, program, key string) (*ApplyR
 // Query evaluates a query against the head; each row maps variable names
 // to rendered OIDs.
 func (c *Client) Query(ctx context.Context, query string) ([]map[string]string, error) {
-	b, err := c.do(ctx, http.MethodPost, "/v1/query", query)
+	b, err := c.do(ctx, http.MethodPost, c.api("/query"), query)
 	if err != nil {
 		return nil, err
 	}
@@ -555,7 +601,7 @@ func (r *CheckResult) Errors() []Diagnostic {
 // defective program is NOT an error from Check — inspect OK and
 // Diagnostics.
 func (c *Client) Check(ctx context.Context, program string) (*CheckResult, error) {
-	b, err := c.do(ctx, http.MethodPost, "/v1/check", program)
+	b, err := c.do(ctx, http.MethodPost, c.api("/check"), program)
 	if err != nil {
 		return nil, err
 	}
@@ -577,7 +623,7 @@ type HistoryStep struct {
 // (limit <= 0 uses the server default). next is the offset of the
 // following page, or 0 when this page was the last.
 func (c *Client) HistoryPage(ctx context.Context, object string, limit, after int) (steps []HistoryStep, next int, err error) {
-	q := "/v1/history?object=" + object
+	q := c.api("/history?object=" + object)
 	if limit > 0 {
 		q += "&limit=" + strconv.Itoa(limit)
 	}
@@ -619,7 +665,7 @@ func (c *Client) History(ctx context.Context, object string) ([]HistoryStep, err
 
 // SetConstraints installs integrity constraints (denial form).
 func (c *Client) SetConstraints(ctx context.Context, constraints string) (int, error) {
-	b, err := c.do(ctx, http.MethodPost, "/v1/constraints", constraints)
+	b, err := c.do(ctx, http.MethodPost, c.api("/constraints"), constraints)
 	if err != nil {
 		return 0, err
 	}
@@ -631,7 +677,7 @@ func (c *Client) SetConstraints(ctx context.Context, constraints string) (int, e
 
 // Constraints returns the installed constraints in text form.
 func (c *Client) Constraints(ctx context.Context) (string, error) {
-	b, err := c.do(ctx, http.MethodGet, "/v1/constraints", "")
+	b, err := c.do(ctx, http.MethodGet, c.api("/constraints"), "")
 	if err != nil {
 		return "", err
 	}
@@ -656,7 +702,7 @@ type Stats struct {
 
 // Stats fetches the head-base summary.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
-	b, err := c.do(ctx, http.MethodGet, "/v1/stats", "")
+	b, err := c.do(ctx, http.MethodGet, c.api("/stats"), "")
 	if err != nil {
 		return nil, err
 	}
@@ -674,7 +720,7 @@ type ExplainEntry struct {
 // Explain reports where facts (fact syntax, period-terminated) in the most
 // recent apply's fixpoint came from.
 func (c *Client) Explain(ctx context.Context, facts string) ([]ExplainEntry, error) {
-	b, err := c.do(ctx, http.MethodPost, "/v1/explain", facts)
+	b, err := c.do(ctx, http.MethodPost, c.api("/explain"), facts)
 	if err != nil {
 		return nil, err
 	}
@@ -737,7 +783,7 @@ type TracedApplyResult struct {
 // server also retains the trace in its /v1/debug/traces ring under
 // Trace.ID.
 func (c *Client) ApplyTraced(ctx context.Context, program string) (*TracedApplyResult, error) {
-	b, err := c.doKey(ctx, http.MethodPost, "/v1/apply?trace=1", program, newIdempotencyKey())
+	b, err := c.doKey(ctx, http.MethodPost, c.api("/apply?trace=1"), program, newIdempotencyKey())
 	if err != nil {
 		return nil, err
 	}
@@ -813,7 +859,7 @@ type ExplainChain struct {
 // chain to the version that introduced it.
 func (c *Client) ExplainVersion(ctx context.Context, vid, method string) ([]ExplainChain, error) {
 	b, err := c.do(ctx, http.MethodGet,
-		"/v1/explain?vid="+url.QueryEscape(vid)+"&method="+url.QueryEscape(method), "")
+		c.api("/explain?vid="+url.QueryEscape(vid)+"&method="+url.QueryEscape(method)), "")
 	if err != nil {
 		return nil, err
 	}
@@ -844,6 +890,37 @@ func (c *Client) Slow(ctx context.Context) ([]SlowEntry, error) {
 		Entries []SlowEntry `json:"entries"`
 	}
 	return resp.Entries, json.Unmarshal(b, &resp)
+}
+
+// TenantInfo is one row of the server's tenant listing. Seq and Facts are
+// present only while the tenant is resident (the server never opens a
+// repository just to list it).
+type TenantInfo struct {
+	Name      string `json:"name"`
+	Resident  bool   `json:"resident"`
+	Seq       *int   `json:"seq,omitempty"`
+	Facts     *int   `json:"facts,omitempty"`
+	SizeBytes int64  `json:"size_bytes"`
+}
+
+// Tenants lists every tenant the server knows (GET /v1/tenants).
+func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/tenants", "")
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Tenants []TenantInfo `json:"tenants"`
+	}
+	return resp.Tenants, json.Unmarshal(b, &resp)
+}
+
+// DeleteTenant deletes the named tenant and its data (DELETE
+// /v1/t/{name}). The server must run with -allow-tenant-delete; a tenant
+// with requests in flight answers 409 conflict.
+func (c *Client) DeleteTenant(ctx context.Context, name string) error {
+	_, err := c.do(ctx, http.MethodDelete, "/v1/t/"+name, "")
+	return err
 }
 
 // Metrics fetches the raw Prometheus text exposition from /metrics.

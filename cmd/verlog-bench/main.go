@@ -9,6 +9,7 @@
 //	verlog-bench -run E2,E9           # run selected experiments
 //	verlog-bench -list                # list experiments
 //	verlog-bench -gobench-json FILE   # convert `go test -bench` output to JSON
+//	verlog-bench -table-json FILE     # also write the result tables as JSON
 package main
 
 import (
@@ -33,6 +34,7 @@ func run(args []string, out, errOut io.Writer) int {
 	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	gobenchJSON := fs.String("gobench-json", "", "parse `go test -bench` output from FILE (- for stdin) and print JSON")
+	tableJSON := fs.String("table-json", "", "write the result tables of the selected experiments as JSON to FILE")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +87,7 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	failed := false
+	var tables []*bench.Table
 	for i, e := range selected {
 		if i > 0 {
 			fmt.Fprintln(out)
@@ -95,9 +98,21 @@ func run(args []string, out, errOut io.Writer) int {
 			failed = true
 			continue
 		}
+		tables = append(tables, tbl)
 		tbl.Fprint(out)
 		if strings.Contains(tbl.String(), "FAIL") {
 			failed = true
+		}
+	}
+	if *tableJSON != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(errOut, "verlog-bench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*tableJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(errOut, "verlog-bench: %v\n", err)
+			return 1
 		}
 	}
 	if failed {

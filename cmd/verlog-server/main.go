@@ -7,8 +7,19 @@
 //	              [-log text|json] [-slow-threshold 250ms]
 //	              [-follow http://primary:8487] [-follower-id NAME]
 //	              [-max-retention 65536]
+//	              [-tenants-root DIR/tenants] [-max-open-tenants 64]
+//	              [-allow-tenant-delete]
 //
 // With -init the repository is created from the given object base first.
+//
+// The server is multi-tenant: -dir holds the "default" tenant, and every
+// other tenant lives in its own directory under -tenants-root (default
+// <dir>/tenants), created lazily on its first POST /v1/t/{name}/apply or
+// /constraints. At most -max-open-tenants repositories are resident at a
+// time; idle ones past the cap are cleanly closed (their directories
+// kept) and reopened on demand. DELETE /v1/t/{name} is refused unless
+// -allow-tenant-delete is given. Replication covers the default tenant
+// only.
 // With -follow the server runs as a replication follower of the primary
 // at the given base URL: it pulls the primary's journal over
 // /v1/repl/stream (bootstrapping from /v1/repl/snapshot when the
@@ -48,6 +59,7 @@ import (
 	"verlog/internal/repository"
 	"verlog/internal/server"
 	"verlog/internal/storage"
+	"verlog/internal/tenant"
 )
 
 func main() {
@@ -61,6 +73,9 @@ func main() {
 	followerID := flag.String("follower-id", "", "stable follower identity in the primary's ack table (default: random)")
 	maxRetention := flag.Int("max-retention", replication.DefaultMaxRetention,
 		"journal records retained past follower acks before they must re-bootstrap (negative = unbounded)")
+	tenantsRoot := flag.String("tenants-root", "", "directory holding tenant repositories (default <dir>/tenants)")
+	maxOpenTenants := flag.Int("max-open-tenants", 64, "resident tenant repositories before idle ones are evicted (0 = unbounded)")
+	allowTenantDelete := flag.Bool("allow-tenant-delete", false, "enable DELETE /v1/t/{tenant}")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "verlog-server: -dir is required")
@@ -125,10 +140,18 @@ func main() {
 		logger.Info("following primary", "primary", *follow, "epoch", repo.Epoch())
 	}
 
+	root := *tenantsRoot
+	if root == "" {
+		root = filepath.Join(*dir, "tenants")
+	}
+	tenants := tenant.NewManager(root, tenant.WithMaxOpen(*maxOpenTenants))
+
 	api := server.New(repo,
 		server.WithLogger(logger),
 		server.WithSlowThreshold(*slowThreshold),
 		server.WithReplication(node),
+		server.WithTenantManager(tenants),
+		server.WithTenantDelete(*allowTenantDelete),
 	)
 	// Mirror the metric registry into the process-global expvar namespace so
 	// /debug/vars carries the counters alongside the runtime's memstats.
@@ -165,6 +188,9 @@ func main() {
 	}
 	<-idle
 	node.Stop()
+	// Quiesce every resident tenant repository; the default tenant's
+	// journal needs no action (applies finished during Shutdown).
+	tenants.Close()
 }
 
 // bootstrapFollower initializes an empty follower directory from the

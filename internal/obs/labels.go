@@ -1,0 +1,44 @@
+package obs
+
+import "sync"
+
+// BoundedLabels caps the cardinality of one metric label: the first Max
+// distinct values keep their own label, everything after collapses to
+// "other". A /metrics endpoint stays bounded no matter how many tenants
+// (or users, or keys) the process has seen — the hot set gets per-value
+// series, the long tail is aggregated.
+type BoundedLabels struct {
+	Max int
+
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+// Overflow is the label value the long tail collapses to.
+const Overflow = "other"
+
+// NewBoundedLabels returns a bound admitting the first max distinct
+// values (max <= 0 admits none: every value maps to Overflow).
+func NewBoundedLabels(max int) *BoundedLabels {
+	return &BoundedLabels{Max: max, seen: make(map[string]bool)}
+}
+
+// Value maps v to itself while the bound has room (admitting it
+// permanently on first sight), and to Overflow once full. A value
+// admitted once keeps its own series forever — a series that exists in
+// one scrape never migrates to "other" in the next.
+func (b *BoundedLabels) Value(v string) string {
+	if b == nil {
+		return Overflow
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.seen[v] {
+		return v
+	}
+	if len(b.seen) < b.Max {
+		b.seen[v] = true
+		return v
+	}
+	return Overflow
+}

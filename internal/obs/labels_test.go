@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBoundedLabels(t *testing.T) {
+	b := NewBoundedLabels(2)
+	if got := b.Value("a"); got != "a" {
+		t.Fatalf("first value = %q", got)
+	}
+	if got := b.Value("b"); got != "b" {
+		t.Fatalf("second value = %q", got)
+	}
+	if got := b.Value("c"); got != Overflow {
+		t.Fatalf("third value = %q, want %q", got, Overflow)
+	}
+	// Admitted values stay stable after the bound fills.
+	if got := b.Value("a"); got != "a" {
+		t.Fatalf("admitted value migrated: %q", got)
+	}
+	var nilB *BoundedLabels
+	if got := nilB.Value("x"); got != Overflow {
+		t.Fatalf("nil bound = %q", got)
+	}
+}
+
+func TestBoundedLabelsConcurrent(t *testing.T) {
+	b := NewBoundedLabels(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := fmt.Sprintf("v%d", i%20)
+				got := b.Value(v)
+				if got != v && got != Overflow {
+					t.Errorf("Value(%q) = %q", v, got)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	distinct := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		v := fmt.Sprintf("v%d", i)
+		if b.Value(v) == v {
+			distinct[v] = true
+		}
+	}
+	if len(distinct) != 8 {
+		t.Fatalf("admitted %d values, want exactly 8", len(distinct))
+	}
+}

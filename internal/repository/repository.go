@@ -177,6 +177,9 @@ type Repository struct {
 	commitMu sync.Mutex
 	cond     *sync.Cond // signals paused committers; see pause/resume
 	paused   bool
+	// closed is set by Close: mutations and disk operations refuse from
+	// then on, while reads keep serving the last published state.
+	closed bool
 	// spec is the speculative head: published plus any commits that are
 	// queued in the pending batch but not yet durable. New evaluations
 	// start from it so commit N+1 can evaluate while commit N fsyncs.
@@ -648,6 +651,9 @@ func (r *Repository) readJournalRaw() ([]Entry, int64, error) {
 func (r *Repository) Entries() ([]Entry, error) {
 	r.diskMu.Lock()
 	defer r.diskMu.Unlock()
+	if err := r.closedErr(); err != nil {
+		return nil, err
+	}
 	entries, _, err := r.readJournalRaw()
 	if err != nil {
 		return nil, err
@@ -707,6 +713,9 @@ func (r *Repository) SetConstraints(src string) error {
 	}
 	r.diskMu.Lock()
 	defer r.diskMu.Unlock()
+	if err := r.closedErr(); err != nil {
+		return err
+	}
 	if err := r.repairDiskLocked(); err != nil {
 		return err
 	}
@@ -823,6 +832,10 @@ func (r *Repository) ApplyKey(p *term.Program, key string, opts ...core.Option) 
 // by a concurrent commit, repair or constraint change and must rerun.
 func (r *Repository) tryApply(p *term.Program, key string, opts []core.Option) (_ *eval.Result, _ Entry, replayed, retry bool, _ error) {
 	r.commitMu.Lock()
+	if r.closed {
+		r.commitMu.Unlock()
+		return nil, Entry{}, false, false, ErrClosed
+	}
 	if r.needRepair {
 		r.commitMu.Unlock()
 		if err := r.repair(); err != nil {
@@ -893,6 +906,10 @@ func (r *Repository) tryApply(p *term.Program, key string, opts []core.Option) (
 	r.commitMu.Lock()
 	for r.paused {
 		r.cond.Wait()
+	}
+	if r.closed {
+		r.commitMu.Unlock()
+		return nil, Entry{}, false, false, ErrClosed
 	}
 	if r.needRepair || r.gen != gen || r.spec != snap || r.cons.Load() != cons {
 		r.commitMu.Unlock()
@@ -1056,6 +1073,9 @@ func (e *VerifyError) Error() string {
 func (r *Repository) Verify() error {
 	r.diskMu.Lock()
 	defer r.diskMu.Unlock()
+	if err := r.closedErr(); err != nil {
+		return err
+	}
 	if err := r.repairDiskLocked(); err != nil {
 		return err
 	}
@@ -1138,6 +1158,9 @@ func (r *Repository) compactFloor(hs *headState) int {
 func (r *Repository) Compact() error {
 	r.diskMu.Lock()
 	defer r.diskMu.Unlock()
+	if err := r.closedErr(); err != nil {
+		return err
+	}
 	start := time.Now()
 	defer func() { r.met().Compaction.Observe(time.Since(start)) }()
 	if err := r.repairDiskLocked(); err != nil {
@@ -1220,6 +1243,44 @@ func (r *Repository) Compact() error {
 
 // ErrNoSuchState reports a time-travel target beyond the journal.
 var ErrNoSuchState = errors.New("repository: no such state")
+
+// ErrClosed reports an operation on a repository after Close. Reads keep
+// serving the last published state; mutations and disk operations refuse.
+var ErrClosed = errors.New("repository: closed")
+
+// Close quiesces the repository and marks it closed: commits are paused,
+// the pending group-commit batch is flushed, and every later mutating or
+// disk-touching operation (ApplyKey, SetConstraints, Compact, Verify,
+// Entries) returns ErrClosed. Committers blocked in the commit section are
+// woken and fail with ErrClosed instead of writing to a repository whose
+// owner has moved on. Reads (Head, Snapshot, Log, At, ...) stay wait-free
+// against the last published state, so a racing reader never observes a
+// torn close. The directory is untouched — Close is how a tenant is
+// evicted from residency, not deleted — and reopening it recovers the
+// same state, including the journaled idempotency keys. Close is
+// idempotent.
+func (r *Repository) Close() error {
+	r.diskMu.Lock()
+	defer r.diskMu.Unlock()
+	r.pauseCommits()
+	r.flushPendingLocked()
+	r.commitMu.Lock()
+	r.closed = true
+	r.paused = false
+	r.commitMu.Unlock()
+	r.cond.Broadcast()
+	return nil
+}
+
+// closedErr returns ErrClosed once Close has run.
+func (r *Repository) closedErr() error {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	return nil
+}
 
 // At reconstructs the object base after the first seq programs since the
 // snapshot (seq 0 is the snapshot itself) by replaying the resident

@@ -39,6 +39,18 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodePayloadTooLarge: the request body exceeds the server limit.
 	CodePayloadTooLarge = "payload_too_large"
+	// CodeInvalidTenant: the tenant name in the URL is outside the grammar
+	// [a-z0-9][a-z0-9-_]{0,63}.
+	CodeInvalidTenant = "invalid_tenant"
+	// CodeTenantNotFound: no such tenant (and the request does not create
+	// one — only POST apply/constraints create tenants on first write).
+	CodeTenantNotFound = "tenant_not_found"
+	// CodeTooManyTenants: the open-tenant cap is reached and every resident
+	// tenant is busy; retry later.
+	CodeTooManyTenants = "too_many_tenants"
+	// CodeForbidden: the operation is disabled by server configuration
+	// (e.g. DELETE /v1/t/{tenant} without -allow-tenant-delete).
+	CodeForbidden = "forbidden"
 	// CodeReadOnly: this node is a replication follower; writes must go to
 	// the primary (the envelope's "primary" field carries its base URL).
 	CodeReadOnly = "read_only"

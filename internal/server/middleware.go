@@ -28,6 +28,13 @@ type requestInfo struct {
 	// Detail is an endpoint-specific hint for the slow-request log (e.g.
 	// the first line of the program a slow apply evaluated).
 	Detail string
+	// Route is the pattern form of a tenant-prefixed route (e.g.
+	// "/v1/t/{tenant}/apply"), set by the tenant dispatcher so the route
+	// metric label never carries a concrete tenant name.
+	Route string
+	// Tenant is the tenant name of a tenant-prefixed request ("" outside
+	// the /v1/t/ subtree); the per-tenant counter caps it before labeling.
+	Tenant string
 }
 
 // RequestID returns the request id assigned by the middleware ("" outside
@@ -126,15 +133,25 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestInfoKey, ri)))
 		dur := time.Since(start)
 
-		route := r.URL.Path
-		if !s.routes[route] {
-			route = "other"
+		// Tenant routes label by pattern (set by the dispatcher); everything
+		// else by its literal registered path.
+		route := ri.Route
+		if route == "" {
+			route = r.URL.Path
+			if !s.routes[route] {
+				route = "other"
+			}
 		}
 		s.reg.Counter("verlog_http_requests_total",
 			"HTTP requests by route and status code.",
 			"route", route, "code", strconv.Itoa(sw.status)).Inc()
 		s.reg.Histogram("verlog_http_request_seconds",
 			"HTTP request latency by route.", "route", route).Observe(dur)
+		if ri.Tenant != "" {
+			s.reg.Counter("verlog_tenant_requests_total",
+				"Requests on tenant-prefixed routes by tenant (first 32 tenants get their own series; the tail collapses to \"other\").",
+				"tenant", s.tenantLabels.Value(ri.Tenant)).Inc()
+		}
 
 		level := slog.LevelInfo
 		switch {

@@ -109,9 +109,9 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 // a binary snapshot (base + seq) for follower bootstrap. The stamped seq
 // is the resume point the follower streams from afterwards.
 func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
-	base, seq := s.repo.Snapshot()
+	base, seq := s.def.Repo().Snapshot()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(s.repo.Epoch(), 10))
+	w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(s.def.Repo().Epoch(), 10))
 	w.Header().Set(replication.HeaderSeq, strconv.Itoa(seq))
 	w.WriteHeader(http.StatusOK)
 	if err := storage.SaveBinaryAt(w, base, seq); err != nil {

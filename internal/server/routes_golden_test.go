@@ -1,0 +1,96 @@
+package server
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"verlog/internal/replication"
+	"verlog/internal/repository"
+	"verlog/internal/tenant"
+
+	"verlog/internal/objectbase"
+)
+
+// docRouteRow matches a markdown table row whose first cell is an HTTP
+// method and whose second cell is a backquoted path, e.g.
+//
+//	| GET    | `/v1/t/{tenant}/state?n=N`   | ... |
+var docRouteRow = regexp.MustCompile("^\\|\\s*(GET|POST|PUT|DELETE)\\s*\\|\\s*`([^`]+)`")
+
+// TestRoutesMatchAPIDocs is the route-inventory golden test: every
+// (method, path) the server registers must appear in docs/API.md's route
+// tables, and vice versa. Adding a route without documenting it — or
+// documenting one that does not exist — fails here.
+func TestRoutesMatchAPIDocs(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("read docs/API.md: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		m := docRouteRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		path := m[2]
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			path = path[:i] // query parameters are illustrative
+		}
+		documented[m[1]+" "+path] = true
+	}
+
+	repo, err := repository.Init(t.TempDir()+"/repo", objectbase.New())
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	mgr := tenant.NewManager(t.TempDir() + "/tenants")
+	defer mgr.Close()
+	node := replication.NewNode(repo, replication.Config{})
+	srv := New(repo, WithReplication(node), WithTenantManager(mgr), WithTenantDelete(true))
+
+	registered := map[string]bool{}
+	for _, rt := range srv.Routes() {
+		registered[rt.Method+" "+rt.Path] = true
+	}
+
+	var missing, stale []string
+	for k := range registered {
+		if !documented[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range documented {
+		if !registered[k] {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	for _, k := range missing {
+		t.Errorf("registered route not documented in docs/API.md: %s", k)
+	}
+	for _, k := range stale {
+		t.Errorf("docs/API.md documents a route the server does not register: %s", k)
+	}
+	if t.Failed() {
+		var all []string
+		for k := range registered {
+			all = append(all, k)
+		}
+		sort.Strings(all)
+		t.Logf("registered inventory:\n%s", strings.Join(all, "\n"))
+	}
+	if len(registered) == 0 {
+		t.Fatal("empty route inventory")
+	}
+	// Sanity: the inventory carries the placeholder, never a literal name.
+	for k := range registered {
+		if strings.HasPrefix(k[strings.IndexByte(k, ' ')+1:], "/v1/t/") &&
+			!strings.Contains(k, "{tenant}") {
+			t.Errorf("tenant route without placeholder in inventory: %s", k)
+		}
+	}
+}

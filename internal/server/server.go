@@ -2,25 +2,36 @@
 // the update language usable as a small object-base server: clients POST
 // update-programs and queries in the concrete syntax and receive JSON.
 //
-// The v1 surface (see docs/API.md for the full reference):
+// The v1 surface is multi-tenant: every repository-scoped route lives
+// under /v1/t/{tenant}/..., one namespace per tenant with its own
+// journal, constraints and idempotency keys (see docs/API.md for the
+// full reference):
 //
-//	GET  /v1/head                  the current object base
-//	GET  /v1/state?n=N             the base after the first N programs
-//	GET  /v1/log?limit=&after=     journal summary, paginated
-//	GET  /v1/history?object=NAME   version history of the last run, paginated
-//	GET  /v1/stats                 head-base summary
-//	POST /v1/explain               provenance of facts in the last run's fixpoint
-//	GET  /v1/constraints           installed constraints
-//	POST /v1/constraints           install constraints (text body)
-//	POST /v1/check                 analyze a program (text body) -> diagnostics
-//	POST /v1/query                 evaluate a query (text body) -> bindings
-//	POST /v1/apply                 apply an update-program (text body);
-//	                               ?trace=1 returns the span tree + rule hot list
-//	GET  /v1/explain?vid=&method=  provenance chain of a fact back to the input
-//	GET  /v1/debug/slow            recent slow requests
-//	GET  /v1/debug/traces          ring of recent apply traces (?id=, &format=chrome)
-//	GET  /metrics                  Prometheus text exposition (incl. runtime health)
-//	GET  /debug/vars               expvar JSON
+//	GET    /v1/t/{tenant}/head                  the tenant's current object base
+//	GET    /v1/t/{tenant}/state?n=N             the base after the first N programs
+//	GET    /v1/t/{tenant}/log?limit=&after=     journal summary, paginated
+//	GET    /v1/t/{tenant}/history?object=NAME   version history of the last run
+//	GET    /v1/t/{tenant}/stats                 head-base summary
+//	POST   /v1/t/{tenant}/explain               provenance of facts in the last run
+//	GET    /v1/t/{tenant}/constraints           installed constraints
+//	POST   /v1/t/{tenant}/constraints           install constraints (text body)
+//	POST   /v1/t/{tenant}/check                 analyze a program -> diagnostics
+//	POST   /v1/t/{tenant}/query                 evaluate a query -> bindings
+//	POST   /v1/t/{tenant}/apply                 apply an update-program;
+//	                                            ?trace=1 returns the span tree
+//	GET    /v1/t/{tenant}/explain?vid=&method=  provenance chain of a fact
+//	GET    /v1/tenants                          list tenants (+ seq/size)
+//	DELETE /v1/t/{tenant}                       delete a tenant (-allow-tenant-delete)
+//	GET    /v1/debug/slow            recent slow requests (server-wide)
+//	GET    /v1/debug/traces          ring of recent apply traces (?id=, &format=chrome)
+//	GET    /metrics                  Prometheus text exposition (incl. runtime health)
+//	GET    /debug/vars               expvar JSON
+//
+// The unprefixed forms (/v1/head, /v1/apply, ...) still serve the
+// "default" tenant byte-identically, marked with Deprecation: true and a
+// Link to the successor route. POST apply/constraints create a tenant on
+// first use; reads of a tenant that does not exist answer 404
+// tenant_not_found. Tenant names match [a-z0-9][a-z0-9-_]{0,63}.
 //
 // Every response is JSON (the /metrics exposition excepted); every error is
 // the envelope {"error":{"code":"...","message":"...","request_id":"..."}}
@@ -29,9 +40,10 @@
 // response header, the structured request log and the slow-request log, so
 // a slow server log line can be joined to a caller retry trace.
 //
-// Mutating requests are serialized by a mutex; the repository performs one
-// update transaction at a time, exactly as Section 2.2 treats a program as
-// one mapping from old to new object base.
+// Tenant repositories are opened lazily and held under an LRU residency
+// cap; each performs its update transactions through its own group-commit
+// pipeline, exactly as Section 2.2 treats a program as one mapping from
+// old to new object base — per object base.
 package server
 
 import (
@@ -45,7 +57,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"verlog/internal/analysis"
@@ -57,6 +68,7 @@ import (
 	"verlog/internal/replication"
 	"verlog/internal/repository"
 	"verlog/internal/strata"
+	"verlog/internal/tenant"
 	"verlog/internal/term"
 )
 
@@ -79,12 +91,33 @@ const slowLogCapacity = 128
 // traceRingCapacity bounds the in-memory ring of completed apply traces.
 const traceRingCapacity = 64
 
-// Server handles HTTP requests against one repository.
+// tenantLabelCap bounds the tenant label on request counters: the first
+// tenantLabelCap distinct tenants get their own series, the long tail
+// collapses to "other" so /metrics stays bounded at any tenant count.
+const tenantLabelCap = 32
+
+// Server handles HTTP requests against a set of tenant repositories.
 type Server struct {
-	repo   *repository.Repository
+	tenants *tenant.Manager
+	// def is the adopted "default" tenant — the repository New was given.
+	// The unprefixed /v1/* routes serve it directly (it is pinned, so no
+	// Acquire/Release is needed), as do the replication endpoints.
+	def    *tenant.Tenant
 	repl   *replication.Node // nil when replication is not configured
 	mux    *http.ServeMux
 	routes map[string]bool // registered paths, for the route metric label
+	// tenantRoutes maps a route suffix ("apply", "head", ...) to its
+	// per-method tenant handlers; one dispatcher under /v1/t/ serves them
+	// all, so every repository route gains its tenant-prefixed form from
+	// a single table.
+	tenantRoutes map[string]tmethods
+	// inventory records every (method, path-pattern) pair the server
+	// answers, in registration order — the route golden test diffs it
+	// against the table in docs/API.md.
+	inventory []Route
+
+	allowDelete  bool
+	tenantLabels *obs.BoundedLabels
 
 	logger        *slog.Logger
 	reg           *obs.Registry
@@ -95,14 +128,13 @@ type Server struct {
 	// applySeconds observes end-to-end apply latency; stage and stratum
 	// histograms aggregate eval.Stats server-side.
 	applySeconds *obs.Histogram
+}
 
-	// mu guards lastResult only. Applies and reads are not serialized
-	// here: the repository runs commits through its own group-commit
-	// pipeline and serves reads from a wait-free published snapshot, so
-	// concurrent requests proceed independently.
-	mu sync.Mutex
-	// lastResult retains the most recent apply's fixpoint for /v1/history.
-	lastResult *eval.Result
+// Route is one registered (method, path-pattern) pair of the server's
+// inventory; tenant routes carry the {tenant} placeholder, never a name.
+type Route struct {
+	Method string
+	Path   string
 }
 
 // Option configures a Server.
@@ -125,12 +157,23 @@ func WithSlowThreshold(d time.Duration) Option { return func(s *Server) { s.slow
 // endpoint answers 403 read_only with the primary's URL in the envelope.
 func WithReplication(n *replication.Node) Option { return func(s *Server) { s.repl = n } }
 
-// New returns a handler serving the repository.
+// WithTenantManager attaches the tenant namespace: /v1/t/{name}/...
+// routes open repositories through mgr. Without this option the server
+// still serves /v1/t/default/... (the adopted repository) but knows no
+// other tenants.
+func WithTenantManager(mgr *tenant.Manager) Option { return func(s *Server) { s.tenants = mgr } }
+
+// WithTenantDelete enables DELETE /v1/t/{tenant}; off by default, the
+// route answers 403 forbidden.
+func WithTenantDelete(allow bool) Option { return func(s *Server) { s.allowDelete = allow } }
+
+// New returns a handler serving the repository as the "default" tenant.
 func New(repo *repository.Repository, opts ...Option) *Server {
 	s := &Server{
-		repo:          repo,
 		mux:           http.NewServeMux(),
 		routes:        make(map[string]bool),
+		tenantRoutes:  make(map[string]tmethods),
+		tenantLabels:  obs.NewBoundedLabels(tenantLabelCap),
 		logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 		slow:          obs.NewSlowLog(slowLogCapacity),
 		slowThreshold: DefaultSlowThreshold,
@@ -142,21 +185,32 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
 	}
+	if s.tenants == nil {
+		s.tenants = tenant.NewManager("")
+	}
+	s.def = s.tenants.Adopt("default", repo)
+	s.tenants.Instrument(s.reg)
 	repo.Instrument(s.reg)
 	obs.RegisterRuntimeMetrics(s.reg)
 	s.applySeconds = s.reg.Histogram("verlog_apply_seconds",
 		"End-to-end apply latency (parse through commit).")
 
-	s.route("/v1/head", methods{"GET": s.handleHead})
-	s.route("/v1/state", methods{"GET": s.handleState})
-	s.route("/v1/log", methods{"GET": s.handleLog})
-	s.route("/v1/history", methods{"GET": s.handleHistory})
-	s.route("/v1/stats", methods{"GET": s.handleStats})
-	s.route("/v1/explain", methods{"POST": s.handleExplain, "GET": s.handleExplainVersion})
-	s.route("/v1/constraints", methods{"GET": s.handleGetConstraints, "POST": s.handleSetConstraints})
-	s.route("/v1/check", methods{"POST": s.handleCheck})
-	s.route("/v1/query", methods{"POST": s.handleQuery})
-	s.route("/v1/apply", methods{"POST": s.handleApply})
+	s.tenantRoute("head", tmethods{"GET": s.handleHead})
+	s.tenantRoute("state", tmethods{"GET": s.handleState})
+	s.tenantRoute("log", tmethods{"GET": s.handleLog})
+	s.tenantRoute("history", tmethods{"GET": s.handleHistory})
+	s.tenantRoute("stats", tmethods{"GET": s.handleStats})
+	s.tenantRoute("explain", tmethods{"POST": s.handleExplain, "GET": s.handleExplainVersion})
+	s.tenantRoute("constraints", tmethods{"GET": s.handleGetConstraints, "POST": s.handleSetConstraints})
+	s.tenantRoute("check", tmethods{"POST": s.handleCheck})
+	s.tenantRoute("query", tmethods{"POST": s.handleQuery})
+	s.tenantRoute("apply", tmethods{"POST": s.handleApply})
+	// One dispatcher parses /v1/t/{tenant}/..., acquires the tenant and
+	// serves the suffix from the table above.
+	s.mux.HandleFunc("/v1/t/", s.dispatchTenant)
+	s.routes["/v1/t/{tenant}"] = true
+	s.inventory = append(s.inventory, Route{"DELETE", "/v1/t/{tenant}"})
+	s.route("/v1/tenants", methods{"GET": s.handleTenants})
 	if s.repl != nil {
 		s.route("/v1/repl/stream", methods{"GET": s.handleReplStream})
 		s.route("/v1/repl/snapshot", methods{"GET": s.handleReplSnapshot})
@@ -167,8 +221,10 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 	s.route("/v1/debug/slow", methods{"GET": s.handleSlow})
 	s.route("/v1/debug/traces", methods{"GET": s.handleTraces})
 	s.routes["/metrics"] = true
+	s.inventory = append(s.inventory, Route{"GET", "/metrics"})
 	s.mux.Handle("/metrics", s.reg.Handler())
 	s.routes["/debug/vars"] = true
+	s.inventory = append(s.inventory, Route{"GET", "/debug/vars"})
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	// Unknown paths get the JSON envelope, not the mux's plain-text 404.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -181,30 +237,80 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 // methods maps an HTTP method to its handler for one path.
 type methods map[string]http.HandlerFunc
 
+// tmethods maps an HTTP method to its tenant-scoped handler: the same
+// handler serves /v1/t/{tenant}/x for every tenant and /v1/x for the
+// default one; which repository it works on rides in the first argument.
+type tmethods map[string]func(*tenant.Tenant, http.ResponseWriter, *http.Request)
+
+// allowHeader renders a deterministic Allow header for a method map.
+func allowHeader[H any](m map[string]H) string {
+	allow := make([]string, 0, len(m))
+	for meth := range m {
+		allow = append(allow, meth)
+	}
+	sort.Strings(allow)
+	return strings.Join(allow, ", ")
+}
+
 // route registers path with per-method dispatch: a request with a method
 // not in m is answered with the 405 envelope and an Allow header, instead
 // of the mux's bare-text default.
 func (s *Server) route(path string, m methods) {
 	s.routes[path] = true
-	allow := make([]string, 0, len(m))
 	for meth := range m {
-		allow = append(allow, meth)
+		s.inventory = append(s.inventory, Route{meth, path})
 	}
-	// Deterministic Allow header.
-	if len(allow) == 2 && allow[0] > allow[1] {
-		allow[0], allow[1] = allow[1], allow[0]
-	}
-	allowHeader := strings.Join(allow, ", ")
+	allow := allowHeader(m)
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		h, ok := m[r.Method]
 		if !ok {
-			w.Header().Set("Allow", allowHeader)
+			w.Header().Set("Allow", allow)
 			writeErrorCode(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
-				fmt.Errorf("server: %s does not allow %s (allowed: %s)", path, r.Method, allowHeader))
+				fmt.Errorf("server: %s does not allow %s (allowed: %s)", path, r.Method, allow))
 			return
 		}
 		h(w, r)
 	})
+}
+
+// tenantRoute registers one repository-scoped route twice: the pattern
+// form /v1/t/{tenant}/suffix in the dispatcher's table, and the legacy
+// unprefixed form /v1/suffix, which serves the default tenant
+// byte-identically plus Deprecation/Link headers pointing at the
+// successor route.
+func (s *Server) tenantRoute(suffix string, m tmethods) {
+	s.tenantRoutes[suffix] = m
+	legacy := "/v1/" + suffix
+	pattern := "/v1/t/{tenant}/" + suffix
+	s.routes[legacy] = true
+	s.routes[pattern] = true
+	for _, meth := range []string{"GET", "POST", "PUT", "DELETE"} { // inventory in stable order
+		if _, ok := m[meth]; ok {
+			s.inventory = append(s.inventory, Route{meth, pattern}, Route{meth, legacy})
+		}
+	}
+	allow := allowHeader(m)
+	s.mux.HandleFunc(legacy, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1/t/default/%s>; rel=\"successor-version\"", suffix))
+		h, ok := m[r.Method]
+		if !ok {
+			w.Header().Set("Allow", allow)
+			writeErrorCode(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				fmt.Errorf("server: %s does not allow %s (allowed: %s)", legacy, r.Method, allow))
+			return
+		}
+		// The default tenant is pinned (never evicted), so the legacy path
+		// needs no Acquire/Release.
+		h(s.def, w, r)
+	})
+}
+
+// Routes returns every (method, path-pattern) pair the server serves, in
+// registration order. The docs/API.md golden test diffs this inventory
+// against the documented route table.
+func (s *Server) Routes() []Route {
+	return append([]Route(nil), s.inventory...)
 }
 
 // ServeHTTP implements http.Handler, wrapping the routes in the
@@ -294,8 +400,8 @@ type baseResponse struct {
 	Text string `json:"text"`
 }
 
-func (s *Server) handleHead(w http.ResponseWriter, r *http.Request) {
-	head, err := s.repo.Head()
+func (s *Server) handleHead(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
+	head, err := t.Repo().Head()
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -303,14 +409,14 @@ func (s *Server) handleHead(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, baseResponse{Facts: head.Size(), Text: parser.FormatFacts(head, false)})
 }
 
-func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleState(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.URL.Query().Get("n"))
 	if err != nil {
 		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest,
 			fmt.Errorf("server: bad state number %q", r.URL.Query().Get("n")))
 		return
 	}
-	base, err := s.repo.At(n)
+	base, err := t.Repo().At(n)
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -335,14 +441,14 @@ type logResponse struct {
 	NextAfter *int       `json:"next_after,omitempty"`
 }
 
-func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLog(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
 	limit, after, err := pageParams(r)
 	if err != nil {
 		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	// The resident log of the published head: wait-free, no disk I/O.
-	entries := s.repo.Log()
+	entries := t.Repo().Log()
 	resp := logResponse{Entries: []logEntry{}}
 	for _, e := range entries {
 		if e.Seq <= after {
@@ -378,7 +484,7 @@ type historyResponse struct {
 	NextAfter *int          `json:"next_after,omitempty"`
 }
 
-func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHistory(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
 	object := r.URL.Query().Get("object")
 	if object == "" {
 		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest, errors.New("server: missing ?object="))
@@ -389,14 +495,13 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.lastResult == nil {
+	last := t.LastApply.Load()
+	if last == nil {
 		writeErrorCode(w, r, http.StatusNotFound, CodeNotFound,
 			errors.New("server: no apply has run in this session; history needs the fixpoint of the last update"))
 		return
 	}
-	steps := eval.History(s.lastResult.Result, term.Sym(object))
+	steps := eval.History(last.Result, term.Sym(object))
 	resp := historyResponse{Object: object, Steps: []historyStep{}}
 	for i, st := range steps {
 		if i < after {
@@ -441,8 +546,8 @@ type methodStatEntry struct {
 	Versions int    `json:"versions"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	head, err := s.repo.Head()
+func (s *Server) handleStats(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
+	head, err := t.Repo().Head()
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -470,7 +575,7 @@ type explainResponse struct {
 
 // handleExplain explains facts (text body, fact syntax) against the
 // fixpoint of the most recent apply.
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleExplain(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
 	src, ok := readBodyOr400(w, r)
 	if !ok {
 		return
@@ -480,16 +585,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.lastResult == nil {
+	last := t.LastApply.Load()
+	if last == nil {
 		writeErrorCode(w, r, http.StatusNotFound, CodeNotFound,
 			errors.New("server: no apply has run in this session; explain needs the traced fixpoint of the last update"))
 		return
 	}
 	resp := explainResponse{Entries: make([]explainEntry, 0, len(facts))}
 	for _, f := range facts {
-		e := s.lastResult.Explain(f)
+		e := last.Explain(f)
 		resp.Entries = append(resp.Entries, explainEntry{
 			Fact:        f.String(),
 			Provenance:  e.Kind.String(),
@@ -505,8 +609,8 @@ type constraintsResponse struct {
 	Text  string `json:"text"`
 }
 
-func (s *Server) handleGetConstraints(w http.ResponseWriter, r *http.Request) {
-	cs, err := s.repo.Constraints()
+func (s *Server) handleGetConstraints(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
+	cs, err := t.Repo().Constraints()
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -521,7 +625,7 @@ func (s *Server) handleGetConstraints(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, constraintsResponse{Count: len(cs), Text: b.String()})
 }
 
-func (s *Server) handleSetConstraints(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSetConstraints(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
 	if s.rejectIfReadOnly(w, r) {
 		return
 	}
@@ -529,11 +633,11 @@ func (s *Server) handleSetConstraints(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.repo.SetConstraints(src); err != nil {
+	if err := t.Repo().SetConstraints(src); err != nil {
 		writeError(w, r, err)
 		return
 	}
-	cs, _ := s.repo.Constraints()
+	cs, _ := t.Repo().Constraints()
 	writeJSON(w, map[string]int{"installed": len(cs)})
 }
 
@@ -549,13 +653,13 @@ type checkResponse struct {
 	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
 }
 
-func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCheck(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
 	src, ok := readBodyOr400(w, r)
 	if !ok {
 		return
 	}
 	setDetail(r, src)
-	head, err := s.repo.Head()
+	head, err := t.Repo().Head()
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -596,13 +700,13 @@ type queryResponse struct {
 	Rows []map[string]string `json:"rows"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
 	src, ok := readBodyOr400(w, r)
 	if !ok {
 		return
 	}
 	setDetail(r, src)
-	head, err := s.repo.Head()
+	head, err := t.Repo().Head()
 	if err != nil {
 		writeError(w, r, err)
 		return
@@ -728,7 +832,7 @@ func wantTrace(r *http.Request) bool {
 	return v == "1" || v == "true"
 }
 
-func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleApply(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
 	if s.rejectIfReadOnly(w, r) {
 		return
 	}
@@ -780,7 +884,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	// run; the span tree rides along only when requested. ApplyKey is safe
 	// for concurrent use: the repository evaluates against a snapshot and
 	// group-commits, so requests are not serialized here.
-	res, entry, replayed, err := s.repo.ApplyKey(p, key, core.WithTrace(), core.WithSpan(root))
+	res, entry, replayed, err := t.Repo().ApplyKey(p, key, core.WithTrace(), core.WithSpan(root))
 	if err != nil {
 		finishTrace("error")
 		writeError(w, r, err)
@@ -788,13 +892,13 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	}
 	if replayed {
 		finishTrace("replayed")
-		head, err := s.repo.Head()
+		head, err := t.Repo().Head()
 		if err != nil {
 			writeError(w, r, err)
 			return
 		}
 		writeJSON(w, applyResponse{
-			State:    entry.Seq - s.repo.SnapshotSeq(),
+			State:    entry.Seq - t.Repo().SnapshotSeq(),
 			Fired:    entry.Fired,
 			Strata:   entry.Strata,
 			Facts:    head.Size(),
@@ -804,11 +908,9 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	}
 	// Number the state from this commit's own journal entry rather than
 	// Len(): under concurrency the published head may already be past it.
-	n := entry.Seq - s.repo.SnapshotSeq()
+	n := entry.Seq - t.Repo().SnapshotSeq()
 	res.Stats.Parse = parseDur
-	s.mu.Lock()
-	s.lastResult = res
-	s.mu.Unlock()
+	t.LastApply.Store(res)
 	total := time.Since(start)
 	s.recordApplyStats(res.Stats, total)
 	resp := applyResponse{
@@ -943,7 +1045,7 @@ type explainVersionResponse struct {
 // handleExplainVersion explains every fact vid.method -> ... of the last
 // apply's fixpoint, walking each copy chain back to the version that
 // introduced the fact (an update or the input base).
-func (s *Server) handleExplainVersion(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleExplainVersion(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
 	vid := strings.TrimSpace(r.URL.Query().Get("vid"))
 	method := strings.TrimSpace(r.URL.Query().Get("method"))
 	if vid == "" || method == "" {
@@ -951,16 +1053,14 @@ func (s *Server) handleExplainVersion(w http.ResponseWriter, r *http.Request) {
 			errors.New("server: missing ?vid= or ?method= (e.g. /v1/explain?vid=mod(bob)&method=sal)"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.lastResult == nil {
+	res := t.LastApply.Load()
+	if res == nil {
 		writeErrorCode(w, r, http.StatusNotFound, CodeNotFound,
 			errors.New("server: no apply has run in this session; explain needs the traced fixpoint of the last update"))
 		return
 	}
 	// Find the version by its canonical rendering — no VID parser needed,
 	// and the caller can copy ids verbatim from history or trace output.
-	res := s.lastResult
 	var facts []term.Fact
 	for _, versions := range res.Result.VersionsByObject() {
 		for _, v := range versions {
