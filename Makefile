@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check bench soak clean
+# Pinned linter versions. `$(GO) run pkg@version` resolves, caches and
+# runs the exact same binary everywhere — no pre-installed tools, no
+# `@latest` drift between CI and a laptop, nothing added to go.mod.
+# Bump deliberately, in this one place.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build test vet lint verlog-lint staticcheck govulncheck race check bench soak clean
 
 all: check
 
@@ -13,19 +20,33 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond go vet. staticcheck and govulncheck are optional
-# locally (skipped with a notice when not installed — this repo adds no
-# network dependencies); CI installs both and runs this same target.
-lint: vet
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./...; \
+# Static analysis beyond go vet. verlog-lint is the repo's own
+# invariant checker (stdlib-only, always runs). staticcheck and
+# govulncheck run at the pinned versions above through `go run`, the
+# identical command locally and in CI; the probe only skips them when
+# the pinned module itself cannot be resolved (hermetic sandboxes with
+# no module cache and no network) — never because a binary is missing
+# from PATH.
+lint: vet verlog-lint staticcheck govulncheck
+
+# The engine's own analyzers: frozen-base mutation, diskMu->commitMu
+# lock order, bounded tenant metric labels, no wall-clock reads under
+# commitMu. See docs/ANALYSIS.md and internal/lint.
+verlog-lint:
+	$(GO) run ./cmd/verlog-lint .
+
+staticcheck:
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
 	else \
-		echo "lint: staticcheck not installed, skipping"; \
+		echo "lint: staticcheck@$(STATICCHECK_VERSION) unresolvable (offline, empty module cache); skipping"; \
 	fi
-	@if command -v govulncheck >/dev/null 2>&1; then \
-		govulncheck ./...; \
+
+govulncheck:
+	@if $(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...; \
 	else \
-		echo "lint: govulncheck not installed, skipping"; \
+		echo "lint: govulncheck@$(GOVULNCHECK_VERSION) unresolvable (offline, empty module cache); skipping"; \
 	fi
 
 race:

@@ -25,8 +25,12 @@ var updateAnalysis = flag.Bool("update-analysis", false,
 //	                   program); must be the last section
 //
 // Line numbers count from the first line after the -- program -- header.
+// Cases run under the deep analyzer (AnalyzeDeepSource), so the expected
+// sections cover the semantic V03xx tier as well as the structural codes.
 // Run `go test -run TestAnalysisGolden -update-analysis` to regenerate the
-// expected output after changing the analyzer; review the diff.
+// expected output after changing the analyzer; review the diff — the
+// regeneration is deterministic (diagnostics sort by position, then code,
+// then message).
 //
 // Together with the programmatic structural cases below, the corpus covers
 // every diagnostic code — the completeness check at the end fails when a
@@ -60,7 +64,7 @@ func TestAnalysisGolden(t *testing.T) {
 				}
 				opts.Base = ob
 			}
-			ds, _ := verlog.AnalyzeSource(progSrc, filepath.Base(file), opts)
+			ds, _, _ := verlog.AnalyzeDeepSource(progSrc, filepath.Base(file), opts)
 			var got []string
 			for _, d := range ds {
 				got = append(got, d.String())
@@ -134,6 +138,9 @@ func TestAnalysisGolden(t *testing.T) {
 		analysis.CodeSingleVar, analysis.CodeEmptiedVersion,
 		analysis.CodeLinearityClash, analysis.CodeDeepVID,
 		analysis.CodeUnreadMethod, analysis.CodeUnknownMethod,
+		analysis.CodeNoClass, analysis.CodeSortClash,
+		analysis.CodeModRetype, analysis.CodeNonlinearRecursion,
+		analysis.CodeCrossProduct,
 	}
 	for _, code := range all {
 		if !covered[code] {

@@ -609,6 +609,79 @@ func (c *Client) Check(ctx context.Context, program string) (*CheckResult, error
 	return &out, json.Unmarshal(b, &out)
 }
 
+// AnalysisFacts is the machine-readable result of the server's deep
+// (semantic) analysis tier: per-rule join plans with cardinality
+// estimates, inferred class/sort sets per variable, and cost rollups.
+type AnalysisFacts struct {
+	Rules  []RuleFacts    `json:"rules"`
+	Strata []StratumFacts `json:"strata,omitempty"`
+	Base   BaseFacts      `json:"base"`
+}
+
+// RuleFacts is the deep tier's view of one rule.
+type RuleFacts struct {
+	Rule      string         `json:"rule"`
+	Stratum   int            `json:"stratum"`
+	Recursive bool           `json:"recursive,omitempty"`
+	Cost      float64        `json:"cost"`
+	Fanout    float64        `json:"fanout"`
+	Literals  []LiteralFacts `json:"literals,omitempty"`
+	Vars      []VarFacts     `json:"vars,omitempty"`
+}
+
+// LiteralFacts is one body literal in the planner's join order.
+type LiteralFacts struct {
+	Literal string `json:"literal"`
+	Source  int    `json:"source"`
+	Kind    string `json:"kind"`
+	EstRows int    `json:"est_rows"`
+	Delta   bool   `json:"delta,omitempty"`
+}
+
+// VarFacts is the inferred class/sort set of one rule variable.
+type VarFacts struct {
+	Var     string   `json:"var"`
+	Sorts   []string `json:"sorts"`
+	Classes []string `json:"classes,omitempty"`
+	Empty   bool     `json:"empty,omitempty"`
+}
+
+// StratumFacts is the cost rollup of one stratum.
+type StratumFacts struct {
+	Stratum   int      `json:"stratum"`
+	Rules     []string `json:"rules"`
+	Cost      float64  `json:"cost"`
+	Recursive bool     `json:"recursive,omitempty"`
+}
+
+// BaseFacts summarizes the base the estimates were drawn from.
+type BaseFacts struct {
+	Supplied bool     `json:"supplied"`
+	Objects  int      `json:"objects,omitempty"`
+	Versions int      `json:"versions,omitempty"`
+	Facts    int      `json:"facts,omitempty"`
+	Classes  []string `json:"classes,omitempty"`
+}
+
+// DeepCheckResult is CheckResult extended with the deep tier's output.
+type DeepCheckResult struct {
+	CheckResult
+	Facts *AnalysisFacts `json:"facts"`
+}
+
+// CheckDeep is Check with the semantic tier enabled (?deep=1): class/sort
+// inference, the boundedness analysis and the cost model. Deep findings
+// are warnings and infos only — OK means the same thing as for Check —
+// and Facts carries the machine-readable plan and inference output.
+func (c *Client) CheckDeep(ctx context.Context, program string) (*DeepCheckResult, error) {
+	b, err := c.do(ctx, http.MethodPost, c.api("/check?deep=1"), program)
+	if err != nil {
+		return nil, err
+	}
+	var out DeepCheckResult
+	return &out, json.Unmarshal(b, &out)
+}
+
 // HistoryStep is one stage of an object's update process.
 type HistoryStep struct {
 	Version string   `json:"version"`

@@ -189,3 +189,44 @@ func TestClientStatsAndExplain(t *testing.T) {
 		t.Fatalf("Explain = %+v (%v)", entries, err)
 	}
 }
+
+// TestClientCheckDeep: CheckDeep returns the semantic tier's Facts on top
+// of the plain Check shape, with estimates drawn from the head base.
+func TestClientCheckDeep(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	deep, err := c.CheckDeep(ctx, update)
+	if err != nil {
+		t.Fatalf("CheckDeep: %v", err)
+	}
+	if !deep.OK || deep.Rules != 4 {
+		t.Fatalf("CheckDeep = %+v", deep.CheckResult)
+	}
+	if deep.Facts == nil || len(deep.Facts.Rules) != 4 {
+		t.Fatalf("CheckDeep facts = %+v", deep.Facts)
+	}
+	if !deep.Facts.Base.Supplied {
+		t.Errorf("facts should be drawn from the head base: %+v", deep.Facts.Base)
+	}
+	r1 := deep.Facts.Rules[0]
+	if r1.Rule != "rule1" || r1.Stratum != 0 || r1.Cost <= 0 || len(r1.Literals) == 0 {
+		t.Errorf("rule1 facts = %+v", r1)
+	}
+	sorts := map[string][]string{}
+	for _, v := range r1.Vars {
+		sorts[v.Var] = v.Sorts
+	}
+	if got := sorts["S"]; len(got) != 1 || got[0] != "num" {
+		t.Errorf("inferred sorts for S = %v", got)
+	}
+	if len(deep.Facts.Strata) != 3 {
+		t.Errorf("strata rollup = %+v", deep.Facts.Strata)
+	}
+
+	// Plain Check is unchanged by the deep surface existing.
+	chk, err := c.Check(ctx, update)
+	if err != nil || chk.Rules != 4 {
+		t.Fatalf("Check after deep: %+v (%v)", chk, err)
+	}
+}

@@ -1,0 +1,70 @@
+// verlog-lint is the codebase's own invariant checker: a multichecker in
+// the style of golang.org/x/tools/go/analysis, built on the stdlib-only
+// framework in internal/lint so it runs with an empty module cache.
+//
+// Usage:
+//
+//	verlog-lint [-run names] [-list] [module-root]
+//
+// It walks the module (default: the current directory), parses every
+// package including tests, runs all analyzers and prints findings as
+// file:line:col: analyzer: message. The exit status is 1 when anything
+// was found, so `make lint` and CI fail on a violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"verlog/internal/lint"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All
+	if *run != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range lint.All {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "verlog-lint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verlog-lint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "verlog-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

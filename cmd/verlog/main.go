@@ -78,6 +78,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "plan":
 		err = cmdPlan(os.Args[2:])
+	case "explain-plan":
+		err = cmdExplainPlan(os.Args[2:])
 	case "convert":
 		err = cmdConvert(os.Args[2:])
 	case "help", "-h", "--help":
@@ -111,6 +113,7 @@ commands:
   schema  check an object base against class signatures
   stats   summarize an object base (facts, versions, methods)
   plan    show the join order the planner picks per rule
+  explain-plan  per-rule cost tables from the deep analysis tier
   convert convert an object base between text and binary snapshots
 
 run 'verlog <command> -h' for flags.
@@ -330,9 +333,10 @@ func cmdVet(args []string) error {
 	obPath := fs.String("ob", "", "object base supplying the method vocabulary (sharper lint passes)")
 	maxDepth := fs.Int("max-depth", 0, "version nesting depth above which V0106 fires (default 4)")
 	strict := fs.Bool("strict", false, "treat warnings as failures")
+	deep := fs.Bool("deep", false, "run the semantic tier too (class/sort inference, cost model, boundedness: V03xx)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
-		return fmt.Errorf("vet: usage: verlog vet [-json] [-ob BASE] [-max-depth N] FILES...")
+		return fmt.Errorf("vet: usage: verlog vet [-json] [-deep] [-ob BASE] [-max-depth N] FILES...")
 	}
 	opts := analysis.Options{MaxDepth: *maxDepth}
 	if *obPath != "" {
@@ -342,14 +346,30 @@ func cmdVet(args []string) error {
 		}
 		opts.Base = ob
 	}
+	type fileReport struct {
+		File        string                `json:"file"`
+		Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+		Facts       *analysis.Facts       `json:"facts,omitempty"`
+	}
 	var all []analysis.Diagnostic
+	var reports []fileReport
 	for _, path := range fs.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			return err
 		}
-		ds, _ := analysis.Source(string(src), path, opts)
+		var ds []analysis.Diagnostic
+		var facts *analysis.Facts
+		if *deep {
+			ds, facts, _ = analysis.DeepSource(string(src), path, opts)
+		} else {
+			ds, _ = analysis.Source(string(src), path, opts)
+		}
+		if ds == nil {
+			ds = []analysis.Diagnostic{}
+		}
 		all = append(all, ds...)
+		reports = append(reports, fileReport{File: path, Diagnostics: ds, Facts: facts})
 	}
 	var nErr, nWarn int
 	for _, d := range all {
@@ -364,11 +384,20 @@ func cmdVet(args []string) error {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetEscapeHTML(false)
 		enc.SetIndent("", "  ")
-		if all == nil {
-			all = []analysis.Diagnostic{}
-		}
-		if err := enc.Encode(all); err != nil {
-			return err
+		if *deep {
+			// With -deep the JSON shape is per-file: diagnostics plus the
+			// machine-readable Facts. Without -deep the flat diagnostics
+			// array is preserved for existing consumers.
+			if err := enc.Encode(reports); err != nil {
+				return err
+			}
+		} else {
+			if all == nil {
+				all = []analysis.Diagnostic{}
+			}
+			if err := enc.Encode(all); err != nil {
+				return err
+			}
 		}
 	} else {
 		for _, d := range all {
@@ -600,6 +629,86 @@ func cmdPlan(args []string) error {
 	}
 	for _, rp := range eval.ExplainPlans(ob, p, *static) {
 		fmt.Print(rp)
+	}
+	return nil
+}
+
+func cmdExplainPlan(args []string) error {
+	fs := flag.NewFlagSet("explain-plan", flag.ExitOnError)
+	obPath := fs.String("ob", "", "object base supplying cardinality statistics (default: static estimates)")
+	asJSON := fs.Bool("json", false, "emit the analysis Facts as JSON instead of tables")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain-plan: usage: verlog explain-plan [-ob BASE] [-json] FILE")
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	opts := analysis.Options{}
+	if *obPath != "" {
+		ob, err := loadBase(*obPath)
+		if err != nil {
+			return err
+		}
+		opts.Base = ob
+	}
+	ds, facts, _ := analysis.DeepSource(string(src), path, opts)
+	if analysis.HasErrors(ds) {
+		for _, d := range ds {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return fmt.Errorf("explain-plan: %s does not analyze clean", path)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		return enc.Encode(facts)
+	}
+	if !facts.Base.Supplied {
+		fmt.Println("(no -ob: static estimates)")
+	} else {
+		fmt.Printf("base: %d objects, %d versions, %d facts\n",
+			facts.Base.Objects, facts.Base.Versions, facts.Base.Facts)
+	}
+	for _, rf := range facts.Rules {
+		fmt.Printf("\nrule %s", rf.Rule)
+		if rf.Stratum >= 0 {
+			fmt.Printf("  [stratum %d]", rf.Stratum+1)
+		}
+		if rf.Recursive {
+			fmt.Print("  [recursive]")
+		}
+		fmt.Printf("\n  cost %.0f  fanout %.0f\n", rf.Cost, rf.Fanout)
+		for i, l := range rf.Literals {
+			delta := " "
+			if l.Delta {
+				delta = "Δ"
+			}
+			fmt.Printf("  %2d %s %-9s est %-6d %s\n", i+1, delta, l.Kind, l.EstRows, l.Literal)
+		}
+		for _, v := range rf.Vars {
+			line := fmt.Sprintf("  var %s: %s", v.Var, strings.Join(v.Sorts, "|"))
+			if len(v.Classes) > 0 {
+				line += " in {" + strings.Join(v.Classes, ", ") + "}"
+			}
+			if v.Empty {
+				line += " (never matches)"
+			}
+			fmt.Println(line)
+		}
+	}
+	if len(facts.Strata) > 0 {
+		fmt.Println("\nstrata:")
+		for _, sf := range facts.Strata {
+			rec := ""
+			if sf.Recursive {
+				rec = "  recursive"
+			}
+			fmt.Printf("  %d: {%s} cost %.0f%s\n", sf.Stratum+1, strings.Join(sf.Rules, ", "), sf.Cost, rec)
+		}
 	}
 	return nil
 }

@@ -273,3 +273,111 @@ func TestCmdPlan(t *testing.T) {
 		}
 	}
 }
+
+func TestCmdVetDeep(t *testing.T) {
+	dir := t.TempDir()
+	ob := writeFile(t, dir, "ob.vlg", testBase)
+	prog := writeFile(t, dir, "prog.vlg", testProg)
+
+	// A clean program stays clean under -deep.
+	out, err := capture(t, func() error {
+		return cmdVet([]string{"-deep", "-ob", ob, prog})
+	})
+	if err != nil {
+		t.Fatalf("vet -deep: %v\n%s", err, out)
+	}
+
+	// -deep -json emits per-file reports with the facts attached.
+	out, err = capture(t, func() error {
+		return cmdVet([]string{"-deep", "-json", "-ob", ob, prog})
+	})
+	if err != nil {
+		t.Fatalf("vet -deep -json: %v", err)
+	}
+	for _, want := range []string{`"file"`, `"diagnostics"`, `"facts"`, `"est_rows"`, `"rule1"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet -deep -json misses %s:\n%s", want, out)
+		}
+	}
+
+	// Plain -json keeps the flat diagnostics-array shape.
+	out, err = capture(t, func() error {
+		return cmdVet([]string{"-json", prog})
+	})
+	if err != nil {
+		t.Fatalf("vet -json: %v", err)
+	}
+	if strings.Contains(out, `"facts"`) || !strings.HasPrefix(strings.TrimSpace(out), "[") {
+		t.Errorf("vet -json shape changed:\n%s", out)
+	}
+
+	// A deep finding: sort clash between a string fact and an ordering.
+	clash := writeFile(t, dir, "clash.vlg",
+		"r: ins[E].flag -> yes <- E.name -> N, N > 10.\n")
+	clashOb := writeFile(t, dir, "clash-ob.vlg", "e1.name -> \"ann\".\n")
+	out, err = capture(t, func() error {
+		return cmdVet([]string{"-deep", "-ob", clashOb, clash})
+	})
+	if err != nil {
+		t.Fatalf("vet -deep on warning-only program must not fail: %v", err)
+	}
+	if !strings.Contains(out, "V0302") {
+		t.Errorf("vet -deep misses the sort clash:\n%s", out)
+	}
+	// ... but -strict turns the warning into a failure.
+	if _, err = capture(t, func() error {
+		return cmdVet([]string{"-deep", "-strict", "-ob", clashOb, clash})
+	}); err == nil {
+		t.Errorf("vet -deep -strict accepted a warning")
+	}
+}
+
+func TestCmdExplainPlan(t *testing.T) {
+	dir := t.TempDir()
+	ob := writeFile(t, dir, "ob.vlg", testBase)
+	prog := writeFile(t, dir, "prog.vlg", testProg)
+
+	out, err := capture(t, func() error {
+		return cmdExplainPlan([]string{"-ob", ob, prog})
+	})
+	if err != nil {
+		t.Fatalf("explain-plan: %v\n%s", err, out)
+	}
+	for _, want := range []string{"rule1", "[stratum 1]", "cost ", "fanout ", "generator", "filter", "strata:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain-plan misses %q:\n%s", want, out)
+		}
+	}
+
+	// Without -ob the static planner is used and announced.
+	out, err = capture(t, func() error {
+		return cmdExplainPlan([]string{prog})
+	})
+	if err != nil {
+		t.Fatalf("explain-plan static: %v", err)
+	}
+	if !strings.Contains(out, "static estimates") {
+		t.Errorf("explain-plan static header missing:\n%s", out)
+	}
+
+	// -json emits the Facts structure.
+	out, err = capture(t, func() error {
+		return cmdExplainPlan([]string{"-json", "-ob", ob, prog})
+	})
+	if err != nil {
+		t.Fatalf("explain-plan -json: %v", err)
+	}
+	for _, want := range []string{`"rules"`, `"literals"`, `"est_rows"`, `"base"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain-plan -json misses %s:\n%s", want, out)
+		}
+	}
+
+	// A program with errors is refused.
+	bad := writeFile(t, dir, "bad.vlg", "r: ins[X].t -> Y <- X.t -> w.\n")
+	if _, err = capture(t, func() error {
+		return cmdExplainPlan([]string{bad})
+	}); err == nil {
+		t.Errorf("explain-plan accepted an unsafe program")
+	}
+}

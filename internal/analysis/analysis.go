@@ -25,6 +25,7 @@ import (
 
 	"verlog/internal/objectbase"
 	"verlog/internal/parser"
+	"verlog/internal/strata"
 	"verlog/internal/term"
 )
 
@@ -105,6 +106,27 @@ const (
 	CodeUnreadMethod = "V0201"
 	// CodeUnknownMethod: a body method defined neither by the base nor a head.
 	CodeUnknownMethod = "V0202"
+
+	// The V03xx codes are the deep (semantic) tier, emitted only by Deep:
+	// abstract interpretation over the class/sort lattice, the cost model,
+	// and the boundedness analysis. All are warnings or infos — the deep
+	// tier never rejects a program the engine accepts.
+
+	// CodeNoClass: a receiver's required method set matches no class of the
+	// supplied base, or a ground receiver lacks a read method.
+	CodeNoClass = "V0301"
+	// CodeSortClash: incompatible sorts (num/sym/str) flow into one variable.
+	CodeSortClash = "V0302"
+	// CodeModRetype: a mod head writes a result whose inferred sorts are
+	// disjoint from every sort the method is established with.
+	CodeModRetype = "V0303"
+	// CodeNonlinearRecursion: a recursive rule joins two or more distinct
+	// recursively-derived version-id-terms, so derived-fact growth in its
+	// stratum need not be linear in the input.
+	CodeNonlinearRecursion = "V0304"
+	// CodeCrossProduct: adjacent generators in the chosen join order share
+	// no bound variables, multiplying their estimated cardinalities.
+	CodeCrossProduct = "V0305"
 )
 
 // Diagnostic is one analyzer finding.
@@ -224,6 +246,24 @@ type ctx struct {
 	// V0004 error): version-id-based passes are skipped, since wildcard
 	// terms have no well-defined update target.
 	wildcard bool
+	// stratDone/strat/stratBad cache one strata.Compute run, shared by the
+	// strata pass and the deep tier (edge construction is the expensive
+	// part of analyzing large programs).
+	stratDone bool
+	strat     *strata.Assignment
+	stratBad  []*strata.NotStratifiableError
+}
+
+// stratification computes (once) the stratification or its violations.
+// Wildcard programs have no well-defined targets; both results stay nil.
+func (c *ctx) stratification() (*strata.Assignment, []*strata.NotStratifiableError) {
+	if !c.stratDone {
+		c.stratDone = true
+		if !c.wildcard {
+			c.strat, c.stratBad = strata.Compute(c.p)
+		}
+	}
+	return c.strat, c.stratBad
 }
 
 func (c *ctx) add(d Diagnostic) { c.diags = append(c.diags, d) }

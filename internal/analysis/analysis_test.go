@@ -498,3 +498,31 @@ func TestErrorAgreementWithEngineChecks(t *testing.T) {
 		}
 	}
 }
+
+// TestSortSamePositionDeterministic pins the tiebreak order for
+// diagnostics sharing one source position: code, then message. Golden
+// regeneration with -update-analysis depends on this being total — two
+// passes emitting at the same literal must serialize identically on
+// every run.
+func TestSortSamePositionDeterministic(t *testing.T) {
+	pos := term.Pos{File: "f.vlg", Line: 3, Col: 7}
+	mk := func(code, msg string) Diagnostic {
+		return Diagnostic{Code: code, Severity: Warning, Pos: pos, Message: msg}
+	}
+	want := []Diagnostic{
+		mk(CodeUnknownMethod, "a"),
+		mk(CodeNoClass, "a"),
+		mk(CodeNoClass, "b"),
+		mk(CodeSortClash, "z"),
+	}
+	// Feed every rotation through Sort; all must converge to want.
+	for rot := 0; rot < len(want); rot++ {
+		ds := append(append([]Diagnostic{}, want[rot:]...), want[:rot]...)
+		Sort(ds)
+		for i := range want {
+			if ds[i] != want[i] {
+				t.Fatalf("rotation %d: position %d = %+v, want %+v", rot, i, ds[i], want[i])
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"verlog/internal/parser"
 	"verlog/internal/workload"
@@ -49,4 +50,75 @@ func BenchmarkAnalyze(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAnalyzeDeep measures the full deep pipeline — structural
+// passes, class/sort inference, boundedness and the cost model — on the
+// E6 stratification-stress shape (LayeredProgram(n, 4)) and on the
+// paper's enterprise program with its base.
+func BenchmarkAnalyzeDeep(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		src := workload.LayeredProgram(n, 4)
+		p, err := parser.Program(src, "layered.vlg")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("layered-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ds, facts := Deep(p, Options{})
+				if HasErrors(ds) || facts == nil {
+					b.Fatalf("unexpected result: %v", ds)
+				}
+			}
+		})
+	}
+
+	base := workload.EnterpriseSpec{Employees: 200}.ObjectBase()
+	p, err := parser.Program(workload.EnterpriseProgram, "e.vlg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("enterprise-with-base", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ds, facts := Deep(p, Options{Base: base})
+			if HasErrors(ds) || facts == nil {
+				b.Fatalf("unexpected result: %v", ds)
+			}
+		}
+	})
+}
+
+// TestDeepAnalysisBudget guards the deep tier's wall clock on the
+// 1024-rule E6 workload: the whole pipeline (including stratification,
+// which the path-bucketed head index keeps O(rules·deps) instead of
+// all-pairs) must finish in under 250ms. Best of three, so a scheduler
+// hiccup cannot flake the gate; skipped under -race and -short.
+func TestDeepAnalysisBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates wall clock; the budget is for the plain build")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const budget = 250 * time.Millisecond
+	p, err := parser.Program(workload.LayeredProgram(1024, 4), "layered.vlg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := time.Duration(1 << 62)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		ds, facts := Deep(p, Options{})
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		if HasErrors(ds) || facts == nil || len(facts.Rules) != len(p.Rules) {
+			t.Fatalf("deep analysis of the layered workload broke: %d diagnostics", len(ds))
+		}
+	}
+	if best > budget {
+		t.Errorf("deep analysis of 1024 rules took %v (best of 3), budget %v", best, budget)
+	}
 }

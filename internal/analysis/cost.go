@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+
+	"verlog/internal/eval"
+	"verlog/internal/term"
+)
+
+// Caps keeping the float cost estimates finite and JSON-friendly on
+// adversarial programs (hundreds of unbound generators in one body).
+const (
+	maxRows = 1e12
+	maxCost = 1e15
+)
+
+// costPass fills the cardinality/cost side of the Facts: the planner's
+// join order with per-literal estimates, per-rule cost (sum of estimated
+// intermediate binding-set sizes) and fan-out (estimated bindings the full
+// body join yields), and the per-stratum rollup. With a base the estimates
+// come from the same statistics the evaluator's planner uses; without one
+// the static planner's unit estimates are reported. It also emits V0305
+// for generator joins that degenerate into cross products.
+func costPass(c *ctx, f *Facts) {
+	a, _ := c.stratification()
+	for ri, r := range c.p.Rules {
+		rf := &f.Rules[ri]
+		if a != nil {
+			rf.Stratum = a.Level[ri]
+		}
+		rows, cost := 1.0, 0.0
+		bound := map[term.Var]bool{}
+		crossed := false
+		for _, lp := range eval.PlanLiterals(c.opts.Base, r) {
+			rf.Literals = append(rf.Literals, LiteralFacts{
+				Literal: lp.Literal,
+				Source:  lp.Source,
+				Kind:    lp.Kind,
+				EstRows: lp.EstRows,
+				Delta:   lp.Delta,
+			})
+			l := r.Body[lp.Source]
+			if lp.Kind == eval.KindGenerator {
+				est := float64(lp.EstRows)
+				if est < 1 {
+					est = 1 // bound-base lookup: at most a handful of rows
+				}
+				if !crossed && est >= 2 && len(bound) > 0 && !sharesVar(l, bound) {
+					crossed = true
+					c.add(Diagnostic{
+						Code:     CodeCrossProduct,
+						Severity: Info,
+						Pos:      c.rulePos(ri, l.Pos),
+						Rule:     c.labels[ri],
+						Message: fmt.Sprintf(
+							"join order evaluates %s with no variable shared with the bindings so far: a cross product multiplying ~%d candidates per binding",
+							l, lp.EstRows),
+						Witness: l.String(),
+					})
+				}
+				rows *= est
+				if rows > maxRows {
+					rows = maxRows
+				}
+			}
+			cost += rows
+			if cost > maxCost {
+				cost = maxCost
+			}
+			for _, v := range literalVars(l) {
+				bound[v] = true
+			}
+		}
+		rf.Cost, rf.Fanout = cost, rows
+	}
+
+	if a == nil {
+		return
+	}
+	f.Strata = make([]StratumFacts, a.NumStrata())
+	for s := range f.Strata {
+		sf := &f.Strata[s]
+		sf.Stratum = s
+		for _, ri := range a.Strata[s] {
+			sf.Rules = append(sf.Rules, c.labels[ri])
+			sf.Cost += f.Rules[ri].Cost
+			if sf.Cost > maxCost {
+				sf.Cost = maxCost
+			}
+			if f.Rules[ri].Recursive {
+				sf.Recursive = true
+			}
+		}
+	}
+}
+
+// sharesVar reports whether any variable of l is already bound.
+func sharesVar(l term.Literal, bound map[term.Var]bool) bool {
+	for _, v := range literalVars(l) {
+		if bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// literalVars lists every variable occurring in the literal.
+func literalVars(l term.Literal) []term.Var {
+	var out []term.Var
+	obj := func(t term.ObjTerm) {
+		if v, ok := t.(term.Var); ok {
+			out = append(out, v)
+		}
+	}
+	switch a := l.Atom.(type) {
+	case term.VersionAtom:
+		obj(a.V.Base)
+		for _, arg := range a.App.Args {
+			obj(arg)
+		}
+		obj(a.App.Result)
+	case term.UpdateAtom:
+		obj(a.V.Base)
+		if !a.All {
+			for _, arg := range a.App.Args {
+				obj(arg)
+			}
+			obj(a.App.Result)
+			if a.NewResult != nil {
+				obj(a.NewResult)
+			}
+		}
+	case term.BuiltinAtom:
+		out = term.ExprVars(a.R, term.ExprVars(a.L, nil))
+	}
+	return out
+}

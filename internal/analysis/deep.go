@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"verlog/internal/parser"
+	"verlog/internal/term"
+)
+
+// Deep runs the full analysis pipeline: the nine structural/lint passes of
+// Program plus the semantic tier — class/sort inference (V0301-V0303), the
+// boundedness analysis (V0304) and the cardinality/cost model (V0305 and
+// the Facts export). The deep tier only ever adds warnings and infos, so
+// HasErrors(Deep(p, o)) == HasErrors(Program(p, o)): the engine's
+// accept/reject line does not move.
+func Deep(p *term.Program, opts Options) ([]Diagnostic, *Facts) {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = defaultMaxDepth
+	}
+	c := &ctx{p: p, opts: opts, labels: p.RuleLabels()}
+	for _, pass := range passes {
+		pass(c)
+	}
+	f := &Facts{Rules: make([]RuleFacts, len(p.Rules))}
+	for ri := range f.Rules {
+		f.Rules[ri].Rule = c.labels[ri]
+		f.Rules[ri].Stratum = -1
+	}
+	inferPass(c, f)
+	terminationPass(c, f)
+	costPass(c, f)
+	Sort(c.diags)
+	return c.diags, f
+}
+
+// DeepSource parses program text and deep-analyzes it. A syntax error
+// yields one CodeParse diagnostic, a nil Facts and a nil program.
+func DeepSource(src, file string, opts Options) ([]Diagnostic, *Facts, *term.Program) {
+	p, err := parser.Program(src, file)
+	if err != nil {
+		return []Diagnostic{parseDiagnostic(err)}, nil, nil
+	}
+	ds, f := Deep(p, opts)
+	return ds, f, p
+}

@@ -54,5 +54,22 @@ func FuzzAnalyze(f *testing.F) {
 			t.Fatalf("HasErrors=%v but engine rejects=%v\nprogram: %s\ndiagnostics: %v",
 				got, want, p, ds)
 		}
+
+		// The deep tier shares the contract: it never panics, returns
+		// facts for every parsed program, and only adds warnings/infos —
+		// an engine-accepted program must stay error-free under Deep.
+		deepDs, facts := Deep(p, Options{})
+		if facts == nil || len(facts.Rules) != len(p.Rules) {
+			t.Fatalf("Deep returned no facts for a parsed program")
+		}
+		if HasErrors(deepDs) != HasErrors(ds) {
+			t.Fatalf("deep tier moved the accept/reject line\nprogram: %s\nshallow: %v\ndeep: %v",
+				p, ds, deepDs)
+		}
+		for _, d := range deepDs {
+			if d.Code == "" || d.Message == "" {
+				t.Fatalf("deep diagnostic missing code or message: %+v", d)
+			}
+		}
 	})
 }

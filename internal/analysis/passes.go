@@ -69,7 +69,8 @@ func strataPass(c *ctx) {
 	if c.wildcard {
 		return
 	}
-	for _, v := range strata.Violations(c.p) {
+	_, bad := c.stratification()
+	for _, v := range bad {
 		names := make([]string, len(v.Cycle))
 		for i, r := range v.Cycle {
 			names[i] = c.labels[r]
@@ -102,6 +103,7 @@ func neverFiresPass(c *ctx) {
 			heads = append(heads, t)
 		}
 	}
+	ix := strata.NewHeadIndex(heads)
 	for ri, r := range c.p.Rules {
 		for _, l := range r.Body {
 			if l.Neg {
@@ -122,7 +124,7 @@ func neverFiresPass(c *ctx) {
 			if vid.Any || vid.Path.Len() == 0 {
 				continue
 			}
-			if producible(vid, heads) || c.baseHas(vid) {
+			if ix.Any(vid) || c.baseHas(vid) {
 				continue
 			}
 			c.add(Diagnostic{
@@ -145,18 +147,6 @@ func headTarget(r term.Rule) (term.VersionID, bool) {
 		return term.VersionID{}, false
 	}
 	return r.Head.Target(), true
-}
-
-// producible reports whether some head's target version unifies with vid.
-// Head targets copy the full state of their source version, so a unifying
-// head supports any method test on vid.
-func producible(vid term.VersionID, heads []term.VersionID) bool {
-	for _, h := range heads {
-		if unify.VersionIDs(h, vid) {
-			return true
-		}
-	}
-	return false
 }
 
 // baseHas reports whether the supplied object base already contains a

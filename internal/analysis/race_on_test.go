@@ -1,0 +1,8 @@
+//go:build race
+
+package analysis
+
+// raceEnabled reports that this test binary was built with -race; the
+// wall-clock budget guard skips itself there (the detector's 5-20x
+// slowdown would measure the instrumentation, not the analyzer).
+const raceEnabled = true

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"verlog/internal/strata"
+	"verlog/internal/term"
+)
+
+// terminationPass is the boundedness analysis of the deep tier. Safe
+// verlog programs always terminate (variables range over the base's OIDs),
+// so the question is not termination but growth: within a recursive
+// component, a rule that joins a single recursively-derived literal
+// accumulates facts linearly in the input (like the paper's ancestors
+// closure), while a rule joining two or more distinct recursively-derived
+// version-id-terms can square — its stratum's derived-fact count is no
+// longer bounded linearly by the input size. Such rules get a V0304 with
+// the offending cycle as witness. The pass also marks Recursive on the
+// rule facts for the cost rollup.
+func terminationPass(c *ctx, f *Facts) {
+	a, _ := c.stratification()
+	if a == nil {
+		return // wildcard or unstratifiable: no well-defined recursion
+	}
+	n := len(c.p.Rules)
+	comp, _ := strata.Components(n, a.Edges)
+	recursive := map[int]bool{}
+	for _, e := range a.Edges {
+		if comp[e.From] == comp[e.To] {
+			recursive[comp[e.From]] = true
+		}
+	}
+	heads := make([]term.VersionID, n)
+	for i, r := range c.p.Rules {
+		heads[i] = r.Head.Target()
+	}
+	ix := strata.NewHeadIndex(heads)
+	// fedByCycle: some subterm of v unifies with a head derived in the
+	// same component, i.e. v's facts can still grow while the rule's own
+	// fixpoint iterates.
+	fedByCycle := func(v term.VersionID, cid int) bool {
+		found := false
+		for _, sub := range v.Subterms() {
+			ix.Matches(sub, func(h int) { found = found || comp[h] == cid })
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+
+	for ri, r := range c.p.Rules {
+		if !recursive[comp[ri]] {
+			continue
+		}
+		f.Rules[ri].Recursive = true
+		fed := map[string]bool{}
+		for _, l := range r.Body {
+			if l.Neg {
+				continue
+			}
+			var v term.VersionID
+			switch a := l.Atom.(type) {
+			case term.VersionAtom:
+				v = a.V
+			case term.UpdateAtom:
+				if a.V.Any {
+					continue
+				}
+				v = a.Target()
+			default:
+				continue
+			}
+			if v.Any || v.Path.Len() == 0 {
+				continue
+			}
+			if fedByCycle(v, comp[ri]) {
+				fed[v.String()] = true
+			}
+		}
+		if len(fed) < 2 {
+			continue
+		}
+		var cycle []string
+		for rj := range c.p.Rules {
+			if comp[rj] == comp[ri] {
+				cycle = append(cycle, c.labels[rj])
+			}
+		}
+		vids := make([]string, 0, len(fed))
+		for v := range fed {
+			vids = append(vids, v)
+		}
+		sort.Strings(vids)
+		c.add(Diagnostic{
+			Code:     CodeNonlinearRecursion,
+			Severity: Warning,
+			Pos:      r.Pos,
+			Rule:     c.labels[ri],
+			Message: fmt.Sprintf(
+				"nonlinear recursion: rule joins %d recursively-derived version-id-terms (%s) in cycle {%s}; derived facts in this stratum can grow multiplicatively with the input, not linearly",
+				len(vids), strings.Join(vids, ", "), strings.Join(cycle, ", ")),
+			Witness: strings.Join(cycle, " -> "),
+		})
+	}
+}

@@ -8,6 +8,68 @@ import (
 	"verlog/internal/term"
 )
 
+// Literal-plan kinds.
+const (
+	KindGenerator = "generator" // positive version-/update-term enumerating candidates
+	KindFilter    = "filter"    // built-in comparison or binding equality
+	KindNegation  = "negation"  // negated literal, checked once variables are bound
+)
+
+// LiteralPlan describes one body literal in the planner's join order: what
+// it is, where it came from in the source body, how many candidates the
+// planner expects it to enumerate, and whether semi-naive iteration seeds
+// joins from it.
+type LiteralPlan struct {
+	Literal string `json:"literal"`
+	Source  int    `json:"source"` // index in the source body
+	Kind    string `json:"kind"`
+	EstRows int    `json:"est_rows"` // 0 for filters, negations, bound-base lookups
+	Delta   bool   `json:"delta"`    // semi-naive delta-seedable position
+}
+
+// PlanLiterals reports the join order the statistics planner picks for r's
+// body against base, with the same per-literal cardinality estimates the
+// planner used. A nil base selects the source-order static planner. This
+// is the machine-readable form the analysis cost model and the future
+// compiled-match-plan work consume.
+func PlanLiterals(base *objectbase.Base, r term.Rule) []LiteralPlan {
+	est := staticCost
+	if base != nil {
+		est = statsCost(base)
+	}
+	return planLiterals(r, est)
+}
+
+func planLiterals(r term.Rule, est costEstimator) []LiteralPlan {
+	pl := planRuleCost(r, est)
+	delta := map[int]bool{}
+	for _, pos := range pl.deltaPositions {
+		delta[pos] = true
+	}
+	out := make([]LiteralPlan, 0, len(pl.order))
+	// Recompute per-literal estimates in plan order, tracking bound
+	// variables exactly as the planner does.
+	bound := map[term.Var]bool{}
+	for pos, li := range pl.order {
+		l := r.Body[li]
+		lp := LiteralPlan{Literal: l.String(), Source: li, Delta: delta[pos]}
+		switch {
+		case l.Neg:
+			lp.Kind = KindNegation
+		case isBuiltin(l):
+			lp.Kind = KindFilter
+		default:
+			lp.Kind = KindGenerator
+			lp.EstRows = est(l, baseBound(l, bound))
+		}
+		out = append(out, lp)
+		for _, v := range binds(l) {
+			bound[v] = true
+		}
+	}
+	return out
+}
+
 // RulePlan describes how the engine will evaluate one rule's body: the
 // literal order the planner chose and, for semi-naive iteration, which
 // positions are delta-seedable. It exists for the "verlog plan" command
@@ -49,27 +111,11 @@ func ExplainPlans(base *objectbase.Base, p *term.Program, static bool) []RulePla
 	}
 	out := make([]RulePlan, 0, len(p.Rules))
 	for ri, r := range p.Rules {
-		pl := planRuleCost(r, est)
 		rp := RulePlan{Rule: r.Label(ri)}
-		// Recompute per-literal estimates in plan order, tracking bound
-		// variables exactly as the planner does.
-		bound := map[term.Var]bool{}
-		delta := map[int]bool{}
-		for _, pos := range pl.deltaPositions {
-			delta[pos] = true
-		}
-		for pos, li := range pl.order {
-			l := r.Body[li]
-			cost := 0
-			if !l.Neg && !isBuiltin(l) {
-				cost = est(l, baseBound(l, bound))
-			}
-			rp.Literals = append(rp.Literals, l.String())
-			rp.Costs = append(rp.Costs, cost)
-			rp.DeltaLiterals = append(rp.DeltaLiterals, delta[pos])
-			for _, v := range binds(l) {
-				bound[v] = true
-			}
+		for _, lp := range planLiterals(r, est) {
+			rp.Literals = append(rp.Literals, lp.Literal)
+			rp.Costs = append(rp.Costs, lp.EstRows)
+			rp.DeltaLiterals = append(rp.DeltaLiterals, lp.Delta)
 		}
 		out = append(out, rp)
 	}

@@ -56,3 +56,56 @@ step: ins[X].anc -> P <- ins(X).isa -> person / anc -> A, A.isa -> person / pare
 		t.Errorf("delta positions = %v", rp.DeltaLiterals)
 	}
 }
+
+func TestPlanLiterals(t *testing.T) {
+	ob := mustBase(t, `a.isa -> thing. b.isa -> thing. c.isa -> thing. c.rare -> yes.`)
+	p := mustProgram(t, `
+find: ins[X].hit -> R <- X.isa -> thing, X.rare -> R, !X.skip -> yes, R = yes.
+`)
+	lps := PlanLiterals(ob, p.Rules[0])
+	if len(lps) != 4 {
+		t.Fatalf("PlanLiterals = %+v", lps)
+	}
+	// The binding equality runs immediately; then the rare generator with
+	// its index estimate; the isa scan follows bound (0 rows); the negation
+	// runs once X is bound.
+	if lps[0].Kind != KindFilter || lps[0].Source != 3 {
+		t.Errorf("first = %+v", lps[0])
+	}
+	if lps[1].Kind != KindGenerator || !strings.Contains(lps[1].Literal, "rare") || lps[1].EstRows != 2 || lps[1].Source != 1 {
+		t.Errorf("second = %+v", lps[1])
+	}
+	kinds := map[string]int{}
+	for _, lp := range lps {
+		kinds[lp.Kind]++
+	}
+	if kinds[KindGenerator] != 2 || kinds[KindNegation] != 1 || kinds[KindFilter] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	// Nil base selects the static planner: generators in source order
+	// after the ready equality, isa first.
+	static := PlanLiterals(nil, p.Rules[0])
+	if !strings.Contains(static[1].Literal, "isa") || static[1].Source != 0 {
+		t.Errorf("static second = %+v", static[1])
+	}
+}
+
+// TestPlanLiteralsAgreesWithExplain pins ExplainPlans to its PlanLiterals
+// underpinning: same order, same estimates, same delta markers.
+func TestPlanLiteralsAgreesWithExplain(t *testing.T) {
+	ob := mustBase(t, `x.isa -> person / parents -> y. y.isa -> person.`)
+	p := mustProgram(t, `
+step: ins[X].anc -> P <- ins(X).isa -> person / anc -> A, A.isa -> person / parents -> P.
+`)
+	rp := ExplainPlans(ob, p, false)[0]
+	lps := PlanLiterals(ob, p.Rules[0])
+	if len(lps) != len(rp.Literals) {
+		t.Fatalf("length mismatch: %d vs %d", len(lps), len(rp.Literals))
+	}
+	for i, lp := range lps {
+		if lp.Literal != rp.Literals[i] || lp.EstRows != rp.Costs[i] || lp.Delta != rp.DeltaLiterals[i] {
+			t.Errorf("[%d] PlanLiterals %+v vs RulePlan (%q, %d, %v)",
+				i, lp, rp.Literals[i], rp.Costs[i], rp.DeltaLiterals[i])
+		}
+	}
+}

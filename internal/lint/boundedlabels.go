@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// metricCtors are the obs.Registry constructors taking (name, help,
+// labelKey, labelValue, ...) variadic label pairs.
+var metricCtors = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// Boundedlabels enforces bounded metric cardinality for tenant labels: a
+// "tenant" label value handed to Counter/Gauge/Histogram must come
+// through an obs.BoundedLabels cap (syntactically: a .Value(...) call),
+// never the raw tenant name. One crawler enumerating tenant URLs must
+// not be able to grow /metrics without bound.
+var Boundedlabels = &Analyzer{
+	Name: "boundedlabels",
+	Doc:  `flag a "tenant" metric label whose value does not go through BoundedLabels.Value`,
+	Run:  runBoundedlabels,
+}
+
+func runBoundedlabels(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !metricCtors[calleeName(call)] {
+				return true
+			}
+			// Label pairs start after (name, help); keys sit at even
+			// offsets from there.
+			for i := 2; i+1 < len(call.Args); i += 2 {
+				lit, ok := call.Args[i].(*ast.BasicLit)
+				if !ok {
+					continue
+				}
+				key, err := strconv.Unquote(lit.Value)
+				if err != nil || key != "tenant" {
+					continue
+				}
+				if val, ok := call.Args[i+1].(*ast.CallExpr); ok && calleeName(val) == "Value" {
+					continue
+				}
+				p.Reportf(call.Args[i+1].Pos(),
+					`the "tenant" metric label must be capped through obs.BoundedLabels.Value (unbounded label cardinality)`)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Commitclock keeps wall-clock reads out of the group-commit critical
+// section. commitMu gates every writer: the section must stay a few
+// pointer swaps long, and the journal's append/fsync latency probes
+// (time.Now/time.Since pairs) belong around the disk calls under diskMu
+// — never inside commitMu, where a vDSO stall or a clock-probe syscall
+// stretches the serialization point of the whole pipeline. Deferred
+// closures are exempt: they run at return, after the section the
+// analyzer cares about.
+var Commitclock = &Analyzer{
+	Name: "commitclock",
+	Doc:  "flag time.Now()/time.Since() while commitMu is held (probe latency outside the commit section)",
+	Run:  runCommitclock,
+}
+
+func runCommitclock(p *Pass) {
+	funcBodies(p, func(name string, body *ast.BlockStmt) {
+		scan := &lockScan{mutex: "commitMu", onHeld: func(call *ast.CallExpr) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "time" {
+				return
+			}
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+				p.Reportf(call.Pos(),
+					"time.%s() while commitMu is held in %s: wall-clock probes belong outside the commit critical section",
+					sel.Sel.Name, name)
+			}
+		}}
+		scan.scanBody(body)
+	})
+}

@@ -1,0 +1,30 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Lockorder enforces the repository's lock hierarchy: diskMu (disk I/O,
+// held for milliseconds across fsyncs) is always acquired BEFORE
+// commitMu (the in-memory commit section, held for nanoseconds). A
+// diskMu.Lock() issued while commitMu is held inverts the order and
+// deadlocks against the group-commit leader, which takes diskMu first
+// and then briefly re-enters commitMu to seal the batch.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flag diskMu.Lock() while commitMu is held (the order is diskMu -> commitMu)",
+	Run:  runLockorder,
+}
+
+func runLockorder(p *Pass) {
+	funcBodies(p, func(name string, body *ast.BlockStmt) {
+		scan := &lockScan{mutex: "commitMu", onHeld: func(call *ast.CallExpr) {
+			if selRoot(call.Fun, "Lock") == "diskMu" {
+				p.Reportf(call.Pos(),
+					"diskMu.Lock() while commitMu is held in %s: the lock order is diskMu -> commitMu (release commitMu first)",
+					name)
+			}
+		}}
+		scan.scanBody(body)
+	})
+}

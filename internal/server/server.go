@@ -651,6 +651,10 @@ type checkResponse struct {
 	OK          bool                  `json:"ok"`
 	Strata      []string              `json:"strata,omitempty"`
 	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	// Facts carries the deep tier's machine-readable analysis (class/sort
+	// inference, join plans with cardinality estimates, per-rule and
+	// per-stratum cost) when the request asked for ?deep=1.
+	Facts *analysis.Facts `json:"facts,omitempty"`
 }
 
 func (s *Server) handleCheck(t *tenant.Tenant, w http.ResponseWriter, r *http.Request) {
@@ -665,12 +669,21 @@ func (s *Server) handleCheck(t *tenant.Tenant, w http.ResponseWriter, r *http.Re
 		return
 	}
 	// The head base supplies the method vocabulary and existing deep
-	// versions, sharpening the lint passes.
-	ds, p := analysis.Source(src, "request", analysis.Options{Base: head})
+	// versions, sharpening the lint passes. ?deep=1 additionally runs the
+	// semantic tier (V03xx diagnostics plus the Facts export); it never
+	// moves the ok line.
+	var ds []analysis.Diagnostic
+	var p *term.Program
+	var facts *analysis.Facts
+	if isDeep(r) {
+		ds, facts, p = analysis.DeepSource(src, "request", analysis.Options{Base: head})
+	} else {
+		ds, p = analysis.Source(src, "request", analysis.Options{Base: head})
+	}
 	if ds == nil {
 		ds = []analysis.Diagnostic{}
 	}
-	resp := checkResponse{OK: !analysis.HasErrors(ds), Diagnostics: ds}
+	resp := checkResponse{OK: !analysis.HasErrors(ds), Diagnostics: ds, Facts: facts}
 	if p == nil {
 		writeJSON(w, resp)
 		return
@@ -829,6 +842,12 @@ func setDetail(r *http.Request, body string) {
 // wantTrace reports whether the request asked for a span tree.
 func wantTrace(r *http.Request) bool {
 	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
+}
+
+// isDeep reports whether a check request asked for the semantic tier.
+func isDeep(r *http.Request) bool {
+	v := r.URL.Query().Get("deep")
 	return v == "1" || v == "true"
 }
 

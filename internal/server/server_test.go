@@ -515,3 +515,82 @@ func TestServerStatsAndExplain(t *testing.T) {
 		t.Errorf("bad explain body = %d %s", code, body)
 	}
 }
+
+// TestServerCheckDeep: ?deep=1 on /v1/check adds the semantic tier's
+// Facts to the response — on the default route and on tenant routes —
+// while a plain check keeps the old shape (no facts key).
+func TestServerCheckDeep(t *testing.T) {
+	ts, _ := newTenantServer(t, nil)
+
+	type deepResp struct {
+		Rules       int               `json:"rules"`
+		OK          bool              `json:"ok"`
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+		Facts       *struct {
+			Rules []struct {
+				Rule    string  `json:"rule"`
+				Stratum int     `json:"stratum"`
+				Cost    float64 `json:"cost"`
+				Literals []struct {
+					Kind string `json:"kind"`
+				} `json:"literals"`
+				Vars []struct {
+					Var   string   `json:"var"`
+					Sorts []string `json:"sorts"`
+				} `json:"vars"`
+			} `json:"rules"`
+			Base struct {
+				Supplied bool `json:"supplied"`
+			} `json:"base"`
+		} `json:"facts"`
+	}
+
+	// Plain check: no facts key at all.
+	code, body := post(t, ts.URL+"/v1/check", enterpriseUpdate)
+	if code != 200 || strings.Contains(body, `"facts"`) {
+		t.Fatalf("plain check leaked facts: %d %s", code, body)
+	}
+
+	// Deep check on the default route.
+	code, body = post(t, ts.URL+"/v1/check?deep=1", enterpriseUpdate)
+	if code != 200 {
+		t.Fatalf("deep check: %d %s", code, body)
+	}
+	var dr deepResp
+	if err := json.Unmarshal([]byte(body), &dr); err != nil {
+		t.Fatalf("deep check response: %s (%v)", body, err)
+	}
+	if !dr.OK || dr.Rules != 4 || dr.Facts == nil || len(dr.Facts.Rules) != 4 {
+		t.Fatalf("deep check facts missing: %s", body)
+	}
+	if !dr.Facts.Base.Supplied {
+		t.Errorf("deep check should use the head base for estimates: %s", body)
+	}
+	r0 := dr.Facts.Rules[0]
+	if r0.Rule != "rule1" || r0.Stratum != 0 || r0.Cost <= 0 || len(r0.Literals) == 0 || len(r0.Vars) == 0 {
+		t.Errorf("rule1 facts incomplete: %+v", r0)
+	}
+
+	// The deep tier only adds warnings/infos: a broken program keeps
+	// ok=false with facts still present for the parsed rules.
+	code, body = post(t, ts.URL+"/v1/check?deep=1", "r1: ins[X].t -> Y <- X.t -> w.")
+	if code != 200 {
+		t.Fatalf("deep check unsafe: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &dr); err != nil || dr.OK || dr.Facts == nil {
+		t.Errorf("deep check of unsafe program: %s (%v)", body, err)
+	}
+
+	// Tenant route: create the tenant by applying, then deep-check there.
+	code, body = post(t, ts.URL+"/v1/t/acme/apply", "r: ins[x].m -> a <- x.exists -> x.")
+	if code != 200 {
+		t.Fatalf("tenant apply: %d %s", code, body)
+	}
+	code, body = post(t, ts.URL+"/v1/t/acme/check?deep=1", enterpriseUpdate)
+	if code != 200 {
+		t.Fatalf("tenant deep check: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &dr); err != nil || dr.Facts == nil || len(dr.Facts.Rules) != 4 {
+		t.Errorf("tenant deep check facts: %s (%v)", body, err)
+	}
+}

@@ -33,7 +33,6 @@ import (
 	"strings"
 
 	"verlog/internal/term"
-	"verlog/internal/unify"
 )
 
 // Cond identifies which stratification condition induced an edge.
@@ -135,6 +134,80 @@ func bodyVIDs(r term.Rule) []bodyVID {
 	return out
 }
 
+// HeadIndex answers "which rule heads unify with this version-id-term"
+// in time proportional to the number of matches instead of the number of
+// rules. Under sorted unification two version-id-terms unify exactly when
+// their paths are identical and their bases unify (an OID base matches the
+// same OID or a variable; a variable base matches everything), so heads
+// bucket by path, and each bucket splits into variable-based heads and an
+// OID-keyed map. This is what makes edge construction O(rules·deps)
+// rather than O(rules²·depth).
+type HeadIndex struct {
+	buckets map[term.Path]*headBucket
+}
+
+type headBucket struct {
+	all      []int // every head with this path, ascending
+	varHeads []int // heads whose base is a variable, ascending
+	oidHeads map[term.OID][]int
+}
+
+// NewHeadIndex indexes the given head version-id-terms (heads[i] is the
+// target of rule i).
+func NewHeadIndex(heads []term.VersionID) *HeadIndex {
+	ix := &HeadIndex{buckets: map[term.Path]*headBucket{}}
+	for i, h := range heads {
+		b := ix.buckets[h.Path]
+		if b == nil {
+			b = &headBucket{oidHeads: map[term.OID][]int{}}
+			ix.buckets[h.Path] = b
+		}
+		b.all = append(b.all, i)
+		if oid, ok := h.Base.(term.OID); ok {
+			b.oidHeads[oid] = append(b.oidHeads[oid], i)
+		} else {
+			b.varHeads = append(b.varHeads, i)
+		}
+	}
+	return ix
+}
+
+// Matches calls yield for every indexed head that unifies with v, in
+// ascending head order. Like unify.VersionIDs it compares paths and bases
+// only, so a wildcard (path-less) term matches only path-less heads.
+func (ix *HeadIndex) Matches(v term.VersionID, yield func(head int)) {
+	b := ix.buckets[v.Path]
+	if b == nil {
+		return
+	}
+	oid, ok := v.Base.(term.OID)
+	if !ok { // variable base: unifies with every head of this path
+		for _, h := range b.all {
+			yield(h)
+		}
+		return
+	}
+	oids := b.oidHeads[oid]
+	vars := b.varHeads
+	i, j := 0, 0
+	for i < len(vars) || j < len(oids) {
+		if j >= len(oids) || (i < len(vars) && vars[i] < oids[j]) {
+			yield(vars[i])
+			i++
+		} else {
+			yield(oids[j])
+			j++
+		}
+	}
+}
+
+// Any reports whether any indexed head unifies with v.
+func (ix *HeadIndex) Any(v term.VersionID) bool {
+	found := false
+	ix.Matches(v, func(int) { found = true })
+	return found
+}
+
 // Stratify computes a stratification of p fulfilling conditions (a)-(d),
 // or reports that none exists.
 func Stratify(p *term.Program) (*Assignment, error) {
@@ -164,48 +237,81 @@ func Violations(p *term.Program) []*NotStratifiableError {
 	return out
 }
 
+// condBit maps a condition to a dedup-mask bit.
+func condBit(c Cond) uint8 {
+	switch c {
+	case CondA:
+		return 1
+	case CondB:
+		return 2
+	case CondC:
+		return 4
+	default: // CondD
+		return 8
+	}
+}
+
 // BuildEdges constructs the full constraint-edge set of conditions (a)-(d)
-// for p, deduplicated.
+// for p, deduplicated. Producer lookups go through a path-keyed HeadIndex,
+// so the cost is proportional to rules·dependencies, not rules². The edge
+// order is identical to a per-observer scan over all rules in index order:
+// for each observer, condition (a) over the head subterms, then per body
+// version-id-term conditions (b)/(c) and (d), producers ascending.
 func BuildEdges(p *term.Program) []Edge {
 	n := len(p.Rules)
 	heads := make([]term.VersionID, n)
 	for i, r := range p.Rules {
 		heads[i] = headVID(r)
 	}
+	ix := NewHeadIndex(heads)
 
-	type edgeKey struct {
-		from, to int
-		strict   bool
-		cond     Cond
+	// Condition (d) matches at the outermost functor with the inner terms
+	// unifiable — which, paths being compared verbatim, is the same as the
+	// full version-id-terms being unifiable. One index per outer functor
+	// restricted to heads with that functor keeps the producer scan indexed.
+	innerIx := map[term.UpdateKind]*HeadIndex{}
+	for _, kind := range []term.UpdateKind{term.Del, term.Mod} {
+		sub := make([]term.VersionID, n)
+		for i, h := range heads {
+			if h.Path.Outer() == kind {
+				sub[i] = h
+			} else {
+				sub[i] = term.VersionID{Path: term.Path("\x00impossible")}
+			}
+		}
+		innerIx[kind] = NewHeadIndex(sub)
 	}
-	seen := map[edgeKey]bool{}
+
 	var edges []Edge
+	// Per-observer dedup: a bitmask of conditions already recorded for each
+	// producer, reset lazily by epoch. Strictness is a function of the
+	// condition, so (from, cond) identifies an edge.
+	mark := make([]uint8, n)
+	epoch := make([]uint32, n)
+	var cur uint32
 	add := func(from, to int, strict bool, cond Cond) {
-		k := edgeKey{from, to, strict, cond}
-		if seen[k] {
+		bit := condBit(cond)
+		if epoch[from] != cur {
+			epoch[from] = cur
+			mark[from] = 0
+		}
+		if mark[from]&bit != 0 {
 			return
 		}
-		seen[k] = true
+		mark[from] |= bit
 		edges = append(edges, Edge{From: from, To: to, Strict: strict, Cond: cond})
 	}
 
 	for to, r := range p.Rules {
+		cur++
 		// (a): producers of any subterm of the head's V strictly below.
 		for _, sub := range r.Head.V.Subterms() {
-			for from := range p.Rules {
-				if unify.VersionIDs(heads[from], sub) {
-					add(from, to, true, CondA)
-				}
-			}
+			ix.Matches(sub, func(from int) { add(from, to, true, CondA) })
 		}
 		for _, bv := range bodyVIDs(r) {
 			// (b)/(c): producers of any subterm of a body VID.
 			for _, sub := range bv.v.Subterms() {
-				for from := range p.Rules {
-					if unify.VersionIDs(heads[from], sub) {
-						add(from, to, bv.neg, condBC(bv.neg))
-					}
-				}
+				ix.Matches(sub, func(from int) { add(from, to, bv.neg, condBC(bv.neg)) })
 			}
 			// (d): del/mod producers of the version the body VID results
 			// from, matched at the outermost functor.
@@ -213,19 +319,36 @@ func BuildEdges(p *term.Program) []Edge {
 			if outer != term.Del && outer != term.Mod {
 				continue
 			}
-			inner := term.VersionID{Base: bv.v.Base, Path: bv.v.Path[:bv.v.Path.Len()-1]}
-			for from := range p.Rules {
-				if heads[from].Path.Outer() != outer {
-					continue
-				}
-				hInner := term.VersionID{Base: heads[from].Base, Path: heads[from].Path[:heads[from].Path.Len()-1]}
-				if unify.VersionIDs(hInner, inner) {
-					add(from, to, true, CondD)
-				}
-			}
+			innerIx[outer].Matches(bv.v, func(from int) { add(from, to, true, CondD) })
 		}
 	}
 	return edges
+}
+
+// Compute builds the constraint edges once and returns either a
+// stratification or the full violation list (never both). It is the
+// single-pass entry point for callers that want Stratify and Violations
+// together without constructing the edge set twice.
+func Compute(p *term.Program) (*Assignment, []*NotStratifiableError) {
+	n := len(p.Rules)
+	edges := BuildEdges(p)
+	a, err := Solve(n, edges, p.RuleLabels())
+	if err == nil {
+		return a, nil
+	}
+	comp, _ := sccOf(n, edges)
+	bad := violations(n, edges, comp, p.RuleLabels())
+	for _, v := range bad {
+		v.Pos = p.Rules[v.Strict.To].Pos
+	}
+	return nil, bad
+}
+
+// Components returns the strongly connected component of each rule in the
+// constraint graph, numbered in reverse topological order, plus the
+// component count. Rules in the same component are mutually recursive.
+func Components(n int, edges []Edge) ([]int, int) {
+	return sccOf(n, edges)
 }
 
 func condBC(neg bool) Cond {

@@ -6,6 +6,8 @@ import (
 
 	"verlog/internal/parser"
 	"verlog/internal/term"
+	"verlog/internal/unify"
+	"verlog/internal/workload"
 )
 
 func parse(t *testing.T, src string) *term.Program {
@@ -194,4 +196,143 @@ func asNotStratifiable(err error, target **NotStratifiableError) bool {
 		*target = e
 	}
 	return ok
+}
+
+// referenceEdges is the pre-index all-pairs edge construction, kept as the
+// oracle for BuildEdges: the indexed version must reproduce it exactly,
+// including edge order (violation witnesses are order-dependent).
+func referenceEdges(p *term.Program) []Edge {
+	n := len(p.Rules)
+	heads := make([]term.VersionID, n)
+	for i, r := range p.Rules {
+		heads[i] = headVID(r)
+	}
+	type edgeKey struct {
+		from, to int
+		strict   bool
+		cond     Cond
+	}
+	seen := map[edgeKey]bool{}
+	var edges []Edge
+	add := func(from, to int, strict bool, cond Cond) {
+		k := edgeKey{from, to, strict, cond}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		edges = append(edges, Edge{From: from, To: to, Strict: strict, Cond: cond})
+	}
+	for to, r := range p.Rules {
+		for _, sub := range r.Head.V.Subterms() {
+			for from := range p.Rules {
+				if unify.VersionIDs(heads[from], sub) {
+					add(from, to, true, CondA)
+				}
+			}
+		}
+		for _, bv := range bodyVIDs(r) {
+			for _, sub := range bv.v.Subterms() {
+				for from := range p.Rules {
+					if unify.VersionIDs(heads[from], sub) {
+						add(from, to, bv.neg, condBC(bv.neg))
+					}
+				}
+			}
+			outer := bv.v.Path.Outer()
+			if outer != term.Del && outer != term.Mod {
+				continue
+			}
+			inner := term.VersionID{Base: bv.v.Base, Path: bv.v.Path[:bv.v.Path.Len()-1]}
+			for from := range p.Rules {
+				if heads[from].Path.Outer() != outer {
+					continue
+				}
+				hInner := term.VersionID{Base: heads[from].Base, Path: heads[from].Path[:heads[from].Path.Len()-1]}
+				if unify.VersionIDs(hInner, inner) {
+					add(from, to, true, CondD)
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// TestBuildEdgesMatchesReference pins the indexed BuildEdges to the
+// all-pairs oracle — same edges in the same order — across programs that
+// exercise OID heads, variable heads, negation, condition (d), and the
+// generated layered workload.
+func TestBuildEdgesMatchesReference(t *testing.T) {
+	srcs := map[string]string{
+		"enterprise": `
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / pos -> mgr / sal -> S, S' = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, !E.pos -> mgr, S' = S * 1.1.
+rule3: del[mod(E)].* <- mod(E).isa -> empl / boss -> B / sal -> SE, mod(B).isa -> empl / sal -> SB, SE > SB.
+rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[mod(E)].isa -> empl.
+`,
+		"oid-heads": `
+r1: ins[bob].m -> a <- bob.k -> a.
+r2: ins[phil].m -> a <- ins(bob).m -> a.
+r3: del[X].m -> a <- ins(X).m -> a, !ins(phil).m -> b.
+r4: mod[del(bob)].m -> (a, b) <- del(bob).m -> a.
+r5: ins[mod(del(bob))].n -> c <- mod(del(bob)).m -> b.
+`,
+		"unstratifiable": `
+r1: ins[X].p -> a <- !ins(X).q -> a.
+r2: ins[X].q -> a <- !ins(X).p -> a.
+`,
+		"layered": workload.LayeredProgram(96, 3),
+	}
+	for name, src := range srcs {
+		p := parse(t, src)
+		got, want := BuildEdges(p), referenceEdges(p)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d edges, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: edge[%d] = %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestComputeAgreesWithStratifyAndViolations checks the single-pass entry
+// point against the two existing ones.
+func TestComputeAgreesWithStratifyAndViolations(t *testing.T) {
+	good := parse(t, `
+rule1: mod[E].sal -> (S, S') <- E.isa -> empl / sal -> S, S' = S * 1.1.
+rule2: del[mod(E)].* <- mod(E).sal -> S, S > 9000.
+`)
+	a, bad := Compute(good)
+	if len(bad) > 0 {
+		t.Fatalf("Compute(good): unexpected violations %v", bad)
+	}
+	ref, err := Stratify(good)
+	if err != nil {
+		t.Fatalf("Stratify(good): %v", err)
+	}
+	for i := range ref.Level {
+		if a.Level[i] != ref.Level[i] {
+			t.Errorf("Compute level[%d] = %d, Stratify = %d", i, a.Level[i], ref.Level[i])
+		}
+	}
+
+	cyc := parse(t, `
+r1: ins[X].p -> a <- !ins(X).q -> a.
+r2: ins[X].q -> a <- !ins(X).p -> a.
+`)
+	a, bad = Compute(cyc)
+	if a != nil {
+		t.Fatalf("Compute(cyclic): got assignment, want violations")
+	}
+	ref2 := Violations(cyc)
+	if len(bad) != len(ref2) {
+		t.Fatalf("Compute(cyclic): %d violations, Violations: %d", len(bad), len(ref2))
+	}
+	for i := range bad {
+		if bad[i].Error() != ref2[i].Error() || bad[i].Pos != ref2[i].Pos {
+			t.Errorf("violation[%d]: Compute %q @%v, Violations %q @%v",
+				i, bad[i].Error(), bad[i].Pos, ref2[i].Error(), ref2[i].Pos)
+		}
+	}
 }

@@ -164,6 +164,26 @@ func AnalyzeSource(src, name string, opts AnalysisOptions) ([]Diagnostic, *Progr
 // HasErrors reports whether any diagnostic has error severity.
 func HasErrors(ds []Diagnostic) bool { return analysis.HasErrors(ds) }
 
+// AnalysisFacts is the machine-readable result of deep analysis: inferred
+// class/sort sets per variable, the planner's join order with cardinality
+// estimates, and per-rule/per-stratum cost rollups. It round-trips through
+// JSON and is served by POST /v1/check?deep=1.
+type AnalysisFacts = analysis.Facts
+
+// AnalyzeDeep runs the full pipeline of Analyze plus the semantic tier:
+// class/sort inference, the cost model and the boundedness analysis
+// (codes V0301-V0305). The deep tier only adds warnings and infos — the
+// accept/reject line of HasErrors does not move.
+func AnalyzeDeep(p *Program, opts AnalysisOptions) ([]Diagnostic, *AnalysisFacts) {
+	return analysis.Deep(p, opts)
+}
+
+// AnalyzeDeepSource parses and deep-analyzes program text; a syntax error
+// becomes a single V0007 diagnostic with nil facts and program.
+func AnalyzeDeepSource(src, name string, opts AnalysisOptions) ([]Diagnostic, *AnalysisFacts, *Program) {
+	return analysis.DeepSource(src, name, opts)
+}
+
 // Query evaluates a conjunction of body literals (concrete syntax, e.g.
 // "mod(E).sal -> S, S > 4500") against a base and returns the distinct
 // bindings, sorted.

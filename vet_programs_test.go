@@ -1,0 +1,103 @@
+package verlog_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"verlog"
+)
+
+// TestShippedProgramsVetClean runs the deep analyzer over every program
+// the repository ships — the examples' .vlg files and the program
+// section of every golden case, including the paper's Figure programs —
+// and requires them to analyze clean: no errors, and no warnings except
+// where a case exists to demonstrate the warned-about defect. CI runs
+// this as its own step, so a program added with a lint finding fails
+// loudly rather than rotting in testdata.
+func TestShippedProgramsVetClean(t *testing.T) {
+	// expectWarnings lists cases whose program intentionally exhibits a
+	// diagnosed defect, mapped to the codes they are allowed to raise.
+	expectWarnings := map[string][]string{
+		// The case demonstrates a runtime type error (arithmetic on a
+		// symbol); the sort-clash analysis catches it statically.
+		"23-type-error.txt": {"V0302"},
+	}
+
+	check := func(t *testing.T, name, progSrc string, opts verlog.AnalysisOptions) {
+		t.Helper()
+		ds, facts, p := verlog.AnalyzeDeepSource(progSrc, name, opts)
+		if p == nil {
+			t.Fatalf("%s does not parse: %v", name, ds)
+		}
+		if facts == nil || len(facts.Rules) != len(p.Rules) {
+			t.Errorf("%s: deep analysis returned no facts", name)
+		}
+		allowed := map[string]bool{}
+		for _, code := range expectWarnings[filepath.Base(name)] {
+			allowed[code] = true
+		}
+		for _, d := range ds {
+			if d.Severity == verlog.SeverityError {
+				t.Errorf("%s: %s", name, d)
+			}
+			if d.Severity == verlog.SeverityWarning && !allowed[d.Code] {
+				t.Errorf("%s: shipped program has a warning: %s", name, d)
+			}
+		}
+	}
+
+	t.Run("examples", func(t *testing.T) {
+		progs, err := filepath.Glob("examples/*/update.vlg")
+		if err != nil || len(progs) == 0 {
+			t.Fatalf("no example programs found (%v)", err)
+		}
+		for _, prog := range progs {
+			src, err := os.ReadFile(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var opts verlog.AnalysisOptions
+			basePath := filepath.Join(filepath.Dir(prog), "base.vlg")
+			if baseSrc, err := os.ReadFile(basePath); err == nil {
+				ob, err := verlog.ParseObjectBaseFile(string(baseSrc), basePath)
+				if err != nil {
+					t.Fatalf("%s: %v", basePath, err)
+				}
+				opts.Base = ob
+			}
+			check(t, prog, string(src), opts)
+		}
+	})
+
+	t.Run("golden", func(t *testing.T) {
+		files, err := filepath.Glob("testdata/golden/*.txt")
+		if err != nil || len(files) == 0 {
+			t.Fatalf("no golden cases found (%v)", err)
+		}
+		for _, file := range files {
+			if strings.Contains(file, "-rejected") {
+				continue // exists to document a rejection
+			}
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sections := splitSections(string(raw))
+			progSrc, ok := sections["program"]
+			if !ok {
+				continue
+			}
+			var opts verlog.AnalysisOptions
+			if baseSrc, ok := sections["base"]; ok {
+				ob, err := verlog.ParseObjectBaseFile(baseSrc, file+":base")
+				if err != nil {
+					t.Fatalf("%s base: %v", file, err)
+				}
+				opts.Base = ob
+			}
+			check(t, file, progSrc, opts)
+		}
+	})
+}
