@@ -57,11 +57,14 @@ check: build vet race
 
 # Two-process replication soak: builds verlog-server, runs a real
 # primary/follower pair over TCP with enterprise (Figure 2) traffic,
-# kill -9s the primary, promotes the follower, and verifies every acked
-# apply survived exactly once. Gated behind VERLOG_SOAK so plain
-# `go test ./...` stays hermetic.
+# kill -9s the primary (asserting /v1/readyz flips 200 -> 503 -> 200
+# across the failover), promotes the follower, and verifies every acked
+# apply survived exactly once. The final `verlog status` fleet table is
+# written to soak-fleet-status.txt (CI uploads it as an artifact). Gated
+# behind VERLOG_SOAK so plain `go test ./...` stays hermetic.
 soak:
-	VERLOG_SOAK=1 $(GO) test -race -count=1 -v -run TestSoakTwoProcessFailover ./internal/replication/
+	VERLOG_SOAK=1 VERLOG_SOAK_STATUS=$(CURDIR)/soak-fleet-status.txt \
+		$(GO) test -race -count=1 -v -run TestSoakTwoProcessFailover ./internal/replication/
 
 # Smoke check: every benchmark runs once with allocation stats, so a
 # broken benchmark can't rot unnoticed. The raw output is also converted

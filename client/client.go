@@ -951,6 +951,9 @@ type SlowEntry struct {
 	DurationMS float64 `json:"duration_ms"`
 	Detail     string  `json:"detail"`
 	TraceID    string  `json:"trace_id"`
+	// Tenant is the request's tenant (capped server-side; the long tail
+	// reports "other"), "" outside the /v1/t/ subtree.
+	Tenant string `json:"tenant"`
 }
 
 // Slow fetches the server's recent slow requests (newest first).
@@ -1022,6 +1025,7 @@ type ReplStatus struct {
 	LagSeq      int            `json:"lag_seq"`
 	LagSeconds  float64        `json:"lag_seconds"`
 	LastError   string         `json:"last_error"`
+	EverSynced  bool           `json:"ever_synced"`
 	Followers   []ReplFollower `json:"followers"`
 }
 

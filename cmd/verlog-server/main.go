@@ -9,6 +9,8 @@
 //	              [-max-retention 65536]
 //	              [-tenants-root DIR/tenants] [-max-open-tenants 64]
 //	              [-allow-tenant-delete]
+//	              [-ready-max-lag 1024] [-ready-max-lag-seconds 1m]
+//	              [-debug-addr 127.0.0.1:8488]
 //
 // With -init the repository is created from the given object base first.
 //
@@ -36,15 +38,25 @@
 // in the bounded in-memory slow log at GET /v1/debug/slow (0 records
 // everything, a negative duration disables it). Prometheus metrics are at
 // GET /metrics, an expvar mirror at GET /debug/vars.
+//
+// Health endpoints: GET /v1/healthz is liveness; GET /v1/readyz runs the
+// named readiness checks (recovery, fencing, follower lag against
+// -ready-max-lag / -ready-max-lag-seconds, tenant residency pressure)
+// and answers 503 with the failing checks; GET /v1/status is the full
+// node snapshot `verlog status` and `verlog top` render. With
+// -debug-addr a side listener serves net/http/pprof, /metrics and
+// /debug/vars — bind it to localhost or a management network.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,6 +88,12 @@ func main() {
 	tenantsRoot := flag.String("tenants-root", "", "directory holding tenant repositories (default <dir>/tenants)")
 	maxOpenTenants := flag.Int("max-open-tenants", 64, "resident tenant repositories before idle ones are evicted (0 = unbounded)")
 	allowTenantDelete := flag.Bool("allow-tenant-delete", false, "enable DELETE /v1/t/{tenant}")
+	readyMaxLag := flag.Int("ready-max-lag", server.DefaultReadyMaxLag,
+		"journal seqs a follower may trail its primary before /v1/readyz reports 503 (0 = unbounded)")
+	readyMaxLagAge := flag.Duration("ready-max-lag-seconds", server.DefaultReadyMaxAge,
+		"age of a follower's last successful sync, while the stream is down, before /v1/readyz reports 503 (0 = unbounded)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof, /metrics and /debug/vars on this side address (e.g. 127.0.0.1:8488); off when empty")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "verlog-server: -dir is required")
@@ -152,10 +170,23 @@ func main() {
 		server.WithReplication(node),
 		server.WithTenantManager(tenants),
 		server.WithTenantDelete(*allowTenantDelete),
+		server.WithReadyMaxLag(*readyMaxLag, *readyMaxLagAge),
 	)
 	// Mirror the metric registry into the process-global expvar namespace so
 	// /debug/vars carries the counters alongside the runtime's memstats.
 	server.PublishExpvar(api)
+
+	// The debug side listener keeps profiling endpoints off the public
+	// address: bind it to localhost (or a management network) and the
+	// public -addr never exposes pprof.
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("debug listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux(api)); err != nil {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -191,6 +222,22 @@ func main() {
 	// Quiesce every resident tenant repository; the default tenant's
 	// journal needs no action (applies finished during Shutdown).
 	tenants.Close()
+}
+
+// debugMux serves the profiling surface on the opt-in -debug-addr side
+// listener: net/http/pprof plus the same /metrics and /debug/vars the
+// main address serves, so a scraper confined to the management network
+// needs only this port.
+func debugMux(api *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", api.Registry().Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 // bootstrapFollower initializes an empty follower directory from the

@@ -1,0 +1,191 @@
+package main
+
+// The fleet-observability subcommands: `verlog status` renders the
+// one-line-per-node fleet table from each endpoint's /v1/status, and
+// `verlog top` is a live polling console over a single node — plain
+// ANSI redraw, no external dependencies, sized for a terminal.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"verlog/client"
+)
+
+// cmdStatus implements `verlog status -endpoints a,b,c`: one status
+// sweep across the fleet, one table, exit 1 when any node is down or
+// not ready (so scripts can gate on it).
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	endpoints := fs.String("endpoints", "http://127.0.0.1:8487",
+		"comma-separated server base URLs to sweep")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-sweep deadline")
+	fs.Parse(args)
+
+	eps := splitEndpoints(*endpoints)
+	if len(eps) == 0 {
+		return fmt.Errorf("status: -endpoints is empty")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rows := client.NewMulti(eps).FleetStatus(ctx)
+	fmt.Print(client.FleetTable(rows))
+	for _, row := range rows {
+		if row.Err != nil || !row.Status.Ready {
+			os.Exit(1)
+		}
+	}
+	return nil
+}
+
+// cmdTop implements `verlog top -endpoint URL`: poll /v1/status and
+// /v1/debug/slow on an interval and redraw. -n bounds the number of
+// frames (0 = until interrupted); -n 1 prints a single frame without
+// clearing the screen, which is also what the tests drive.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	endpoint := fs.String("endpoint", "http://127.0.0.1:8487", "server base URL")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	frames := fs.Int("n", 0, "stop after this many frames (0 = until interrupted)")
+	rules := fs.Int("rules", 10, "hot rules to show")
+	slow := fs.Int("slow", 5, "recent slow requests to show")
+	fs.Parse(args)
+
+	c := client.New(*endpoint)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var prev *client.NodeStatus
+	var prevAt time.Time
+	for i := 0; *frames <= 0 || i < *frames; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(*interval):
+			}
+		}
+		pollCtx, pollCancel := context.WithTimeout(ctx, *interval+5*time.Second)
+		data, err := c.TopPoll(pollCtx)
+		pollCancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("top: %w", err)
+		}
+		live := *frames != 1
+		if live {
+			// Home the cursor and clear: a flicker-free redraw without
+			// any terminal library.
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		fmt.Print(renderTop(data, prev, time.Since(prevAt), *rules, *slow))
+		prev, prevAt = data.Status, time.Now()
+	}
+	return nil
+}
+
+// renderTop formats one `verlog top` frame.
+func renderTop(data *client.TopData, prev *client.NodeStatus, elapsed time.Duration, nRules, nSlow int) string {
+	st := data.Status
+	var b strings.Builder
+
+	ready := "ready"
+	if !st.Ready {
+		ready = "NOT READY (" + strings.Join(st.FailingChecks(), ",") + ")"
+	}
+	fmt.Fprintf(&b, "verlog %s  %s epoch=%d head=%d  up %s  %s\n",
+		st.Version, st.Role, st.Epoch, st.HeadSeq, shortDuration(st.UptimeSeconds), ready)
+	if r := st.Replication; r != nil && r.Role == "follower" {
+		fmt.Fprintf(&b, "following %s  lag %d seqs / %.1fs  connected=%v\n",
+			r.Primary, r.LagSeq, r.LagSeconds, r.Connected)
+	}
+	fmt.Fprintf(&b, "http  %6.1f req/s  %5.2f%% err  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+		st.HTTPWindow.Rate, 100*st.HTTPWindow.ErrorRate,
+		st.HTTPWindow.P50MS, st.HTTPWindow.P95MS, st.HTTPWindow.P99MS)
+	fmt.Fprintf(&b, "apply %6.1f req/s  %5.2f%% err  p99 %.1fms   query %6.1f req/s  %5.2f%% err  p99 %.1fms\n",
+		st.ApplyWindow.Rate, 100*st.ApplyWindow.ErrorRate, st.ApplyWindow.P99MS,
+		st.QueryWindow.Rate, 100*st.QueryWindow.ErrorRate, st.QueryWindow.P99MS)
+	fmt.Fprintf(&b, "tenants %d/%d resident  %d opens  %d evictions\n",
+		st.Tenants.Resident, st.Tenants.MaxOpen, st.Tenants.Opens, st.Tenants.Evictions)
+
+	if rates := client.TenantRates(prev, st, elapsed); len(rates) > 0 {
+		fmt.Fprintf(&b, "\n%-24s %10s %10s\n", "TENANT", "REQ/S", "TOTAL")
+		for i, tr := range rates {
+			if i >= 8 {
+				fmt.Fprintf(&b, "  … %d more\n", len(rates)-i)
+				break
+			}
+			name := tr.Tenant
+			if name == "" {
+				name = "(default)"
+			}
+			fmt.Fprintf(&b, "%-24s %10.1f %10d\n", name, tr.Rate, tr.Total)
+		}
+	}
+
+	if len(st.HotRules) > 0 && nRules > 0 {
+		fmt.Fprintf(&b, "\n%-32s %8s %8s %8s %10s\n", "HOT RULE", "APPLIES", "FIRED", "EMITTED", "TIME(MS)")
+		for i, hr := range st.HotRules {
+			if i >= nRules {
+				break
+			}
+			name := hr.Rule
+			if len(name) > 32 {
+				name = name[:31] + "…"
+			}
+			fmt.Fprintf(&b, "%-32s %8d %8d %8d %10.1f\n",
+				name, hr.Applies, hr.Fired, hr.Emitted, float64(hr.TimeUS)/1000)
+		}
+	}
+
+	if len(data.Slow) > 0 && nSlow > 0 {
+		fmt.Fprintf(&b, "\nSLOW (>= %.0fms, %d total)\n", st.SlowThresholdMS, st.SlowTotal)
+		for i, e := range data.Slow {
+			if i >= nSlow {
+				break
+			}
+			tenant := e.Tenant
+			if tenant != "" {
+				tenant = " t=" + tenant
+			}
+			fmt.Fprintf(&b, "  %7.1fms  %d %-4s %s%s\n", e.DurationMS, e.Status, e.Method, e.Path, tenant)
+		}
+	}
+	return b.String()
+}
+
+// shortDuration renders an uptime compactly (2d3h, 4h12m, 9m3s, 42s).
+func shortDuration(seconds float64) string {
+	d := time.Duration(seconds * float64(time.Second))
+	switch {
+	case d >= 24*time.Hour:
+		return fmt.Sprintf("%dd%dh", int(d.Hours())/24, int(d.Hours())%24)
+	case d >= time.Hour:
+		return fmt.Sprintf("%dh%dm", int(d.Hours()), int(d.Minutes())%60)
+	case d >= time.Minute:
+		return fmt.Sprintf("%dm%ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	}
+}
+
+// splitEndpoints parses a comma-separated endpoint list, dropping empty
+// segments and trailing slashes.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, ep := range strings.Split(s, ",") {
+		ep = strings.TrimRight(strings.TrimSpace(ep), "/")
+		if ep != "" {
+			out = append(out, ep)
+		}
+	}
+	return out
+}

@@ -18,6 +18,8 @@
 //	verlog repo   at    -dir DIR -state N
 //	verlog repo   constrain -dir DIR -file CONSTRAINTS
 //	verlog repl   [-ob BASE]
+//	verlog status -endpoints URL1,URL2,...
+//	verlog top    -endpoint URL [-interval 2s] [-n N]
 package main
 
 import (
@@ -82,6 +84,10 @@ func main() {
 		err = cmdExplainPlan(os.Args[2:])
 	case "convert":
 		err = cmdConvert(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -115,6 +121,8 @@ commands:
   plan    show the join order the planner picks per rule
   explain-plan  per-rule cost tables from the deep analysis tier
   convert convert an object base between text and binary snapshots
+  status  one-line-per-node fleet table from each server's /v1/status
+  top     live console over one server: rates, hot rules, slow requests
 
 run 'verlog <command> -h' for flags.
 `)

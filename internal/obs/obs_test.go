@@ -220,7 +220,7 @@ func TestRuntimeMetrics(t *testing.T) {
 	out := b.String()
 	for _, name := range []string{
 		"verlog_goroutines ", "verlog_heap_bytes ",
-		"verlog_gc_pause_seconds_total ", "verlog_gc_runs_total ",
+		"verlog_gc_pause_seconds ", "verlog_gc_runs_total ",
 		`verlog_build_info{version=`,
 	} {
 		if !strings.Contains(out, name) {

@@ -15,18 +15,23 @@ func RegisterRuntimeMetrics(r *Registry) {
 	}
 	goroutines := r.Gauge("verlog_goroutines", "Current number of goroutines.")
 	heap := r.Gauge("verlog_heap_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
-	gcPause := r.Gauge("verlog_gc_pause_seconds_total", "Cumulative GC stop-the-world pause seconds.")
-	gcRuns := r.Gauge("verlog_gc_runs_total", "Completed GC cycles.")
+	// Cumulative totals: the pause time is fractional so it stays a gauge
+	// (named without _total — that suffix is reserved for counters); the
+	// cycle count is a true counter fed by deltas between scrapes.
+	gcPause := r.Gauge("verlog_gc_pause_seconds", "Cumulative GC stop-the-world pause seconds.")
+	gcRuns := r.Counter("verlog_gc_runs_total", "Completed GC cycles.")
 	version, commit := BuildInfo()
 	r.Gauge("verlog_build_info", "Build metadata; value is always 1.",
 		"version", version, "commit", commit).Set(1)
+	var lastGC uint32
 	r.RegisterCollector(func() {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
 		goroutines.Set(float64(runtime.NumGoroutine()))
 		heap.Set(float64(m.HeapAlloc))
 		gcPause.Set(float64(m.PauseTotalNs) / 1e9)
-		gcRuns.Set(float64(m.NumGC))
+		gcRuns.Add(int64(m.NumGC - lastGC))
+		lastGC = m.NumGC
 	})
 }
 

@@ -21,6 +21,10 @@ type SlowEntry struct {
 	// TraceID joins the entry to a W3C trace (the request's traceparent)
 	// and to the retained trace ring when the request was traced.
 	TraceID string `json:"trace_id,omitempty"`
+	// Tenant is the tenant of a tenant-prefixed request, capped through
+	// the same bounded label set as the tenant request counter ("" outside
+	// the /v1/t/ subtree).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // SlowLog is a bounded in-memory ring of the most recent slow requests.

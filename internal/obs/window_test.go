@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Window deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestWindow(span, gran time.Duration) (*Window, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	w := NewWindow(span, gran)
+	w.now = clk.now
+	// Rebase the constructor's baseline snapshot onto the fake clock.
+	w.ring[w.head].at = clk.t
+	return w, clk
+}
+
+func TestWindowRatesAndPercentiles(t *testing.T) {
+	w, clk := newTestWindow(60*time.Second, time.Second)
+
+	// 100 observations at 1ms, 10 at 100ms, 2 errors, over 10 seconds.
+	for i := 0; i < 100; i++ {
+		w.Observe(time.Millisecond, false)
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(100*time.Millisecond, i < 2)
+	}
+	clk.advance(10 * time.Second)
+
+	st := w.Stats()
+	if st.Count != 110 {
+		t.Fatalf("Count = %d, want 110", st.Count)
+	}
+	if st.Errors != 2 {
+		t.Fatalf("Errors = %d, want 2", st.Errors)
+	}
+	if st.Rate < 10.9 || st.Rate > 11.1 {
+		t.Errorf("Rate = %g, want ~11/s", st.Rate)
+	}
+	if st.ErrorRate < 0.19 || st.ErrorRate > 0.21 {
+		t.Errorf("ErrorRate = %g, want ~0.2/s", st.ErrorRate)
+	}
+	// p50 lands in the (0.5ms, 1ms] bucket; p99 in (50ms, 100ms].
+	if st.P50MS <= 0.5 || st.P50MS > 1.0 {
+		t.Errorf("P50MS = %g, want in (0.5, 1]", st.P50MS)
+	}
+	if st.P99MS <= 50 || st.P99MS > 100 {
+		t.Errorf("P99MS = %g, want in (50, 100]", st.P99MS)
+	}
+	if st.P95MS > st.P99MS {
+		t.Errorf("P95MS %g > P99MS %g", st.P95MS, st.P99MS)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	w, clk := newTestWindow(10*time.Second, time.Second)
+
+	// Burst of traffic, then silence longer than the span: the burst must
+	// age out of the window even though the histogram total keeps it.
+	for i := 0; i < 50; i++ {
+		w.Observe(time.Millisecond, false)
+	}
+	clk.advance(time.Second)
+	if st := w.Stats(); st.Count != 50 {
+		t.Fatalf("Count right after burst = %d, want 50", st.Count)
+	}
+	// Tick Stats once per second so snapshots accumulate, like a poller.
+	for i := 0; i < 15; i++ {
+		clk.advance(time.Second)
+		w.Stats()
+	}
+	st := w.Stats()
+	if st.Count != 0 {
+		t.Errorf("Count after %gs idle = %d, want 0 (burst aged out)", st.WindowSeconds, st.Count)
+	}
+	if st.Rate != 0 {
+		t.Errorf("Rate after idle = %g, want 0", st.Rate)
+	}
+	if st.WindowSeconds > 11.5 {
+		t.Errorf("WindowSeconds = %g, want <= span+gran", st.WindowSeconds)
+	}
+}
+
+func TestWindowSnapshotThrottle(t *testing.T) {
+	w, clk := newTestWindow(60*time.Second, time.Second)
+	// Hammer Stats within one granule: the ring must not grow past the
+	// baseline plus at most one stored snapshot.
+	for i := 0; i < 100; i++ {
+		w.Observe(time.Microsecond, false)
+		w.Stats()
+	}
+	if w.size > 2 {
+		t.Fatalf("ring size = %d after sub-granule Stats calls, want <= 2", w.size)
+	}
+	// And the live capture still sees un-snapshotted observations.
+	clk.advance(100 * time.Millisecond)
+	w.Observe(time.Microsecond, false)
+	if st := w.Stats(); st.Count != 101 {
+		t.Fatalf("Count = %d, want 101 (live capture)", st.Count)
+	}
+}
+
+func TestWindowNilSafe(t *testing.T) {
+	var w *Window
+	w.Observe(time.Second, true)
+	if st := w.Stats(); st.Count != 0 || st.Rate != 0 {
+		t.Fatalf("nil window stats = %+v, want zeros", st)
+	}
+}
+
+func TestChecks(t *testing.T) {
+	c := NewChecks()
+	if res, ok := c.Run(); !ok || len(res) != 0 {
+		t.Fatalf("empty checks: ok=%v res=%v", ok, res)
+	}
+	c.Register("repo", func() error { return nil })
+	c.Register("repl_lag", func() error { return errors.New("lag 42 seqs over limit") })
+	c.Register("panicky", func() error { panic("boom") })
+
+	res, ok := c.Run()
+	if ok {
+		t.Fatalf("Run ok = true with a failing check")
+	}
+	if len(res) != 3 || res[0].Name != "repo" || res[1].Name != "repl_lag" || res[2].Name != "panicky" {
+		t.Fatalf("results out of order: %+v", res)
+	}
+	if !res[0].OK || res[1].OK || res[2].OK {
+		t.Fatalf("unexpected OK flags: %+v", res)
+	}
+	if res[1].Detail != "lag 42 seqs over limit" {
+		t.Errorf("detail = %q", res[1].Detail)
+	}
+	if res[2].Detail == "" {
+		t.Errorf("panicking check has empty detail")
+	}
+
+	// Re-registering replaces in place, preserving order.
+	c.Register("repl_lag", func() error { return nil })
+	res, _ = c.Run()
+	if res[1].Name != "repl_lag" || !res[1].OK {
+		t.Fatalf("replaced check: %+v", res[1])
+	}
+
+	var nilChecks *Checks
+	nilChecks.Register("x", func() error { return nil })
+	if _, ok := nilChecks.Run(); !ok {
+		t.Fatalf("nil Checks must report ok")
+	}
+}

@@ -418,6 +418,10 @@ type Status struct {
 	LagSeq     int     `json:"lag_seq"`
 	LagSeconds float64 `json:"lag_seconds"`
 	LastError  string  `json:"last_error,omitempty"`
+	// EverSynced distinguishes a follower that has completed at least one
+	// exchange with its primary (and whose LagSeq/LagSeconds therefore
+	// mean something) from one that has never reached it.
+	EverSynced bool `json:"ever_synced,omitempty"`
 	// Primary side: connected followers and their acks.
 	Followers []FollowerStatus `json:"followers,omitempty"`
 }
@@ -443,6 +447,7 @@ func (n *Node) Status() Status {
 			st.LagSeq = n.primaryHead - head
 		}
 		if !n.lastSync.IsZero() {
+			st.EverSynced = true
 			st.LagSeconds = now.Sub(n.lastSync).Seconds()
 		}
 		return st

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,8 +38,11 @@ func TestSoakTwoProcessFailover(t *testing.T) {
 
 	pURL := startServerProc(t, bin, filepath.Join(tmp, "primary"),
 		"-init", initFile)
+	// A tight readiness bound so the kill below flips /v1/readyz within a
+	// couple of seconds of the primary dying.
 	fURL := startServerProc(t, bin, filepath.Join(tmp, "follower"),
-		"-follow", pURL, "-follower-id", "soak-follower")
+		"-follow", pURL, "-follower-id", "soak-follower",
+		"-ready-max-lag", "5", "-ready-max-lag-seconds", "2s")
 
 	ctx := context.Background()
 	c := client.NewMulti([]string{pURL, fURL}, client.WithRetry(5, 50*time.Millisecond))
@@ -78,7 +82,20 @@ rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[m
 		st, err := c.ReplStatusOf(ctx, fURL)
 		return err == nil && st.HeadSeq == applies && st.LagSeq == 0
 	})
+	// A caught-up follower is ready: a load balancer may route reads to it.
+	waitSoak(t, "follower ready while caught up", func() bool {
+		return c.HealthyOf(ctx, fURL) == nil
+	})
 	killServerProc(t, pURL)
+
+	// With the primary dead, the follower's last sync ages past
+	// -ready-max-lag-seconds and /v1/readyz flips to 503 naming repl_lag —
+	// the signal that tells the balancer to stop routing before anyone
+	// notices stale reads.
+	waitSoak(t, "follower not ready after primary death", func() bool {
+		err := c.HealthyOf(ctx, fURL)
+		return err != nil && strings.Contains(err.Error(), "repl_lag")
+	})
 
 	pr, err := c.Promote(ctx, fURL)
 	if err != nil {
@@ -103,6 +120,27 @@ rule4: ins[mod(E)].isa -> hpe <- mod(E).isa -> empl / sal -> S, S > 4500, !del[m
 	res, err := c.ApplyWithKey(ctx, progs[1], "soak-after-failover")
 	if err != nil || res.State != applies+1 {
 		t.Fatalf("fresh apply after failover = %+v, %v; want state %d", res, err, applies+1)
+	}
+
+	// Promotion ended the follower role, so readiness is restored.
+	waitSoak(t, "promoted node ready", func() bool {
+		return c.HealthyOf(ctx, fURL) == nil
+	})
+
+	// The final fleet table — the survivor serving, the dead primary as a
+	// down row — is the soak's human-readable verdict; CI uploads it as a
+	// build artifact when VERLOG_SOAK_STATUS names a file.
+	table := client.FleetTable(c.FleetStatus(ctx))
+	t.Logf("final fleet status:\n%s", table)
+	if !strings.Contains(table, "primary") || !strings.Contains(table, "down") {
+		t.Fatalf("fleet table missing promoted primary or down node:\n%s", table)
+	}
+	if out := os.Getenv("VERLOG_SOAK_STATUS"); out != "" {
+		report := fmt.Sprintf("verlog soak: fleet status after kill -9 of %s and promotion of %s\n\n%s",
+			pURL, fURL, table)
+		if err := os.WriteFile(out, []byte(report), 0o644); err != nil {
+			t.Fatalf("writing fleet status artifact: %v", err)
+		}
 	}
 }
 

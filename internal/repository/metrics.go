@@ -62,7 +62,7 @@ func (r *Repository) Instrument(reg *obs.Registry) {
 		CommitBatches:      reg.Counter("verlog_commit_batches_total", "Group-commit batches flushed (one fsync each)."),
 		CommitBatchRecords: reg.Counter("verlog_commit_batch_records_total", "Journal records flushed across all group-commit batches."),
 		CommitWait:         reg.Histogram("verlog_commit_wait_seconds", "Time an apply waits for its group-commit batch to become durable."),
-		HeadCacheHits:      reg.Counter("verlog_head_cache_hits", "Reads served wait-free from the in-memory published head."),
+		HeadCacheHits:      reg.Counter("verlog_head_cache_hits_total", "Reads served wait-free from the in-memory published head."),
 		ReplicaApplies:     reg.Counter("verlog_replica_applies_total", "Journal entries applied from a replication stream."),
 	}
 	r.metricsP.Store(m)

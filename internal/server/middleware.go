@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"verlog/internal/obs"
@@ -147,10 +148,33 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			"route", route, "code", strconv.Itoa(sw.status)).Inc()
 		s.reg.Histogram("verlog_http_request_seconds",
 			"HTTP request latency by route.", "route", route).Observe(dur)
+		tenantLabel := ""
 		if ri.Tenant != "" {
-			s.reg.Counter("verlog_tenant_requests_total",
+			ctr := s.reg.Counter("verlog_tenant_requests_total",
 				"Requests on tenant-prefixed routes by tenant (first 32 tenants get their own series; the tail collapses to \"other\").",
-				"tenant", s.tenantLabels.Value(ri.Tenant)).Inc()
+				"tenant", s.tenantLabels.Value(ri.Tenant))
+			ctr.Inc()
+			tenantLabel = s.tenantLabels.Value(ri.Tenant)
+			s.tenantReqMu.Lock()
+			if _, ok := s.tenantReqs[tenantLabel]; !ok {
+				s.tenantReqs[tenantLabel] = ctr
+			}
+			s.tenantReqMu.Unlock()
+		}
+
+		// Sliding SLO windows: every request feeds the HTTP window (5xx
+		// are errors); apply and query have their own, where a rejected
+		// program (4xx) counts as an error too. The replication stream is
+		// excluded: a long-poll parks for its full wait by design, and one
+		// idle follower would pin the p99 at the poll interval.
+		if route != "/v1/repl/stream" {
+			s.httpWin.Observe(dur, sw.status >= 500)
+		}
+		switch {
+		case strings.HasSuffix(route, "/apply"):
+			s.applyWin.Observe(dur, sw.status >= 400)
+		case strings.HasSuffix(route, "/query"):
+			s.queryWin.Observe(dur, sw.status >= 400)
 		}
 
 		level := slog.LevelInfo
@@ -180,6 +204,9 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 				DurationMS: float64(dur) / float64(time.Millisecond),
 				Detail:     ri.Detail,
 				TraceID:    traceID,
+				// The same capped label as the tenant counter, so a hostile
+				// tenant-name flood cannot bloat slow-log entries either.
+				Tenant: tenantLabel,
 			})
 		}
 	})

@@ -57,6 +57,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"verlog/internal/analysis"
@@ -96,6 +97,27 @@ const traceRingCapacity = 64
 // collapses to "other" so /metrics stays bounded at any tenant count.
 const tenantLabelCap = 32
 
+// DefaultReadyMaxLag and DefaultReadyMaxAge bound follower staleness for
+// /v1/readyz when no WithReadyMaxLag option is given: more than 1024
+// seqs behind the primary, or a last successful sync older than a
+// minute, flips the node not-ready so load balancers stop routing reads
+// to it.
+const (
+	DefaultReadyMaxLag = 1024
+	DefaultReadyMaxAge = time.Minute
+)
+
+// statsWindow/statsGranularity size the sliding SLO windows /v1/status
+// reports: ~the last minute, snapshotted at most once a second.
+const (
+	statsWindow      = 60 * time.Second
+	statsGranularity = time.Second
+)
+
+// hotRuleCap bounds the cumulative per-rule stats table /v1/status
+// serves; rules past the cap aggregate into one "other" row.
+const hotRuleCap = 128
+
 // Server handles HTTP requests against a set of tenant repositories.
 type Server struct {
 	tenants *tenant.Manager
@@ -128,6 +150,27 @@ type Server struct {
 	// applySeconds observes end-to-end apply latency; stage and stratum
 	// histograms aggregate eval.Stats server-side.
 	applySeconds *obs.Histogram
+
+	// Fleet observability (status.go): readiness probes, sliding-window
+	// SLO readings, and the cumulative tables /v1/status serves.
+	started     time.Time
+	checks      *obs.Checks
+	readyMaxLag int
+	readyMaxAge time.Duration
+	httpWin     *obs.Window
+	applyWin    *obs.Window
+	queryWin    *obs.Window
+	deprecated  *obs.Counter
+
+	// hotRules accumulates per-rule eval stats across applies (bounded;
+	// the long tail collapses into one "other" row).
+	hotMu    sync.Mutex
+	hotRules map[string]*hotRule
+
+	// tenantReqs indexes the per-tenant request counters by their capped
+	// label so /v1/status can list totals without scraping /metrics.
+	tenantReqMu sync.Mutex
+	tenantReqs  map[string]*obs.Counter
 }
 
 // Route is one registered (method, path-pattern) pair of the server's
@@ -167,6 +210,14 @@ func WithTenantManager(mgr *tenant.Manager) Option { return func(s *Server) { s.
 // route answers 403 forbidden.
 func WithTenantDelete(allow bool) Option { return func(s *Server) { s.allowDelete = allow } }
 
+// WithReadyMaxLag sets the follower staleness bounds /v1/readyz enforces:
+// a follower more than maxSeq journal seqs behind its primary, or whose
+// last successful sync is older than maxAge, reports not ready (check
+// "repl_lag"). Zero disables the respective bound.
+func WithReadyMaxLag(maxSeq int, maxAge time.Duration) Option {
+	return func(s *Server) { s.readyMaxLag, s.readyMaxAge = maxSeq, maxAge }
+}
+
 // New returns a handler serving the repository as the "default" tenant.
 func New(repo *repository.Repository, opts ...Option) *Server {
 	s := &Server{
@@ -178,6 +229,15 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 		slow:          obs.NewSlowLog(slowLogCapacity),
 		slowThreshold: DefaultSlowThreshold,
 		traces:        obs.NewTraceRing(traceRingCapacity),
+		started:       time.Now(),
+		checks:        obs.NewChecks(),
+		readyMaxLag:   DefaultReadyMaxLag,
+		readyMaxAge:   DefaultReadyMaxAge,
+		httpWin:       obs.NewWindow(statsWindow, statsGranularity),
+		applyWin:      obs.NewWindow(statsWindow, statsGranularity),
+		queryWin:      obs.NewWindow(statsWindow, statsGranularity),
+		hotRules:      make(map[string]*hotRule),
+		tenantReqs:    make(map[string]*obs.Counter),
 	}
 	for _, o := range opts {
 		o(s)
@@ -194,6 +254,9 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 	obs.RegisterRuntimeMetrics(s.reg)
 	s.applySeconds = s.reg.Histogram("verlog_apply_seconds",
 		"End-to-end apply latency (parse through commit).")
+	s.deprecated = s.reg.Counter("verlog_deprecated_requests_total",
+		"Requests answered with Deprecation: true (legacy unprefixed /v1 routes).")
+	s.registerChecks()
 
 	s.tenantRoute("head", tmethods{"GET": s.handleHead})
 	s.tenantRoute("state", tmethods{"GET": s.handleState})
@@ -218,6 +281,9 @@ func New(repo *repository.Repository, opts ...Option) *Server {
 		s.route("/v1/repl/promote", methods{"POST": s.handleReplPromote})
 		s.repl.Instrument(s.reg)
 	}
+	s.route("/v1/healthz", methods{"GET": s.handleHealthz})
+	s.route("/v1/readyz", methods{"GET": s.handleReadyz})
+	s.route("/v1/status", methods{"GET": s.handleStatus})
 	s.route("/v1/debug/slow", methods{"GET": s.handleSlow})
 	s.route("/v1/debug/traces", methods{"GET": s.handleTraces})
 	s.routes["/metrics"] = true
@@ -293,6 +359,7 @@ func (s *Server) tenantRoute(suffix string, m tmethods) {
 	s.mux.HandleFunc(legacy, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", fmt.Sprintf("</v1/t/default/%s>; rel=\"successor-version\"", suffix))
+		s.deprecated.Inc()
 		h, ok := m[r.Method]
 		if !ok {
 			w.Header().Set("Allow", allow)
@@ -932,6 +999,7 @@ func (s *Server) handleApply(t *tenant.Tenant, w http.ResponseWriter, r *http.Re
 	t.LastApply.Store(res)
 	total := time.Since(start)
 	s.recordApplyStats(res.Stats, total)
+	s.recordRuleStats(res.RuleStats)
 	resp := applyResponse{
 		State:   n,
 		Fired:   res.Fired,

@@ -371,7 +371,7 @@ func TestRuntimeMetricsExposed(t *testing.T) {
 	}
 	for _, want := range []string{
 		"verlog_goroutines ", "verlog_heap_bytes ",
-		"verlog_gc_pause_seconds_total ", "verlog_gc_runs_total ",
+		"verlog_gc_pause_seconds ", "verlog_gc_runs_total ",
 		`verlog_build_info{version=`,
 	} {
 		if !strings.Contains(body, want) {

@@ -164,6 +164,22 @@ func (m *Manager) Stats() (resident int, opens, evictions int64, maxResident int
 	return len(m.resident), m.opens.Load(), m.evictions.Load(), m.maxResident
 }
 
+// Pressure reports residency pressure for the readiness probe: how many
+// tenants are resident and how many of those are busy (requests in
+// flight, pinned, or mid-close — i.e. not evictable). When MaxOpen > 0,
+// resident == cap and busy == resident together mean the next Acquire of
+// a non-resident tenant would fail with ErrTooMany.
+func (m *Manager) Pressure() (resident, busy int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.resident {
+		if t.refs > 0 || t.pinned || t.closing {
+			busy++
+		}
+	}
+	return len(m.resident), busy
+}
+
 // dirOf returns the tenant's directory. Callers validate name first, so
 // the join cannot traverse out of the root.
 func (m *Manager) dirOf(name string) string { return filepath.Join(m.root, name) }
