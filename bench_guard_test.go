@@ -1,0 +1,85 @@
+package verlog
+
+// Regression guard over the checked-in benchmark reference: the E1 and E2
+// apply at n=10000 must stay within 2× of the ns/op recorded in
+// BENCH_10.json. The 2× margin absorbs machine variance (the reference
+// and CI hosts differ); a genuine interpreter-gap regression — losing the
+// compiled plans, the literal indexes, or the arena — is an order of
+// magnitude, not a factor. `make bench` regenerates the reference.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"verlog/internal/bench"
+	"verlog/internal/workload"
+)
+
+// guardRef reads the reference ns/op for a benchmark result name.
+func guardRef(t *testing.T, rep *bench.GoBenchReport, name string) float64 {
+	t.Helper()
+	for _, r := range rep.Results {
+		if r.Name == name {
+			if v := r.Metrics["ns/op"]; v > 0 {
+				return v
+			}
+		}
+	}
+	t.Fatalf("BENCH_10.json has no ns/op for %s", name)
+	return 0
+}
+
+func TestBenchRegressionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regression guard times real applies; skipped in -short")
+	}
+	if raceDetectorEnabled {
+		t.Skip("race instrumentation slows applies several-fold; the guard's 2× margin only holds uninstrumented")
+	}
+	data, err := os.ReadFile("BENCH_10.json")
+	if err != nil {
+		t.Fatalf("read reference: %v (run `make bench` to regenerate)", err)
+	}
+	var rep bench.GoBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parse BENCH_10.json: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		program string
+		seed    int64
+	}{
+		{"BenchmarkE1SalaryRaise/n=10000", workload.SalaryRaiseProgram, 42},
+		{"BenchmarkE2Enterprise/n=10000", workload.EnterpriseProgram, 7},
+	}
+	for _, c := range cases {
+		ref := guardRef(t, &rep, c.name)
+		p, err := ParseProgram(c.program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob := workload.EnterpriseSpec{Employees: 10000, Seed: c.seed}.ObjectBase().Freeze()
+		// Best of three: the guard asks "can the engine still do this
+		// fast", so one clean run beats an average polluted by GC or
+		// scheduler noise.
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := Apply(ob, p); err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		limit := time.Duration(2 * ref)
+		t.Logf("%s: best %v, reference %v, limit %v", c.name, best, time.Duration(ref), limit)
+		if best > limit {
+			t.Errorf("%s regressed: best of 3 = %v exceeds 2× reference %v",
+				c.name, best, time.Duration(ref))
+		}
+	}
+}

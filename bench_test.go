@@ -42,7 +42,7 @@ func apply(b *testing.B, ob *ObjectBase, p *Program, opts ...Option) *Result {
 func BenchmarkE1SalaryRaise(b *testing.B) {
 	p := mustParseProgram(b, workload.SalaryRaiseProgram)
 	for _, n := range []int{100, 1000, 10000} {
-		ob := workload.EnterpriseSpec{Employees: n, Seed: 42}.ObjectBase()
+		ob := workload.EnterpriseSpec{Employees: n, Seed: 42}.ObjectBase().Freeze()
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -59,8 +59,8 @@ func BenchmarkE1SalaryRaise(b *testing.B) {
 // update over generated org charts.
 func BenchmarkE2Enterprise(b *testing.B) {
 	p := mustParseProgram(b, workload.EnterpriseProgram)
-	for _, n := range []int{100, 1000, 5000} {
-		ob := workload.EnterpriseSpec{Employees: n, Seed: 7}.ObjectBase()
+	for _, n := range []int{100, 1000, 5000, 10000} {
+		ob := workload.EnterpriseSpec{Employees: n, Seed: 7}.ObjectBase().Freeze()
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -160,7 +160,7 @@ func BenchmarkE7Linearity(b *testing.B) {
 // BenchmarkE8FrameOverhead — Section 3, footnote 4: copy cost vs the
 // fraction of touched objects.
 func BenchmarkE8FrameOverhead(b *testing.B) {
-	ob := workload.TouchedSpec{Objects: 2000, Methods: 8}.ObjectBase()
+	ob := workload.TouchedSpec{Objects: 2000, Methods: 8}.ObjectBase().Freeze()
 	for _, pct := range []int{1, 10, 50, 100} {
 		p := mustParseProgram(b, workload.TouchProgram(pct))
 		b.Run(fmt.Sprintf("touched=%d%%", pct), func(b *testing.B) {
@@ -239,7 +239,7 @@ func BenchmarkE11VsDirect(b *testing.B) {
 	p := mustParseProgram(b, workload.EnterpriseProgram)
 	spec := workload.EnterpriseSpec{Employees: 1000, Seed: 99}
 	emps := spec.Generate()
-	ob := workload.EmployeesToBase(emps)
+	ob := workload.EmployeesToBase(emps).Freeze()
 	b.Run("verlog", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -258,7 +258,7 @@ func BenchmarkE11VsDirect(b *testing.B) {
 // BenchmarkE13Parallel — ablation: workers for matching and state copies.
 func BenchmarkE13Parallel(b *testing.B) {
 	p := mustParseProgram(b, workload.EnterpriseProgram)
-	ob := workload.EnterpriseSpec{Employees: 2000, Seed: 21}.ObjectBase()
+	ob := workload.EnterpriseSpec{Employees: 2000, Seed: 21}.ObjectBase().Freeze()
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
@@ -272,7 +272,7 @@ func BenchmarkE13Parallel(b *testing.B) {
 // BenchmarkE14Planner — ablation: static vs statistics join ordering.
 func BenchmarkE14Planner(b *testing.B) {
 	p := mustParseProgram(b, workload.EnterpriseProgram)
-	ob := workload.EnterpriseSpec{Employees: 2000, ManagerFraction: 0.05, Seed: 33}.ObjectBase()
+	ob := workload.EnterpriseSpec{Employees: 2000, ManagerFraction: 0.05, Seed: 33}.ObjectBase().Freeze()
 	b.Run("static", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -293,7 +293,7 @@ func BenchmarkE14Planner(b *testing.B) {
 // On pays for span allocation, per-iteration rule spans and pprof labels.
 func BenchmarkApplyTracingOff(b *testing.B) {
 	p := mustParseProgram(b, workload.EnterpriseProgram)
-	ob := workload.EnterpriseSpec{Employees: 1000, Seed: 42}.ObjectBase()
+	ob := workload.EnterpriseSpec{Employees: 1000, Seed: 42}.ObjectBase().Freeze()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		apply(b, ob, p)
@@ -302,7 +302,7 @@ func BenchmarkApplyTracingOff(b *testing.B) {
 
 func BenchmarkApplyTracingOn(b *testing.B) {
 	p := mustParseProgram(b, workload.EnterpriseProgram)
-	ob := workload.EnterpriseSpec{Employees: 1000, Seed: 42}.ObjectBase()
+	ob := workload.EnterpriseSpec{Employees: 1000, Seed: 42}.ObjectBase().Freeze()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr := NewSpanTrace("bench")

@@ -55,6 +55,7 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintf(errOut, "verlog-bench: %v\n", err)
 			return 1
 		}
+		rep.DeriveOverhead()
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {

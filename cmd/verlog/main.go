@@ -695,7 +695,15 @@ func cmdExplainPlan(args []string) error {
 			if l.Delta {
 				delta = "Δ"
 			}
-			fmt.Printf("  %2d %s %-9s est %-6d %s\n", i+1, delta, l.Kind, l.EstRows, l.Literal)
+			access := l.Access
+			if access == "" {
+				access = "-"
+			}
+			est := fmt.Sprintf("est %d", l.EstRows)
+			if l.DeltaRows > 0 {
+				est += fmt.Sprintf(" (Δ %d)", l.DeltaRows)
+			}
+			fmt.Printf("  %2d %s %-9s %-12s %-16s %s\n", i+1, delta, l.Kind, access, est, l.Literal)
 		}
 		for _, v := range rf.Vars {
 			line := fmt.Sprintf("  var %s: %s", v.Var, strings.Join(v.Sorts, "|"))

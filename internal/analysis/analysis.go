@@ -127,6 +127,9 @@ const (
 	// CodeCrossProduct: adjacent generators in the chosen join order share
 	// no bound variables, multiplying their estimated cardinalities.
 	CodeCrossProduct = "V0305"
+	// CodeIndexlessRecursion: a recursive rule's compiled plan contains no
+	// index probe, so every fixpoint iteration rescans full populations.
+	CodeIndexlessRecursion = "V0306"
 )
 
 // Diagnostic is one analyzer finding.

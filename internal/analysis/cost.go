@@ -31,14 +31,21 @@ func costPass(c *ctx, f *Facts) {
 		rows, cost := 1.0, 0.0
 		bound := map[term.Var]bool{}
 		crossed := false
+		probed := false
 		for _, lp := range eval.PlanLiterals(c.opts.Base, r) {
 			rf.Literals = append(rf.Literals, LiteralFacts{
-				Literal: lp.Literal,
-				Source:  lp.Source,
-				Kind:    lp.Kind,
-				EstRows: lp.EstRows,
-				Delta:   lp.Delta,
+				Literal:   lp.Literal,
+				Source:    lp.Source,
+				Kind:      lp.Kind,
+				Access:    lp.Access,
+				EstRows:   lp.EstRows,
+				Delta:     lp.Delta,
+				DeltaRows: lp.DeltaRows,
 			})
+			switch lp.Access {
+			case eval.AccessLookup, eval.AccessProbeResult, eval.AccessProbeArg:
+				probed = true
+			}
 			l := r.Body[lp.Source]
 			if lp.Kind == eval.KindGenerator {
 				est := float64(lp.EstRows)
@@ -72,6 +79,19 @@ func costPass(c *ctx, f *Facts) {
 			}
 		}
 		rf.Cost, rf.Fanout = cost, rows
+		// Recursive (set by terminationPass, which runs first) plus an
+		// all-scan plan means every fixpoint iteration rescans full
+		// populations: the "this rule will be slow" shape.
+		if rf.Recursive && !probed && len(rf.Literals) > 0 {
+			c.add(Diagnostic{
+				Code:     CodeIndexlessRecursion,
+				Severity: Info,
+				Pos:      c.rulePos(ri, term.Pos{}),
+				Rule:     c.labels[ri],
+				Message:  "recursive rule compiles to a plan with no index probe: every fixpoint iteration rescans full populations; bind a version base, a result, or a first argument to enable a probe",
+				Witness:  r.Head.String(),
+			})
+		}
 	}
 
 	if a == nil {

@@ -341,3 +341,43 @@ func TestDeepUnstratifiable(t *testing.T) {
 		t.Errorf("strata rollup on unstratifiable program: %+v", f.Strata)
 	}
 }
+
+// TestIndexlessRecursionDiagnostic: a recursive rule whose plan never
+// probes an index is flagged V0306; the ancestors closure, whose second
+// literal runs as a bound-base lookup, is clean.
+func TestIndexlessRecursionDiagnostic(t *testing.T) {
+	src := `
+seed: ins[X].r -> y <- X.isa -> c.
+loop: ins[X].r -> z <- ins(X).r -> Y.
+`
+	ds, f := deepString(t, src, Options{})
+	found := false
+	for _, d := range ds {
+		if d.Code == CodeIndexlessRecursion {
+			if d.Rule != "loop" {
+				t.Errorf("V0306 on %q, want loop", d.Rule)
+			}
+			if d.Severity != Info {
+				t.Errorf("V0306 severity = %v, want info", d.Severity)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no V0306 in %v", ds)
+	}
+	if !f.Rules[1].Recursive {
+		t.Errorf("loop not marked recursive")
+	}
+	for _, lf := range f.Rules[1].Literals {
+		if lf.Access == "" && lf.Kind == "generator" {
+			t.Errorf("generator %q missing access path", lf.Literal)
+		}
+	}
+	ds, _ = deepString(t, workload.AncestorsProgram, Options{})
+	for _, d := range ds {
+		if d.Code == CodeIndexlessRecursion {
+			t.Errorf("unexpected V0306: %v", d)
+		}
+	}
+}

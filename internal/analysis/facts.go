@@ -45,11 +45,18 @@ type LiteralFacts struct {
 	Source int `json:"source"`
 	// Kind is "generator", "filter", or "negation".
 	Kind string `json:"kind"`
+	// Access is the compiled access path a generator executes as —
+	// "lookup", "probe-result", "probe-arg", "scan", "scan-any" or
+	// "delta" (empty for filters and negations).
+	Access string `json:"access,omitempty"`
 	// EstRows is the planner's cardinality estimate (0 for filters,
 	// negations, and bound-base lookups).
 	EstRows int `json:"est_rows"`
 	// Delta marks positions semi-naive iteration seeds joins from.
 	Delta bool `json:"delta,omitempty"`
+	// DeltaRows is the planner's delta-seeded estimate for seedable
+	// positions: the input size iterations ≥ 2 actually see.
+	DeltaRows int `json:"delta_rows,omitempty"`
 }
 
 // VarFacts is the inferred abstract value of one rule variable.

@@ -47,3 +47,21 @@ func TestParseGoBenchBadValue(t *testing.T) {
 		t.Fatal("want error for unparsable metric value")
 	}
 }
+
+func TestDeriveOverhead(t *testing.T) {
+	rep := &GoBenchReport{Results: []GoBenchResult{
+		{Name: "BenchmarkE11VsDirect/verlog", Pkg: "verlog", Metrics: map[string]float64{"ns/op": 3000}},
+		{Name: "BenchmarkE11VsDirect/direct", Pkg: "verlog", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	rep.DeriveOverhead()
+	last := rep.Results[len(rep.Results)-1]
+	if last.Name != "BenchmarkE11VsDirect/overhead" || last.Metrics["overhead_x"] != 30 {
+		t.Fatalf("derived = %+v", last)
+	}
+	// Without both sides, nothing is appended.
+	rep2 := &GoBenchReport{Results: rep.Results[:1]}
+	rep2.DeriveOverhead()
+	if len(rep2.Results) != 1 {
+		t.Fatalf("unexpected derivation: %+v", rep2.Results)
+	}
+}

@@ -133,6 +133,18 @@ func SolveTrail(a term.BuiltinAtom, s unify.Subst, tr *unify.Trail) (bool, error
 	return compare(a.Op, l, r)
 }
 
+// ApplyArith applies an arithmetic operator to two ground OIDs. It is the
+// building block the compiled expression evaluator (internal/eval) uses to
+// run built-ins without a substitution.
+func ApplyArith(op term.ArithOp, l, r term.OID) (term.OID, error) {
+	return applyArith(op, l, r)
+}
+
+// Compare decides a comparison between two ground OIDs; see ApplyArith.
+func Compare(op term.CmpOp, l, r term.OID) (bool, error) {
+	return compare(op, l, r)
+}
+
 func compare(op term.CmpOp, l, r term.OID) (bool, error) {
 	switch op {
 	case term.OpEq:

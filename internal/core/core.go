@@ -47,6 +47,17 @@ func WithParallelism(n int) Option { return func(e *Engine) { e.opts.Parallelism
 // fixpoint is identical).
 func WithStaticPlanner() Option { return func(e *Engine) { e.opts.StaticPlanner = true } }
 
+// WithInterpreted forces the map-substitution interpreter instead of
+// compiled match plans (ablation and differential testing; the fixpoint
+// is identical).
+func WithInterpreted() Option { return func(e *Engine) { e.opts.Interpreted = true } }
+
+// WithPlans supplies pre-compiled match plans (eval.Compile, or the Plans
+// of a previous Result). Plans that do not match the applied program or
+// the planner mode are ignored and recompiled, so stale plans are a cache
+// miss, never an error.
+func WithPlans(cp *eval.CompiledProgram) Option { return func(e *Engine) { e.opts.Plans = cp } }
+
 // WithSpan collects the evaluation as a span tree under sp (see
 // internal/obs): safety and stratification checks, each stratum's
 // iterations down to per-rule matching, and the copy phase. A nil sp

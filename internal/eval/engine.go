@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"time"
@@ -54,6 +55,15 @@ type Options struct {
 	// generators by index cardinality. The fixpoint is identical; this
 	// exists for the planner ablation experiment.
 	StaticPlanner bool
+	// Interpreted forces the map-substitution interpreter (match.go)
+	// instead of compiled match plans. The fixpoint is identical; the
+	// metamorphic suite diffs the two paths, and the flag doubles as an
+	// escape hatch.
+	Interpreted bool
+	// Plans supplies pre-compiled match plans (see Compile). They are used
+	// when they match the program and planner mode, skipping compilation;
+	// the repository caches one per published head and rule-set hash.
+	Plans *CompiledProgram
 	// Span, when non-nil, collects the evaluation as a span tree under it
 	// (see internal/obs): stratify → stratum[i] → iteration[j] → rule[k],
 	// with delta sizes, firing counts and wall time per node, and
@@ -155,6 +165,13 @@ type Result struct {
 	// RuleStats aggregates per-rule firing counts, match work and wall
 	// time, hottest (most time) first. Always filled.
 	RuleStats []RuleStat
+	// Plan records how bodies were evaluated: "cached" (supplied compiled
+	// plans reused), "compiled" (plans built this run) or "interpreted"
+	// (match.go, forced or fallback).
+	Plan string
+	// Plans holds the compiled plans the run used (nil when interpreted),
+	// so callers can cache them for the next apply against the same head.
+	Plans *CompiledProgram
 	// Stats holds per-stage timings for this run; layers above eval add
 	// their own stages (see Stats).
 	Stats Stats
@@ -194,6 +211,11 @@ func (e *NewObjectError) Error() string {
 
 const defaultMaxIterations = 1_000_000
 
+// dedupSpill is the per-target list length past which fired-update
+// deduplication switches from linear scan to the spill map (see
+// runStratum).
+const dedupSpill = 16
+
 // engine carries the mutable evaluation state.
 type engine struct {
 	prog    *term.Program
@@ -207,6 +229,46 @@ type engine struct {
 	// labels[ri] is rule ri's display label; agg[ri] its running stats.
 	labels []string
 	agg    []ruleAgg
+	// Compiled-plan state: compiled is nil on the interpreted path. x is
+	// the sequential executor; parallel workers build their own. idx is
+	// the input base's literal index (exact for path-0 literals for the
+	// whole run), and buckets holds the current iteration's delta facts
+	// grouped by (path, method) for the delta-seeded plan variants.
+	compiled *CompiledProgram
+	x        *executor
+	idx      *objectbase.LiteralIndex
+	buckets  map[pmKey][]term.Fact
+	// arena backs the states cloned by the sequential copy phases (target
+	// computation and finalize); parallel workers carve from their own.
+	arena objectbase.StateArena
+	// p0 is the frozen parent when base is a COW overlay, nil otherwise.
+	// Heads always push paths, so path-0 versions are never shadowed by the
+	// overlay's own layer; reads of them can go straight to the parent and
+	// skip the guaranteed own-layer miss.
+	p0 *objectbase.Base
+}
+
+// readBase returns the base to read version g from (see engine.p0).
+func (e *engine) readBase(g term.GVID) *objectbase.Base {
+	if e.p0 != nil && g.Path.Len() == 0 {
+		return e.p0
+	}
+	return e.base
+}
+
+// targetUpdates accumulates one target version's deduplicated updates over
+// a stratum. mark is the last iteration that appended to ups; runStratum
+// uses it to build the per-iteration dirty list without a second map.
+// ups starts as a view of ups0 (capacity-clamped, so growth reallocates):
+// the overwhelming majority of targets receive exactly one update, and the
+// inline slot spares them a heap allocation. Instances come from
+// per-iteration slabs, so a 10k-target iteration costs one allocation, not
+// 10k.
+type targetUpdates struct {
+	w    term.GVID
+	ups  []Update
+	mark int
+	ups0 [1]Update
 }
 
 // ruleAgg is the always-on per-rule accumulator behind Result.RuleStats.
@@ -238,25 +300,57 @@ func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = defaultMaxIterations
 	}
+	// A frozen input evaluates over a copy-on-write overlay: path-0 facts
+	// are read through to the shared parent, and only derived versions
+	// materialize in the overlay's own layer. Mutable inputs are cloned as
+	// before (an overlay over a mutating parent would be unsound).
+	var base *objectbase.Base
+	if ob.Frozen() {
+		base = objectbase.Overlay(ob)
+	} else {
+		base = ob.Clone()
+		// Parallel matchers scan the clone concurrently between mutation
+		// phases; materialize its deferred VID index while still private.
+		base.EnsureVIDIndex()
+	}
 	e := &engine{
 		prog:    p,
-		base:    ob.Clone(),
+		base:    base,
 		opts:    opts,
 		plans:   make([]plan, len(p.Rules)),
-		deepest: make(map[term.OID]term.GVID),
+		deepest: make(map[term.OID]term.GVID, ob.VersionCount()),
 		labels:  make([]string, len(p.Rules)),
 		agg:     make([]ruleAgg, len(p.Rules)),
 	}
+	e.p0 = base.Parent()
 	e.m = newMatcher(e.base)
 	for i, r := range p.Rules {
 		e.plans[i] = planRule(r)
 		e.labels[i] = r.Label(i)
 	}
+	planAttr := "interpreted"
+	if !opts.Interpreted {
+		if opts.Plans.Matches(p, opts.StaticPlanner) {
+			e.compiled = opts.Plans
+			planAttr = "cached"
+		} else if cp, cerr := Compile(ob, p, opts.StaticPlanner); cerr == nil {
+			e.compiled = cp
+			planAttr = "compiled"
+		}
+		// On a compile error the whole program runs interpreted: mixing the
+		// two paths within one fixpoint would complicate the delta plumbing
+		// for no gain, and compile errors are rare shapes.
+	}
+	if e.compiled != nil {
+		e.idx = ob.Index()
+		e.x = newExecutor(e.base, e.idx)
+	}
+	sp.SetAttr("plan", planAttr)
 	if err := e.initDeepest(); err != nil {
 		return nil, err
 	}
 
-	res := &Result{Assignment: assignment}
+	res := &Result{Assignment: assignment, Plan: planAttr, Plans: e.compiled}
 	res.Stats.Stratify = stratifyDur
 	for si, stratum := range assignment.Strata {
 		stratumStart := time.Now()
@@ -279,7 +373,7 @@ func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
 	res.Result = e.base
 	copyStart := time.Now()
 	copySpan := sp.StartChild("copy")
-	res.Final = Finalize(e.base)
+	res.Final = e.finalize()
 	if copySpan != nil {
 		copySpan.SetInt("objects", int64(len(res.Final.VersionsByObject())))
 		copySpan.End()
@@ -309,22 +403,32 @@ func Run(ob *objectbase.Base, p *term.Program, opts Options) (*Result, error) {
 }
 
 // initDeepest seeds the per-object deepest-version map from the input base
-// and verifies the input itself is version-linear.
+// and verifies the input itself is version-linear. A single unsorted pass
+// suffices: while no violation has been seen, every version of an object is
+// a prefix of the running deepest (or extends it), so any version
+// incomparable with some earlier one is also incomparable with the running
+// deepest and is caught when it arrives.
 func (e *engine) initDeepest() error {
-	for o, versions := range e.base.VersionsByObject() {
-		sort.Slice(versions, func(i, j int) bool {
-			return versions[i].Path.Len() < versions[j].Path.Len()
-		})
-		deepest := term.GVID{Object: o}
-		for _, v := range versions {
-			if !v.Comparable(deepest) {
-				return &LinearityError{Object: o, A: deepest, B: v}
-			}
-			if v.Path.Len() >= deepest.Path.Len() {
-				deepest = v
-			}
+	var lerr *LinearityError
+	e.base.ForEachVID(func(v term.GVID) {
+		if lerr != nil {
+			return
 		}
-		e.deepest[o] = deepest
+		d, ok := e.deepest[v.Object]
+		if !ok {
+			e.deepest[v.Object] = v
+			return
+		}
+		if !v.Comparable(d) {
+			lerr = &LinearityError{Object: v.Object, A: d, B: v}
+			return
+		}
+		if v.Path.Len() > d.Path.Len() {
+			e.deepest[v.Object] = v
+		}
+	})
+	if lerr != nil {
+		return lerr
 	}
 	return nil
 }
@@ -354,8 +458,10 @@ func (e *engine) ruleStats() []RuleStat {
 func (e *engine) runStratum(si int, ruleIdx []int, stratumSpan *obs.Span) (int, error) {
 	// Re-plan this stratum's rules against current statistics: version
 	// populations change as lower strata run, so cardinalities measured
-	// now reflect what the joins will actually scan.
-	if !e.opts.StaticPlanner {
+	// now reflect what the joins will actually scan. Compiled plans are
+	// built once against the input base (with index selectivity folded
+	// in); only the interpreted path re-plans per stratum.
+	if e.compiled == nil && !e.opts.StaticPlanner {
 		est := statsCost(e.base)
 		for _, ri := range ruleIdx {
 			e.plans[ri] = planRuleCost(e.prog.Rules[ri], est)
@@ -370,15 +476,45 @@ func (e *engine) runStratum(si int, ruleIdx []int, stratumSpan *obs.Span) (int, 
 	for _, ri := range ruleIdx {
 		e.agg[ri].stratum = si + 1
 	}
-	fired := make(map[Update]int) // update -> rule index, for traces
-	byTarget := make(map[term.GVID][]Update)
+	// wantDelta: semi-naive iteration only pays for delta collection when
+	// some rule in the stratum can actually consume a delta. Strata whose
+	// rules have no delta-seedable literal (every body literal reads facts
+	// frozen in-stratum) reach their fixpoint after one changing iteration,
+	// so added-fact collection and bucketing are skipped entirely.
+	wantDelta := false
+	if e.opts.Strategy != Naive {
+		for _, ri := range ruleIdx {
+			if e.compiled != nil {
+				if len(e.compiled.rules[ri].deltaKeys) > 0 {
+					wantDelta = true
+					break
+				}
+			} else if len(e.plans[ri].deltaPositions) > 0 {
+				wantDelta = true
+				break
+			}
+		}
+	}
+	// byTarget doubles as the fired set: an update is known iff it is
+	// already in its target's list. Small lists (the overwhelming majority)
+	// dedup by linear scan; once a target's list passes dedupSpill its
+	// updates move to the spill map, so accumulator targets (recursive
+	// closures collecting thousands of inserts on one version) keep O(1)
+	// membership checks. This avoids hashing every emitted update — the
+	// Update struct is large and hash-dominated — on the common path.
+	// byTarget is sized lazily from the first iteration's emitted updates;
+	// the bulk of a stratum's updates arrive in iteration 1, and presizing
+	// avoids the incremental rehash-and-split cost on large runs.
+	var byTarget map[term.GVID]*targetUpdates
+	var spill map[Update]struct{}
 	var delta []term.Fact
 
 	for iter := 1; ; iter++ {
 		if iter > e.opts.MaxIterations {
 			return iter, &IterationLimitError{Stratum: si, Limit: e.opts.MaxIterations}
 		}
-		dirty := make(map[term.GVID]bool)
+		var dirty []*targetUpdates
+		var tuSlab []targetUpdates
 		fresh := 0
 		// freshByRule feeds the per-rule iteration spans; only kept when
 		// tracing so the hot path stays map-free.
@@ -388,12 +524,50 @@ func (e *engine) runStratum(si int, ruleIdx []int, stratumSpan *obs.Span) (int, 
 		}
 		collect := func(ri int) func(Update) {
 			return func(u Update) {
-				if _, known := fired[u]; known {
-					return
+				w := u.Target()
+				tu := byTarget[w]
+				if tu == nil {
+					// Pointers into tuSlab stay valid: the slab never grows
+					// past its capacity (one new target per fresh update at
+					// most), and superseded slabs are kept alive by the
+					// byTarget entries pointing into them.
+					if len(tuSlab) < cap(tuSlab) {
+						tuSlab = tuSlab[:len(tuSlab)+1]
+						tu = &tuSlab[len(tuSlab)-1]
+					} else {
+						tu = &targetUpdates{}
+					}
+					tu.w = w
+					tu.ups = tu.ups0[:0:1]
+					byTarget[w] = tu
 				}
-				fired[u] = ri
-				byTarget[u.Target()] = append(byTarget[u.Target()], u)
-				dirty[u.Target()] = true
+				list := tu.ups
+				if len(list) <= dedupSpill {
+					for i := range list {
+						if list[i] == u {
+							return
+						}
+					}
+					if len(list) == dedupSpill {
+						if spill == nil {
+							spill = make(map[Update]struct{}, 4*dedupSpill)
+						}
+						for i := range list {
+							spill[list[i]] = struct{}{}
+						}
+						spill[u] = struct{}{}
+					}
+				} else {
+					if _, known := spill[u]; known {
+						return
+					}
+					spill[u] = struct{}{}
+				}
+				tu.ups = append(list, u)
+				if tu.mark != iter {
+					tu.mark = iter
+					dirty = append(dirty, tu)
+				}
 				fresh++
 				e.fired++
 				e.agg[ri].fired++
@@ -427,9 +601,22 @@ func (e *engine) runStratum(si int, ruleIdx []int, stratumSpan *obs.Span) (int, 
 			if len(delta) == 0 {
 				return iter - 1, nil
 			}
-			for _, ri := range ruleIdx {
-				for _, pos := range e.plans[ri].deltaPositions {
-					addTask(fireTask{ri: ri, pos: pos})
+			if e.compiled != nil {
+				// One task per delta plan variant whose (path, method)
+				// bucket received facts; pos indexes the variant.
+				for _, ri := range ruleIdx {
+					cr := e.compiled.rules[ri]
+					for vi, key := range cr.deltaKeys {
+						if len(e.buckets[key]) > 0 {
+							addTask(fireTask{ri: ri, pos: vi})
+						}
+					}
+				}
+			} else {
+				for _, ri := range ruleIdx {
+					for _, pos := range e.plans[ri].deltaPositions {
+						addTask(fireTask{ri: ri, pos: pos})
+					}
 				}
 			}
 		}
@@ -439,17 +626,76 @@ func (e *engine) runStratum(si int, ruleIdx []int, stratumSpan *obs.Span) (int, 
 			itSpan = stratumSpan.StartChild("iteration " + strconv.Itoa(iter))
 			itSpan.SetInt("delta_in", int64(len(delta)))
 		}
-		results, stats, err := e.collectFirings(si, tasks, delta)
+		// Sequential, untraced runs sink fired updates straight into collect,
+		// skipping the per-task result buffers and the merge pass; parallel
+		// and traced runs buffer per task so merge order (and span
+		// accounting) stays deterministic. The accumulators are presized
+		// from the planner's row estimates in direct mode and from the exact
+		// emitted count in buffered mode; a low estimate only costs append
+		// growth (collect never grows tuSlab past capacity — overflow
+		// targets allocate individually).
+		var results [][]Update
+		var stats []fireStat
+		var err error
+		if e.opts.Parallelism < 2 && stratumSpan == nil {
+			est := 0
+			if e.compiled != nil {
+				for _, t := range tasks {
+					cr := e.compiled.rules[t.ri]
+					if t.pos >= 0 {
+						est += len(e.buckets[cr.deltaKeys[t.pos]])
+						continue
+					}
+					for si := range cr.steps {
+						if r := cr.steps[si].estRows; r > 0 {
+							est += r
+							break
+						}
+					}
+				}
+				if est > 1<<17 {
+					est = 1 << 17
+				}
+			}
+			dirty = make([]*targetUpdates, 0, est)
+			tuSlab = make([]targetUpdates, 0, est)
+			if byTarget == nil {
+				byTarget = make(map[term.GVID]*targetUpdates, est)
+			}
+			_, stats, err = e.collectFirings(si, tasks, delta, func(ti int) func(Update) {
+				ri := tasks[ti].ri
+				inner := collect(ri)
+				return func(u Update) {
+					e.agg[ri].emitted++
+					inner(u)
+				}
+			})
+		} else {
+			results, stats, err = e.collectFirings(si, tasks, delta, nil)
+		}
 		if err != nil {
 			itSpan.End()
 			return iter, err
 		}
-		for ti, ups := range results {
-			sink := collect(tasks[ti].ri)
-			for _, u := range ups {
-				sink(u)
+		if results != nil {
+			total := 0
+			for _, ups := range results {
+				total += len(ups)
 			}
-			e.agg[tasks[ti].ri].emitted += len(ups)
+			dirty = make([]*targetUpdates, 0, total)
+			tuSlab = make([]targetUpdates, 0, total)
+			if byTarget == nil {
+				byTarget = make(map[term.GVID]*targetUpdates, total)
+			}
+			for ti, ups := range results {
+				sink := collect(tasks[ti].ri)
+				for _, u := range ups {
+					sink(u)
+				}
+				e.agg[tasks[ti].ri].emitted += len(ups)
+			}
+		}
+		for ti := range tasks {
 			e.agg[tasks[ti].ri].matched += stats[ti].matched
 			e.agg[tasks[ti].ri].time += stats[ti].dur
 		}
@@ -462,7 +708,7 @@ func (e *engine) runStratum(si int, ruleIdx []int, stratumSpan *obs.Span) (int, 
 			itSpan.End()
 			return iter, nil
 		}
-		changed, added, err := e.applyTargets(dirty, byTarget)
+		changed, added, err := e.applyTargets(dirty, wantDelta)
 		if itSpan != nil {
 			itSpan.SetInt("targets", int64(len(dirty)))
 			itSpan.SetInt("facts_added", int64(len(added)))
@@ -474,8 +720,27 @@ func (e *engine) runStratum(si int, ruleIdx []int, stratumSpan *obs.Span) (int, 
 		if !changed {
 			return iter, nil
 		}
+		if !wantDelta && e.opts.Strategy != Naive {
+			// No rule here can fire from in-stratum additions, so a changing
+			// iteration is already the fixpoint.
+			return iter, nil
+		}
 		delta = added
+		if e.compiled != nil {
+			e.buckets = bucketDelta(added)
+		}
 	}
+}
+
+// bucketDelta groups an iteration's added facts by (path, method), the
+// granularity compiled delta variants join at.
+func bucketDelta(facts []term.Fact) map[pmKey][]term.Fact {
+	out := make(map[pmKey][]term.Fact, 8)
+	for _, f := range facts {
+		k := pmKey{Path: f.V.Path, Method: f.Method}
+		out[k] = append(out[k], f)
+	}
+	return out
 }
 
 // addRuleSpans attaches one child span per rule evaluated in the
@@ -515,23 +780,22 @@ func (e *engine) addRuleSpans(itSpan *obs.Span, tasks []fireTask, results [][]Up
 
 // applyTargets performs steps 2 and 3 of T_P for the given dirty target
 // versions, replacing each with the state computed from its full
-// accumulated update set. It returns whether the base changed and which
-// facts were added (for semi-naive deltas).
-func (e *engine) applyTargets(dirty map[term.GVID]bool, byTarget map[term.GVID][]Update) (bool, []term.Fact, error) {
-	targets := make([]term.GVID, 0, len(dirty))
-	for w := range dirty {
-		targets = append(targets, w)
-	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].Compare(targets[j]) < 0 })
+// accumulated update set. It returns whether the base changed and, when
+// collectAdded is set, which facts were added (for semi-naive deltas).
+func (e *engine) applyTargets(dirty []*targetUpdates, collectAdded bool) (bool, []term.Fact, error) {
+	slices.SortFunc(dirty, func(a, b *targetUpdates) int { return a.w.Compare(b.w) })
 
 	// Checks first (sequential, deterministic error reporting) ...
-	for _, w := range targets {
-		ups := byTarget[w]
-		sort.Slice(ups, func(i, j int) bool { return ups[i].compare(ups[j]) < 0 })
+	for _, tu := range dirty {
+		w := tu.w
+		if len(tu.ups) > 1 {
+			ups := tu.ups
+			slices.SortFunc(ups, func(a, b Update) int { return a.compare(b) })
+		}
 		if e.opts.ForbidNewObjects && !e.base.Exists(w) {
 			v := term.GVID{Object: w.Object, Path: w.Path[:w.Path.Len()-1]}
 			if _, ok := e.base.VStar(v); !ok {
-				return false, nil, &NewObjectError{Update: ups[0]}
+				return false, nil, &NewObjectError{Update: tu.ups[0]}
 			}
 		}
 		// Version-linearity, checked online as Section 5 suggests.
@@ -548,18 +812,27 @@ func (e *engine) applyTargets(dirty map[term.GVID]bool, byTarget map[term.GVID][
 	}
 
 	// ... then state computation (read-only, parallelizable) ...
-	states := e.computeStates(targets, byTarget)
+	states := e.computeStates(dirty)
 
 	// ... then mutation, sequentially.
+	e.base.GrowStates(len(dirty))
 	changed := false
 	var added []term.Fact
-	for i, w := range targets {
+	for i, tu := range dirty {
+		w := tu.w
 		oldSt := e.base.StateOf(w)
 		newSt := states[i]
-		if !e.base.SetState(w, newSt) {
+		if oldSt == nil && newSt != nil && !newSt.Empty() {
+			// The common case — a version derived for the first time this
+			// iteration — skips SetState's redundant lookup/equality work.
+			e.base.SetStateFresh(w, newSt)
+		} else if !e.base.SetState(w, newSt) {
 			continue
 		}
 		changed = true
+		if !collectAdded {
+			continue
+		}
 		newSt.ForEach(func(k term.MethodKey, r term.OID) {
 			if oldSt == nil || !oldSt.Has(k, r) {
 				added = append(added, term.Fact{V: w, Method: k.Method, Args: k.Args, Result: r})
@@ -569,12 +842,49 @@ func (e *engine) applyTargets(dirty map[term.GVID]bool, byTarget map[term.GVID][
 	return changed, added, nil
 }
 
+// finalize is Finalize specialized to a completed run: e.deepest already
+// maps every object in the result base to its deepest version (seeded by
+// initDeepest, maintained online by applyTargets), so the copy phase skips
+// the full version enumeration. Derived versions are never empty — the
+// exists method is forbidden in rule heads, so every state keeps at least
+// its exists facts — hence every deepest version is present in the base.
+func (e *engine) finalize() *objectbase.Base {
+	out := objectbase.NewSized(len(e.deepest))
+	// The updated base is handed to the caller for constraint checks, diffs
+	// and publication; none of those scan by (path, method), so the VID
+	// index is deferred to first use (Freeze builds it if nothing else did).
+	out.DeferVIDIndex()
+	for o, final := range e.deepest {
+		st := e.base.StateOf(final)
+		if st == nil || st.OnlyExists() {
+			continue
+		}
+		copyFinalState(out, o, st, &e.arena)
+	}
+	return out
+}
+
+// copyFinalState installs the non-exists applications of a final version's
+// state under the plain OID — as one bulk-cloned state, not per-fact
+// Inserts, so there is no per-application re-hashing and the path/method
+// registration runs once per state. The canonical exists application is
+// re-added to the clone directly (equivalent to EnsureObject, without the
+// extra per-object base lookup).
+func copyFinalState(out *objectbase.Base, o term.OID, st *objectbase.State, a *objectbase.StateArena) {
+	ns := a.CloneFinal(st, o)
+	// out is freshly built with one state per object, so every install is
+	// fresh by construction.
+	out.SetStateFresh(term.GVID{Object: o}, ns)
+}
+
 // Finalize builds the updated object base ob' of Section 5 from a fixpoint
 // base: for every object, the method applications of its final (deepest)
 // version are copied under the plain OID. Objects whose final state holds
 // nothing but exists vanish.
 func Finalize(result *objectbase.Base) *objectbase.Base {
 	out := objectbase.New()
+	out.DeferVIDIndex()
+	var arena objectbase.StateArena
 	for o, versions := range result.VersionsByObject() {
 		final := term.GVID{Object: o}
 		found := false
@@ -590,14 +900,7 @@ func Finalize(result *objectbase.Base) *objectbase.Base {
 		if st == nil || st.OnlyExists() {
 			continue
 		}
-		target := term.GVID{Object: o}
-		st.ForEach(func(k term.MethodKey, r term.OID) {
-			if k.Method == term.ExistsMethod {
-				return
-			}
-			out.Insert(term.Fact{V: target, Method: k.Method, Args: k.Args, Result: r})
-		})
-		out.EnsureObject(o)
+		copyFinalState(out, o, st, &arena)
 	}
 	return out
 }

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"testing"
+
+	"verlog/internal/parser"
+)
+
+// fuzzBase is the fixed object base every fuzz input runs against: a small
+// isa-hierarchy with scalar and object-valued methods, enough population
+// for index probes and joins to take different code paths in the compiled
+// executor and the interpreter.
+const fuzzBase = `
+emp.isa -> class.
+mgr.isa -> class.
+e1.isa -> emp.   e1.sal -> 1000.  e1.dept -> d1.  e1.boss -> m1.
+e2.isa -> emp.   e2.sal -> 2000.  e2.dept -> d1.  e2.boss -> m1.
+e3.isa -> emp.   e3.sal -> 3000.  e3.dept -> d2.  e3.boss -> m2.
+m1.isa -> mgr.   m1.sal -> 5000.  m1.dept -> d1.
+m2.isa -> mgr.   m2.sal -> 6000.  m2.dept -> d2.
+d1.isa -> dept.  d1.loc -> north.
+d2.isa -> dept.  d2.loc -> south.
+`
+
+// FuzzCompiledVsInterpreted feeds arbitrary program text through both body
+// evaluators. Inputs that fail to parse, fail the safety/stratification
+// checks, or error in either engine are only checked for error agreement;
+// inputs both engines accept must produce identical fixpoints. The seeds
+// cover the plan shapes the compiler specializes: version probes, result
+// probes, joins, negation, comparisons and multi-path heads.
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	seeds := []string{
+		`r1: ins[X].raised <- X.isa -> emp.`,
+		`r2: ins[X].sal -> S2 <- X.sal -> S, S2 = S + 100.`,
+		`r3: ins[X].peer -> Y <- X.dept -> D, Y.dept -> D, X != Y.`,
+		`r4: ins[X].low <- X.isa -> emp, not X.sal -> 3000.`,
+		`r5: ins[X].chain -> Z <- X.boss -> Y, Y.dept -> Z.`,
+		`a: ins[X].m1 <- X.isa -> emp. b: ins(X).m2 <- a(X).m1.`,
+		`t: ins[X].big <- X.sal -> S, S > 1500.`,
+		`d: del[X].sal -> S <- X.sal -> S, S < 2000.`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := parser.Program(src, "fuzz.vlg")
+		if err != nil {
+			return
+		}
+		obC, err := parser.ObjectBase(fuzzBase, "fuzz-ob.vlg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		obI, err := parser.ObjectBase(fuzzBase, "fuzz-ob.vlg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bound iterations: fuzzed recursion through arithmetic can diverge,
+		// and both engines must hit the same bound.
+		resC, errC := Run(obC, p, Options{MaxIterations: 50})
+		resI, errI := Run(obI, p, Options{MaxIterations: 50, Interpreted: true})
+		if (errC == nil) != (errI == nil) {
+			t.Fatalf("error disagreement on %q:\ncompiled:    %v\ninterpreted: %v", src, errC, errI)
+		}
+		if errC != nil {
+			return
+		}
+		if resC.Fired != resI.Fired {
+			t.Errorf("fired disagreement on %q: compiled=%d interpreted=%d", src, resC.Fired, resI.Fired)
+		}
+		if !resC.Result.Equal(resI.Result) {
+			t.Errorf("fixpoint disagreement on %q\ncompiled:\n%s\ninterpreted:\n%s", src,
+				parser.FormatFacts(resC.Result, true), parser.FormatFacts(resI.Result, true))
+		}
+		if !resC.Final.Equal(resI.Final) {
+			t.Errorf("final-base disagreement on %q\ncompiled:\n%s\ninterpreted:\n%s", src,
+				parser.FormatFacts(resC.Final, true), parser.FormatFacts(resI.Final, true))
+		}
+	})
+}

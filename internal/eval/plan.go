@@ -199,6 +199,46 @@ func statsCost(base *objectbase.Base) costEstimator {
 	}
 }
 
+// indexedCost refines statsCost with literal-index selectivity: a path-0
+// version-term whose result (or first argument) is a constant will execute
+// as an index probe, so its cardinality is the probe bucket's size, not the
+// whole (path, method) population. Bound-variable results also probe at
+// run time, but their values are unknown at plan time, so they keep the
+// scan estimate.
+func indexedCost(base *objectbase.Base, idx *objectbase.LiteralIndex) costEstimator {
+	scan := statsCost(base)
+	return func(l term.Literal, baseBound bool) int {
+		c := scan(l, baseBound)
+		if baseBound || idx == nil {
+			return c
+		}
+		a, ok := l.Atom.(term.VersionAtom)
+		if !ok || a.V.Any || a.V.Path.Len() != 0 {
+			return c
+		}
+		if r, isOID := a.App.Result.(term.OID); isOID {
+			if p := 1 + idx.CountVIDsWithResult(a.V.Path, a.App.Method, r); p < c {
+				c = p
+			}
+		}
+		if len(a.App.Args) > 0 {
+			if a0, isOID := a.App.Args[0].(term.OID); isOID {
+				if p := 1 + idx.CountVIDsWithArg(a.V.Path, a.App.Method, a0); p < c {
+					c = p
+				}
+			}
+		}
+		return c
+	}
+}
+
+// deltaRowEstimate is the planner's cardinality heuristic for a semi-naive
+// delta seed: per-iteration deltas are a small fraction of the full
+// population (they hold only the facts added by the previous iteration),
+// so the estimate shrinks the full count instead of ignoring the
+// distinction. The exact size is unknowable at plan time.
+func deltaRowEstimate(full int) int { return 1 + full/16 }
+
 // planRule orders the body with the static estimator.
 func planRule(r term.Rule) plan { return planRuleCost(r, staticCost) }
 
@@ -206,11 +246,35 @@ func planRule(r term.Rule) plan { return planRuleCost(r, staticCost) }
 // variables are bound; among generators the cheapest (per the estimator)
 // runs first, with source order breaking ties.
 func planRuleCost(r term.Rule, est costEstimator) plan {
-	n := len(r.Body)
 	var p plan
+	p.order = greedyOrder(r, est, -1)
+	for pos, i := range p.order {
+		if deltaSeedable(r.Body[i]) {
+			p.deltaPositions = append(p.deltaPositions, pos)
+		}
+	}
+	return p
+}
+
+// greedyOrder is the planner core: filters as soon as ready, then the
+// cheapest generator, source order breaking ties. When seed >= 0 that
+// body literal is forced first (the semi-naive delta seed) and the rest
+// are ordered given its bindings — so a delta-restricted evaluation gets
+// an order chosen for delta-sized input, not the full-scan order with one
+// literal hoisted.
+func greedyOrder(r term.Rule, est costEstimator, seed int) []int {
+	n := len(r.Body)
+	var order []int
 	used := make([]bool, n)
 	bound := map[term.Var]bool{}
-	for len(p.order) < n {
+	if seed >= 0 {
+		used[seed] = true
+		order = append(order, seed)
+		for _, v := range binds(r.Body[seed]) {
+			bound[v] = true
+		}
+	}
+	for len(order) < n {
 		pick := -1
 		// 1. Any evaluable filter or binding equality.
 		for i, l := range r.Body {
@@ -249,17 +313,12 @@ func planRuleCost(r term.Rule, est costEstimator) plan {
 			}
 		}
 		used[pick] = true
-		p.order = append(p.order, pick)
+		order = append(order, pick)
 		for _, v := range binds(r.Body[pick]) {
 			bound[v] = true
 		}
 	}
-	for pos, i := range p.order {
-		if deltaSeedable(r.Body[i]) {
-			p.deltaPositions = append(p.deltaPositions, pos)
-		}
-	}
-	return p
+	return order
 }
 
 func isBuiltin(l term.Literal) bool {

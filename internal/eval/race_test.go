@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRunSharedBase runs many evaluations concurrently against
+// one frozen input base. Each Run builds its own overlays but shares the
+// parent's lazily built literal index and VID index through the p0
+// read-base shortcut — exactly what the repository does when concurrent
+// applies race on one published head. Under -race this checks the shared
+// read paths of the compiled executor end to end.
+func TestConcurrentRunSharedBase(t *testing.T) {
+	base := mustBase(t, `
+		e1.isa -> emp.  e1.sal -> 1000.  e1.dept -> d1.
+		e2.isa -> emp.  e2.sal -> 2000.  e2.dept -> d1.
+		e3.isa -> emp.  e3.sal -> 3000.  e3.dept -> d2.
+		d1.isa -> dept. d2.isa -> dept.
+	`)
+	frozen := base.Freeze()
+	p := mustProgram(t, `
+		raise: ins[X].sal -> S2 <- X.isa -> emp, X.sal -> S, S2 = S + 500.
+		peers: ins[X].peer -> Y <- X.dept -> D, Y.dept -> D, X != Y.
+	`)
+	cp, err := Compile(frozen, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				// Alternate plan sources: half the runs compile privately,
+				// half reuse the shared pre-compiled plans (the repository
+				// plan cache hands one *CompiledProgram to many appliers).
+				opts := Options{}
+				if (g+round)%2 == 0 {
+					opts.Plans = cp
+				}
+				res, err := Run(frozen, p, opts)
+				if err != nil {
+					t.Errorf("Run: %v", err)
+					return
+				}
+				if res.Fired != 5 { // 3 raises + 2 peer facts
+					t.Errorf("Fired = %d, want 5", res.Fired)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -2,7 +2,7 @@ package eval
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"verlog/internal/objectbase"
 	"verlog/internal/term"
@@ -122,7 +122,7 @@ func (e *engine) fireHead(r term.Rule, s unify.Subst, onFire func(u Update) erro
 			}
 			ups = append(ups, Update{Kind: term.Del, V: v, Key: f.Key(), R: f.Result})
 		})
-		sort.Slice(ups, func(i, j int) bool { return ups[i].compare(ups[j]) < 0 })
+		slices.SortFunc(ups, func(a, b Update) int { return a.compare(b) })
 		for _, u := range ups {
 			if err := onFire(u); err != nil {
 				return err
@@ -204,19 +204,22 @@ func (e *engine) matchLiteralDelta(l term.Literal, delta []term.Fact, s unify.Su
 // copy the state of w (if active) or of v* (if only relevant) — or seed a
 // fresh object — then apply the fired updates: removals first (del and the
 // old halves of mod), then additions (ins and the new halves of mod).
-func (e *engine) computeState(w term.GVID, ups []Update) *objectbase.State {
+func (e *engine) computeState(w term.GVID, ups []Update, a *objectbase.StateArena) *objectbase.State {
 	var st *objectbase.State
 	switch {
 	case e.base.Exists(w):
-		st = e.base.StateOf(w).Clone()
+		st = a.Clone(e.base.StateOf(w))
 	default:
 		v := term.GVID{Object: w.Object, Path: w.Path[:w.Path.Len()-1]}
-		if vstar, ok := e.base.VStar(v); ok {
-			st = e.base.StateOf(vstar).Clone()
+		// Path-0 parents can be read straight from the frozen base: the
+		// overlay's own layer never holds path-0 versions (heads push), so
+		// readBase skips the guaranteed own-layer miss.
+		if vstar, ok := e.readBase(v).VStar(v); ok {
+			st = a.Clone(e.readBase(vstar).StateOf(vstar))
 		} else {
 			// Creation of a new object (extension; see DESIGN.md): seed the
 			// exists method so later updates can address the version.
-			st = objectbase.NewState()
+			st = a.New()
 			st.Add(term.MethodKey{Method: term.ExistsMethod}, w.Object)
 		}
 	}

@@ -83,7 +83,7 @@ type Package struct {
 }
 
 // All lists every analyzer, in reporting order.
-var All = []*Analyzer{Frozenmutate, Lockorder, Boundedlabels, Commitclock}
+var All = []*Analyzer{Frozenmutate, Lockorder, Boundedlabels, Commitclock, Arenaescape}
 
 // Load walks the module rooted at dir and parses every package directory
 // (skipping testdata, vendored and hidden trees). The module path is read

@@ -1,0 +1,97 @@
+package objectbase
+
+import "verlog/internal/term"
+
+// StateArena bulk-allocates State objects and their flat entry backing.
+// The evaluation engine's copy phases (target-state computation, the final
+// copy of Section 5) clone tens of thousands of small states per apply;
+// individually each clone is two heap objects, and the garbage collector's
+// mark cost on those dominates large fixpoints. An arena carves both the
+// structs and the entry slices out of chunked slabs, turning ~2n
+// allocations into ~2n/chunk and laying the states out contiguously.
+//
+// Arena-backed states are ordinary *State values: every entry slice is
+// capacity-clamped to its carve, so growing a state past its cloned size
+// reallocates onto the regular heap and can never overrun a neighbouring
+// carve. Spilled (map-form) states fall back to regular map allocation.
+//
+// An arena is single-goroutine; concurrent cloners use one arena each. The
+// slabs stay reachable for as long as any state carved from them lives —
+// appropriate for the copy phases, which retain every clone they make.
+type StateArena struct {
+	states  []State
+	entries []appEntry
+}
+
+const (
+	arenaStateChunk = 1024
+	arenaEntryChunk = 8192
+)
+
+// newState carves one zeroed State.
+func (a *StateArena) newState() *State {
+	if len(a.states) == 0 {
+		a.states = make([]State, arenaStateChunk)
+	}
+	s := &a.states[0]
+	a.states = a.states[1:]
+	return s
+}
+
+// carve returns an empty entry slice with capacity exactly n, backed by the
+// slab. Requests larger than a chunk go straight to the heap.
+func (a *StateArena) carve(n int) []appEntry {
+	if n > arenaEntryChunk {
+		return make([]appEntry, 0, n)
+	}
+	if len(a.entries) < n {
+		a.entries = make([]appEntry, arenaEntryChunk)
+	}
+	out := a.entries[0:0:n]
+	a.entries = a.entries[n:]
+	return out
+}
+
+// New returns an empty arena-backed state. Its first few Adds allocate
+// entry storage on the regular heap, like a zero State.
+func (a *StateArena) New() *State { return a.newState() }
+
+// Clone is State.Clone with arena-backed storage for the flat form.
+func (a *StateArena) Clone(s *State) *State {
+	if !s.flat() {
+		out := a.newState()
+		*out = *s.Clone()
+		return out
+	}
+	out := a.newState()
+	out.size = s.size
+	if len(s.entries) > 0 {
+		out.entries = append(a.carve(len(s.entries)), s.entries...)
+	}
+	return out
+}
+
+// CloneFinal clones s dropping every exists application and appending the
+// single canonical one (exists -> o) — the state shape the final base of
+// Section 5 stores per object. One carve covers both the surviving entries
+// and the appended exists application.
+func (a *StateArena) CloneFinal(s *State, o term.OID) *State {
+	existsKey := term.MethodKey{Method: term.ExistsMethod}
+	if !s.flat() {
+		out := a.newState()
+		*out = *s.CloneWithoutMethod(term.ExistsMethod)
+		out.Add(existsKey, o)
+		return out
+	}
+	out := a.newState()
+	entries := a.carve(len(s.entries) + 1)
+	for _, e := range s.entries {
+		if e.key.Method != term.ExistsMethod {
+			entries = append(entries, e)
+		}
+	}
+	entries = append(entries, appEntry{key: existsKey, r: o})
+	out.entries = entries
+	out.size = len(entries)
+	return out
+}

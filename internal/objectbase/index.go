@@ -1,0 +1,131 @@
+package objectbase
+
+import "verlog/internal/term"
+
+// resultKey addresses the (path, method, result-constant) index.
+type resultKey struct {
+	Path   term.Path
+	Method string
+	Result term.OID
+}
+
+// argKey addresses the (path, method, first-arg-constant) index.
+type argKey struct {
+	Path   term.Path
+	Method string
+	Arg    term.OID
+}
+
+// LiteralIndex is the secondary hash index over a base that compiled match
+// plans probe instead of scanning byPathMethod: for every
+// (path, method, result constant) and (path, method, first-arg constant)
+// it lists the VIDs carrying a matching application.
+//
+// An index is a point-in-time structure. The evaluator only probes it for
+// path-0 literals: rule heads always target paths of length ≥ 1
+// (Update.Target pushes an update kind onto the version path), so the
+// path-0 stratum of a base never changes during a fixpoint and an index
+// built from the input base stays exact for those literals for the whole
+// evaluation. Frozen bases cache their index (see Base.Index) so all
+// snapshot readers of one published head share a single build.
+type LiteralIndex struct {
+	byResult map[resultKey][]term.GVID
+	byArg    map[argKey][]term.GVID
+	facts    int // base size at build time, for staleness-checking in tests
+}
+
+// BuildIndex constructs a literal index over the base's current contents.
+// Prefer Base.Index, which caches on frozen bases.
+func BuildIndex(b *Base) *LiteralIndex {
+	idx := &LiteralIndex{
+		byResult: make(map[resultKey][]term.GVID),
+		byArg:    make(map[argKey][]term.GVID),
+		facts:    b.Size(),
+	}
+	var seenR []resultKey // per-state dedup scratch
+	var seenA []argKey
+	b.forEachState(func(v term.GVID, s *State) {
+		seenR = seenR[:0]
+		seenA = seenA[:0]
+		s.ForEach(func(k term.MethodKey, r term.OID) {
+			rk := resultKey{Path: v.Path, Method: k.Method, Result: r}
+			dup := false
+			for _, p := range seenR {
+				if p == rk {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seenR = append(seenR, rk)
+				idx.byResult[rk] = append(idx.byResult[rk], v)
+			}
+			if k.Args.Len() > 0 {
+				if a0, ok := k.Args.First(); ok {
+					ak := argKey{Path: v.Path, Method: k.Method, Arg: a0}
+					dup = false
+					for _, p := range seenA {
+						if p == ak {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						seenA = append(seenA, ak)
+						idx.byArg[ak] = append(idx.byArg[ak], v)
+					}
+				}
+			}
+		})
+	})
+	return idx
+}
+
+// Index returns the literal index for the base. On frozen bases the index
+// is built once, lazily, and shared by all readers; on mutable bases a
+// fresh index is built per call and reflects the contents at call time.
+func (b *Base) Index() *LiteralIndex {
+	if !b.frozen {
+		return BuildIndex(b)
+	}
+	if idx := b.idx.Load(); idx != nil {
+		return idx
+	}
+	b.idxMu.Lock()
+	defer b.idxMu.Unlock()
+	if idx := b.idx.Load(); idx != nil {
+		return idx
+	}
+	idx := BuildIndex(b)
+	b.idx.Store(idx)
+	return idx
+}
+
+// VIDsWithResult returns the VIDs on the given path carrying
+// method@... -> result, for any argument tuple. The returned slice is
+// shared; callers must not mutate it.
+func (ix *LiteralIndex) VIDsWithResult(path term.Path, method string, result term.OID) []term.GVID {
+	return ix.byResult[resultKey{Path: path, Method: method, Result: result}]
+}
+
+// VIDsWithArg returns the VIDs on the given path carrying an application of
+// method whose first argument is the given constant. The returned slice is
+// shared; callers must not mutate it.
+func (ix *LiteralIndex) VIDsWithArg(path term.Path, method string, arg term.OID) []term.GVID {
+	return ix.byArg[argKey{Path: path, Method: method, Arg: arg}]
+}
+
+// CountVIDsWithResult returns the selectivity estimate for a
+// result-constant probe — the planner's refinement over
+// Base.CountVIDsWith when the literal fixes its result.
+func (ix *LiteralIndex) CountVIDsWithResult(path term.Path, method string, result term.OID) int {
+	return len(ix.byResult[resultKey{Path: path, Method: method, Result: result}])
+}
+
+// CountVIDsWithArg is the selectivity estimate for a first-arg probe.
+func (ix *LiteralIndex) CountVIDsWithArg(path term.Path, method string, arg term.OID) int {
+	return len(ix.byArg[argKey{Path: path, Method: method, Arg: arg}])
+}
+
+// Facts returns the base size captured at build time.
+func (ix *LiteralIndex) Facts() int { return ix.facts }

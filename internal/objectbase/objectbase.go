@@ -10,144 +10,20 @@
 // The reserved method exists (Section 3) is stored like any other fact:
 // every object o of a well-formed base carries o.exists -> o, and every
 // version copied from it carries v.exists -> o. EnsureObject seeds it.
+//
+// A Base can be a copy-on-write overlay over a frozen parent (Overlay):
+// reads merge the two layers, writes land in the overlay only. The
+// evaluator uses overlays to avoid deep-copying the head snapshot on every
+// apply.
 package objectbase
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"verlog/internal/term"
 )
-
-// State is the state of one version: all its method applications.
-type State struct {
-	apps map[term.MethodKey]map[term.OID]struct{}
-	size int
-}
-
-// NewState returns an empty state.
-func NewState() *State {
-	return &State{apps: make(map[term.MethodKey]map[term.OID]struct{})}
-}
-
-// Clone returns a deep copy of the state.
-func (s *State) Clone() *State {
-	out := &State{apps: make(map[term.MethodKey]map[term.OID]struct{}, len(s.apps)), size: s.size}
-	for k, rs := range s.apps {
-		cp := make(map[term.OID]struct{}, len(rs))
-		for r := range rs {
-			cp[r] = struct{}{}
-		}
-		out.apps[k] = cp
-	}
-	return out
-}
-
-// Size returns the number of method applications in the state.
-func (s *State) Size() int { return s.size }
-
-// Empty reports whether the state holds no method applications at all.
-func (s *State) Empty() bool { return s.size == 0 }
-
-// OnlyExists reports whether the state holds nothing but exists
-// applications — the "fully deleted" shape of Section 5.
-func (s *State) OnlyExists() bool {
-	for k, rs := range s.apps {
-		if k.Method != term.ExistsMethod && len(rs) > 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Has reports whether the state contains the application key -> result.
-func (s *State) Has(key term.MethodKey, result term.OID) bool {
-	_, ok := s.apps[key][result]
-	return ok
-}
-
-// HasMethod reports whether any application of the given key is present.
-func (s *State) HasMethod(key term.MethodKey) bool { return len(s.apps[key]) > 0 }
-
-// Add inserts an application, reporting whether it was new.
-func (s *State) Add(key term.MethodKey, result term.OID) bool {
-	rs, ok := s.apps[key]
-	if !ok {
-		rs = make(map[term.OID]struct{}, 1)
-		s.apps[key] = rs
-	}
-	if _, dup := rs[result]; dup {
-		return false
-	}
-	rs[result] = struct{}{}
-	s.size++
-	return true
-}
-
-// Remove deletes an application, reporting whether it was present.
-func (s *State) Remove(key term.MethodKey, result term.OID) bool {
-	rs, ok := s.apps[key]
-	if !ok {
-		return false
-	}
-	if _, present := rs[result]; !present {
-		return false
-	}
-	delete(rs, result)
-	if len(rs) == 0 {
-		delete(s.apps, key)
-	}
-	s.size--
-	return true
-}
-
-// ForEach calls fn for every application in the state. Iteration order is
-// unspecified.
-func (s *State) ForEach(fn func(key term.MethodKey, result term.OID)) {
-	for k, rs := range s.apps {
-		for r := range rs {
-			fn(k, r)
-		}
-	}
-}
-
-// ForEachOfMethod calls fn for every application of the named method,
-// across all argument tuples.
-func (s *State) ForEachOfMethod(method string, fn func(key term.MethodKey, result term.OID)) {
-	for k, rs := range s.apps {
-		if k.Method != method {
-			continue
-		}
-		for r := range rs {
-			fn(k, r)
-		}
-	}
-}
-
-// ForEachResult calls fn for every result of the exact method key.
-func (s *State) ForEachResult(key term.MethodKey, fn func(result term.OID)) {
-	for r := range s.apps[key] {
-		fn(r)
-	}
-}
-
-// Equal reports whether two states hold the same applications.
-func (s *State) Equal(t *State) bool {
-	if s.size != t.size || len(s.apps) != len(t.apps) {
-		return false
-	}
-	for k, rs := range s.apps {
-		ts, ok := t.apps[k]
-		if !ok || len(ts) != len(rs) {
-			return false
-		}
-		for r := range rs {
-			if _, ok := ts[r]; !ok {
-				return false
-			}
-		}
-	}
-	return true
-}
 
 type pathMethod struct {
 	Path   term.Path
@@ -156,24 +32,52 @@ type pathMethod struct {
 
 // Base is an object base: a set of ground version-terms.
 type Base struct {
+	// parent is the read-only base this overlay shadows, nil for root
+	// bases. A VID present in states fully shadows the parent's state for
+	// that VID; an empty own state is a tombstone (version deleted).
+	parent *Base
 	states map[term.GVID]*State
 	// byPathMethod indexes, for every (VID path, method) pair, the set of
 	// VIDs that carry at least one application of that method. It serves
 	// body literals whose version-id-term has an unbound base, e.g.
-	// mod(E).sal -> S.
+	// mod(E).sal -> S. On overlays it covers the own layer only; readers
+	// merge with the parent's.
 	byPathMethod map[pathMethod]map[term.GVID]struct{}
-	size         int
+	// overridesByPath counts own-layer states (including tombstones) per
+	// path, so parent scans can skip the per-VID shadow check entirely for
+	// paths the overlay never touched. Only allocated on overlays.
+	overridesByPath map[term.Path]int
+	// size is the number of facts visible through this base (parent layers
+	// included).
+	size  int
+	depth int // overlay chain length; 0 for root bases
 	// frozen marks a base published for concurrent readers; every mutator
 	// panics on it. See Freeze.
 	frozen bool
+	// vidStale marks byPathMethod as deferred: mutators skip index
+	// maintenance and the first reader rebuilds it in one pass over states.
+	// Bulk constructions (Flatten, the engine's copy phase) write thousands
+	// of states that are often read back only through direct state lookups;
+	// deferring turns the per-SetState index churn into at most one build.
+	vidStale bool
+
+	// idx caches the literal index of a frozen base so all snapshot
+	// readers share one build. idxMu serialises the build; idx is the
+	// lock-free fast path. Clone and Overlay deliberately do not carry
+	// the cache over.
+	idxMu sync.Mutex
+	idx   atomic.Pointer[LiteralIndex]
 }
 
 // Freeze marks the base immutable and returns it. A frozen base is safe to
 // share across goroutines without locking: every mutating method panics,
 // so a published snapshot can never be changed under a reader's feet.
-// Clone returns an unfrozen deep copy, which is the only way to derive a
-// mutable base from a frozen one.
+// Clone returns an unfrozen deep copy, and Overlay a copy-on-write child;
+// those are the ways to derive a mutable base from a frozen one.
 func (b *Base) Freeze() *Base {
+	// Readers must never trigger a rebuild on a shared frozen base, so any
+	// deferred VID index is materialized before publication.
+	b.ensureVIDIndex()
 	b.frozen = true
 	return b
 }
@@ -190,30 +94,215 @@ func (b *Base) mutable() {
 
 // New returns an empty object base.
 func New() *Base {
+	return NewSized(0)
+}
+
+// NewSized returns an empty object base with room for about n versions
+// pre-allocated, sparing bulk constructions the incremental map growth.
+func NewSized(n int) *Base {
 	return &Base{
-		states:       make(map[term.GVID]*State),
+		states:       make(map[term.GVID]*State, n),
 		byPathMethod: make(map[pathMethod]map[term.GVID]struct{}),
 	}
 }
 
-// Clone returns a deep copy of the base.
-func (b *Base) Clone() *Base {
-	out := &Base{
-		states:       make(map[term.GVID]*State, len(b.states)),
-		byPathMethod: make(map[pathMethod]map[term.GVID]struct{}, len(b.byPathMethod)),
-		size:         b.size,
+// Overlay returns a mutable copy-on-write view of parent: reads see the
+// parent's facts, writes land only in the overlay. The parent must be
+// frozen — the overlay holds a reference, and a later mutation of the
+// parent would change the overlay's view under its feet.
+func Overlay(parent *Base) *Base {
+	if !parent.Frozen() {
+		panic("objectbase: Overlay of an unfrozen base")
 	}
-	for v, s := range b.states {
-		out.states[v] = s.Clone()
+	return &Base{
+		parent:          parent,
+		states:          make(map[term.GVID]*State),
+		byPathMethod:    make(map[pathMethod]map[term.GVID]struct{}),
+		overridesByPath: make(map[term.Path]int),
+		size:            parent.size,
+		depth:           parent.depth + 1,
+		// The own-layer VID index starts deferred: fixpoints whose body
+		// literals never scan derived (pushed-path) versions never build
+		// it. The first scan materializes it and maintenance turns eager.
+		vidStale: true,
 	}
-	for pm, vs := range b.byPathMethod {
-		cp := make(map[term.GVID]struct{}, len(vs))
-		for v := range vs {
-			cp[v] = struct{}{}
-		}
-		out.byPathMethod[pm] = cp
-	}
+}
+
+// Parent returns the base this overlay shadows, or nil for root bases.
+func (b *Base) Parent() *Base { return b.parent }
+
+// Depth returns the overlay chain length (0 for root bases). Callers that
+// re-publish evaluation results as new heads should Flatten once depth
+// grows, to keep read amplification bounded.
+func (b *Base) Depth() int { return b.depth }
+
+// Flatten materialises the effective contents into a fresh root base,
+// cutting any overlay chain. The copy's VID index is deferred: it is built
+// on first use (or on Freeze), not during the copy.
+func (b *Base) Flatten() *Base {
+	out := New()
+	out.vidStale = true
+	b.forEachState(func(v term.GVID, s *State) {
+		cp := s.Clone()
+		out.states[v] = cp
+		out.size += cp.Size()
+	})
 	return out
+}
+
+// Clone returns an unfrozen deep copy of the base. Overlay chains are
+// flattened in the copy.
+func (b *Base) Clone() *Base {
+	return b.Flatten()
+}
+
+// stateOf returns the effective (merged) state of v, or nil when the
+// version is absent or tombstoned.
+func (b *Base) stateOf(v term.GVID) *State {
+	for bb := b; bb != nil; bb = bb.parent {
+		if s, ok := bb.states[v]; ok {
+			if s.Empty() {
+				return nil
+			}
+			return s
+		}
+	}
+	return nil
+}
+
+// forEachState calls fn for every effective version state, merging overlay
+// layers (shadowed and tombstoned parent entries are skipped).
+func (b *Base) forEachState(fn func(v term.GVID, s *State)) {
+	if b.parent == nil {
+		for v, s := range b.states {
+			if !s.Empty() {
+				fn(v, s)
+			}
+		}
+		return
+	}
+	var shadow map[term.GVID]struct{}
+	for bb := b; bb != nil; bb = bb.parent {
+		for v, s := range bb.states {
+			if shadow != nil {
+				if _, hidden := shadow[v]; hidden {
+					continue
+				}
+			}
+			if !s.Empty() {
+				fn(v, s)
+			}
+		}
+		if bb.parent != nil && len(bb.states) > 0 {
+			if shadow == nil {
+				shadow = make(map[term.GVID]struct{}, len(bb.states))
+			}
+			for v := range bb.states {
+				shadow[v] = struct{}{}
+			}
+		}
+	}
+}
+
+// DeferVIDIndex switches the base to deferred VID indexing: subsequent
+// mutations skip byPathMethod maintenance, and the first scan-style reader
+// (ForEachVIDWith and friends) rebuilds the index in a single pass. Only
+// root bases defer — overlays keep their per-path override bookkeeping
+// live — and bases that are never scanned never pay for the index at all.
+func (b *Base) DeferVIDIndex() {
+	b.mutable()
+	if b.parent != nil {
+		panic("objectbase: DeferVIDIndex on an overlay")
+	}
+	b.vidStale = true
+}
+
+// ensureVIDIndex rebuilds a deferred byPathMethod index. Rebuilding once,
+// with the full population known, replaces the incremental grow-and-rehash
+// cost of per-mutation maintenance.
+func (b *Base) ensureVIDIndex() {
+	if !b.vidStale {
+		return
+	}
+	b.vidStale = false
+	clear(b.byPathMethod)
+	for v, s := range b.states {
+		if s.Empty() {
+			continue
+		}
+		s.forEachMethod(func(m string) { b.indexVID(v, m) })
+	}
+}
+
+// EnsureVIDIndex materializes a deferred VID index immediately. Callers
+// that expose a mutable base to phase-alternating concurrent readers (the
+// evaluator's parallel matchers scan between mutation phases) call it once
+// up front so later scans are pure reads. Frozen bases never need it:
+// Freeze materializes before publication.
+func (b *Base) EnsureVIDIndex() { b.ensureVIDIndex() }
+
+// VersionCount returns an upper bound on the number of versions carrying
+// facts: own-layer and parent states summed without discounting shadowed
+// or tombstoned entries. It is a constant-time sizing hint, not a truth
+// value.
+func (b *Base) VersionCount() int {
+	n := 0
+	for bb := b; bb != nil; bb = bb.parent {
+		n += len(bb.states)
+	}
+	return n
+}
+
+// indexVID registers v in byPathMethod for the given method.
+func (b *Base) indexVID(v term.GVID, method string) {
+	if b.vidStale {
+		return
+	}
+	pm := pathMethod{Path: v.Path, Method: method}
+	vs, ok := b.byPathMethod[pm]
+	if !ok {
+		vs = make(map[term.GVID]struct{}, 1)
+		b.byPathMethod[pm] = vs
+	}
+	vs[v] = struct{}{}
+}
+
+// unindexVID removes v from byPathMethod for the given method.
+func (b *Base) unindexVID(v term.GVID, method string) {
+	if b.vidStale {
+		return
+	}
+	pm := pathMethod{Path: v.Path, Method: method}
+	if vs := b.byPathMethod[pm]; vs != nil {
+		delete(vs, v)
+		if len(vs) == 0 {
+			delete(b.byPathMethod, pm)
+		}
+	}
+}
+
+// ownMutableState returns the overlay-local state for v, copying the
+// parent's state up on first write. The returned state is registered in the
+// own layer (shadowing the parent) but may be empty.
+func (b *Base) ownMutableState(v term.GVID) *State {
+	if s, ok := b.states[v]; ok {
+		return s
+	}
+	var s *State
+	if b.parent != nil {
+		if ps := b.parent.stateOf(v); ps != nil {
+			s = ps.Clone()
+		}
+	}
+	if s == nil {
+		s = NewState()
+	}
+	b.states[v] = s
+	if b.parent != nil {
+		b.overridesByPath[v.Path]++
+		s.forEachMethod(func(m string) { b.indexVID(v, m) })
+	}
+	return s
 }
 
 // Size returns the number of facts in the base.
@@ -221,21 +310,20 @@ func (b *Base) Size() int { return b.size }
 
 // Has reports whether the fact is in the base.
 func (b *Base) Has(f term.Fact) bool {
-	s, ok := b.states[f.V]
-	return ok && s.Has(f.Key(), f.Result)
+	s := b.stateOf(f.V)
+	return s != nil && s.Has(f.Key(), f.Result)
 }
 
 // HasVersion reports whether the base holds any fact for v.
 func (b *Base) HasVersion(v term.GVID) bool {
-	s, ok := b.states[v]
-	return ok && !s.Empty()
+	return b.stateOf(v) != nil
 }
 
 // Exists reports whether v.exists -> o holds for some o, i.e. whether the
 // version "exists" in the sense of Section 3.
 func (b *Base) Exists(v term.GVID) bool {
-	s, ok := b.states[v]
-	return ok && s.HasMethod(term.MethodKey{Method: term.ExistsMethod})
+	s := b.stateOf(v)
+	return s != nil && s.HasMethod(term.MethodKey{Method: term.ExistsMethod})
 }
 
 // VStar returns v*, the largest subterm of v whose version exists in the
@@ -254,57 +342,51 @@ func (b *Base) VStar(v term.GVID) (term.GVID, bool) {
 // Insert adds a fact, reporting whether it was new.
 func (b *Base) Insert(f term.Fact) bool {
 	b.mutable()
-	s, ok := b.states[f.V]
-	if !ok {
-		s = NewState()
-		b.states[f.V] = s
-	}
-	if !s.Add(f.Key(), f.Result) {
+	if b.Has(f) {
 		return false
 	}
+	s := b.ownMutableState(f.V)
+	s.Add(f.Key(), f.Result)
 	b.size++
-	pm := pathMethod{Path: f.V.Path, Method: f.Method}
-	vs, ok := b.byPathMethod[pm]
-	if !ok {
-		vs = make(map[term.GVID]struct{}, 1)
-		b.byPathMethod[pm] = vs
-	}
-	vs[f.V] = struct{}{}
+	b.indexVID(f.V, f.Method)
 	return true
 }
 
 // Remove deletes a fact, reporting whether it was present.
 func (b *Base) Remove(f term.Fact) bool {
 	b.mutable()
-	s, ok := b.states[f.V]
-	if !ok || !s.Remove(f.Key(), f.Result) {
+	if !b.Has(f) {
 		return false
 	}
+	s := b.ownMutableState(f.V)
+	s.Remove(f.Key(), f.Result)
 	b.size--
 	if !s.HasAnyOfMethod(f.Method) {
-		pm := pathMethod{Path: f.V.Path, Method: f.Method}
-		if vs := b.byPathMethod[pm]; vs != nil {
-			delete(vs, f.V)
-			if len(vs) == 0 {
-				delete(b.byPathMethod, pm)
-			}
-		}
+		b.unindexVID(f.V, f.Method)
 	}
 	if s.Empty() {
-		delete(b.states, f.V)
+		b.dropOwnIfUnneeded(f.V)
 	}
 	return true
 }
 
-// HasAnyOfMethod reports whether the state has any application of the named
-// method, under any argument tuple.
-func (s *State) HasAnyOfMethod(method string) bool {
-	for k, rs := range s.apps {
-		if k.Method == method && len(rs) > 0 {
-			return true
+// dropOwnIfUnneeded removes an empty own-layer state unless it must stay as
+// a tombstone shadowing a parent state.
+func (b *Base) dropOwnIfUnneeded(v term.GVID) {
+	if b.parent != nil && b.parent.stateOf(v) != nil {
+		return // keep the empty state as a tombstone
+	}
+	if _, ok := b.states[v]; !ok {
+		return
+	}
+	delete(b.states, v)
+	if b.parent != nil {
+		if n := b.overridesByPath[v.Path] - 1; n > 0 {
+			b.overridesByPath[v.Path] = n
+		} else {
+			delete(b.overridesByPath, v.Path)
 		}
 	}
-	return false
 }
 
 // EnsureObject seeds o.exists -> o, making o an object of the base.
@@ -313,59 +395,88 @@ func (b *Base) EnsureObject(o term.OID) {
 }
 
 // SetState replaces the entire state of v. An empty or nil state removes
-// the version. It returns true when the base changed.
+// the version. It returns true when the base changed. The base takes
+// ownership of st; callers must not mutate it afterwards.
 func (b *Base) SetState(v term.GVID, st *State) bool {
 	b.mutable()
-	old, had := b.states[v]
-	if st == nil || st.Empty() {
-		if !had {
-			return false
-		}
-		b.dropState(v, old)
-		return true
+	if st != nil && st.Empty() {
+		st = nil
 	}
-	if had && old.Equal(st) {
+	old := b.stateOf(v)
+	if old == nil && st == nil {
 		return false
 	}
-	if had {
-		b.dropState(v, old)
+	if old != nil && st != nil && old.Equal(st) {
+		return false
 	}
-	b.states[v] = st
-	b.size += st.Size()
-	for k := range st.apps {
-		pm := pathMethod{Path: v.Path, Method: k.Method}
-		vs, ok := b.byPathMethod[pm]
-		if !ok {
-			vs = make(map[term.GVID]struct{}, 1)
-			b.byPathMethod[pm] = vs
-		}
-		vs[v] = struct{}{}
-	}
-	return true
-}
-
-func (b *Base) dropState(v term.GVID, old *State) {
-	b.size -= old.Size()
-	for k := range old.apps {
-		pm := pathMethod{Path: v.Path, Method: k.Method}
-		if vs := b.byPathMethod[pm]; vs != nil {
-			delete(vs, v)
-			if len(vs) == 0 {
-				delete(b.byPathMethod, pm)
+	// Unregister the current own-layer entry, if any.
+	if own, ok := b.states[v]; ok {
+		own.forEachMethod(func(m string) { b.unindexVID(v, m) })
+		delete(b.states, v)
+		if b.parent != nil {
+			if n := b.overridesByPath[v.Path] - 1; n > 0 {
+				b.overridesByPath[v.Path] = n
+			} else {
+				delete(b.overridesByPath, v.Path)
 			}
 		}
 	}
-	delete(b.states, v)
+	if old != nil {
+		b.size -= old.Size()
+	}
+	if st == nil {
+		// Deletion: leave a tombstone when a parent layer still has v.
+		if b.parent != nil && b.parent.stateOf(v) != nil {
+			b.states[v] = NewState()
+			b.overridesByPath[v.Path]++
+		}
+		return true
+	}
+	b.states[v] = st
+	b.size += st.Size()
+	if b.parent != nil {
+		b.overridesByPath[v.Path]++
+	}
+	st.forEachMethod(func(m string) { b.indexVID(v, m) })
+	return true
 }
 
-// StateOf returns the state of v, or nil. The returned state must not be
-// mutated by callers; use Clone first.
-func (b *Base) StateOf(v term.GVID) *State { return b.states[v] }
+// SetStateFresh installs a non-empty state for a version the caller knows
+// is absent from every layer of the base. It skips SetState's lookup,
+// equality and unregistration work — the bulk of the map traffic on hot
+// apply paths, where almost every target version is new. Calling it with a
+// version that already has a state (or an empty one) corrupts the base.
+func (b *Base) SetStateFresh(v term.GVID, st *State) {
+	b.mutable()
+	b.states[v] = st
+	b.size += st.Size()
+	if b.parent != nil {
+		b.overridesByPath[v.Path]++
+	}
+	if !b.vidStale {
+		st.forEachMethod(func(m string) { b.indexVID(v, m) })
+	}
+}
+
+// GrowStates hints that about n versions are about to receive their first
+// state. When the layer's own state map is still empty it is re-made with
+// that capacity, so a bulk apply pays one table allocation instead of the
+// incremental grow-and-rehash ladder. A no-op once any state exists.
+func (b *Base) GrowStates(n int) {
+	b.mutable()
+	if len(b.states) == 0 && n > 0 {
+		b.states = make(map[term.GVID]*State, n)
+	}
+}
+
+// StateOf returns the state of v, or nil. The returned state may be shared
+// with a parent layer and must not be mutated by callers; use Clone first.
+func (b *Base) StateOf(v term.GVID) *State { return b.stateOf(v) }
 
 // ForEachFactOf calls fn for every fact of version v.
 func (b *Base) ForEachFactOf(v term.GVID, fn func(f term.Fact)) {
-	s, ok := b.states[v]
-	if !ok {
+	s := b.stateOf(v)
+	if s == nil {
 		return
 	}
 	s.ForEach(func(k term.MethodKey, r term.OID) {
@@ -377,22 +488,43 @@ func (b *Base) ForEachFactOf(v term.GVID, fn func(f term.Fact)) {
 // least one application of the named method. It serves patterns with an
 // unbound version base.
 func (b *Base) ForEachVIDWith(path term.Path, method string, fn func(v term.GVID)) {
+	b.ensureVIDIndex()
 	for v := range b.byPathMethod[pathMethod{Path: path, Method: method}] {
 		fn(v)
 	}
+	if b.parent == nil {
+		return
+	}
+	if b.overridesByPath[path] == 0 {
+		b.parent.ForEachVIDWith(path, method, fn)
+		return
+	}
+	b.parent.ForEachVIDWith(path, method, func(v term.GVID) {
+		if _, shadowed := b.states[v]; !shadowed {
+			fn(v)
+		}
+	})
 }
 
 // CountVIDsWith returns how many VIDs with the given path carry at least
 // one application of the named method — the cardinality estimate the
-// statistics-based join planner orders generators by.
+// statistics-based join planner orders generators by. On overlays the
+// count may slightly overestimate (shadowed parent entries are not
+// discounted); it is an estimate, not a truth value.
 func (b *Base) CountVIDsWith(path term.Path, method string) int {
-	return len(b.byPathMethod[pathMethod{Path: path, Method: method}])
+	b.ensureVIDIndex()
+	n := len(b.byPathMethod[pathMethod{Path: path, Method: method}])
+	if b.parent != nil {
+		n += b.parent.CountVIDsWith(path, method)
+	}
+	return n
 }
 
 // ForEachVIDWithMethod calls fn for every VID, on any path, that carries
 // at least one application of the named method. It serves the any(...)
 // version wildcard of queries.
 func (b *Base) ForEachVIDWithMethod(method string, fn func(v term.GVID)) {
+	b.ensureVIDIndex()
 	for pm, vs := range b.byPathMethod {
 		if pm.Method != method {
 			continue
@@ -401,12 +533,24 @@ func (b *Base) ForEachVIDWithMethod(method string, fn func(v term.GVID)) {
 			fn(v)
 		}
 	}
+	if b.parent == nil {
+		return
+	}
+	if len(b.states) == 0 {
+		b.parent.ForEachVIDWithMethod(method, fn)
+		return
+	}
+	b.parent.ForEachVIDWithMethod(method, func(v term.GVID) {
+		if _, shadowed := b.states[v]; !shadowed {
+			fn(v)
+		}
+	})
 }
 
 // ForEachResult calls fn for each result r with v.method@args -> r in the
 // base.
 func (b *Base) ForEachResult(v term.GVID, key term.MethodKey, fn func(r term.OID)) {
-	if s, ok := b.states[v]; ok {
+	if s := b.stateOf(v); s != nil {
 		s.ForEachResult(key, fn)
 	}
 }
@@ -414,17 +558,24 @@ func (b *Base) ForEachResult(v term.GVID, key term.MethodKey, fn func(r term.OID
 // ForEachOfMethod calls fn for every application of the named method on v,
 // across argument tuples.
 func (b *Base) ForEachOfMethod(v term.GVID, method string, fn func(key term.MethodKey, r term.OID)) {
-	if s, ok := b.states[v]; ok {
+	if s := b.stateOf(v); s != nil {
 		s.ForEachOfMethod(method, fn)
 	}
+}
+
+// ForEachVID calls fn for every VID carrying facts, in unspecified order.
+// It is the allocation-free form of Versions/VersionsByObject for callers
+// that fold over versions without needing them sorted or grouped.
+func (b *Base) ForEachVID(fn func(v term.GVID)) {
+	b.forEachState(func(v term.GVID, _ *State) { fn(v) })
 }
 
 // Versions returns all VIDs carrying facts, sorted.
 func (b *Base) Versions() []term.GVID {
 	out := make([]term.GVID, 0, len(b.states))
-	for v := range b.states {
+	b.forEachState(func(v term.GVID, _ *State) {
 		out = append(out, v)
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
@@ -432,11 +583,11 @@ func (b *Base) Versions() []term.GVID {
 // Objects returns the OIDs of all objects: VIDs with empty path, sorted.
 func (b *Base) Objects() []term.OID {
 	var out []term.OID
-	for v := range b.states {
+	b.forEachState(func(v term.GVID, _ *State) {
 		if v.IsObject() {
 			out = append(out, v.Object)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
@@ -446,9 +597,9 @@ func (b *Base) Objects() []term.OID {
 // as versions, e.g. freshly inserted ones), sorted.
 func (b *Base) ObjectsWithVersions() []term.OID {
 	seen := map[term.OID]bool{}
-	for v := range b.states {
+	b.forEachState(func(v term.GVID, _ *State) {
 		seen[v.Object] = true
-	}
+	})
 	out := make([]term.OID, 0, len(seen))
 	for o := range seen {
 		out = append(out, o)
@@ -462,9 +613,9 @@ func (b *Base) ObjectsWithVersions() []term.OID {
 // prefer it over per-object VersionsOf calls in loops.
 func (b *Base) VersionsByObject() map[term.OID][]term.GVID {
 	out := make(map[term.OID][]term.GVID)
-	for v := range b.states {
+	b.forEachState(func(v term.GVID, _ *State) {
 		out[v.Object] = append(out[v.Object], v)
-	}
+	})
 	for _, vs := range out {
 		sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
 	}
@@ -475,11 +626,11 @@ func (b *Base) VersionsByObject() map[term.OID][]term.GVID {
 // deep.
 func (b *Base) VersionsOf(o term.OID) []term.GVID {
 	var out []term.GVID
-	for v := range b.states {
+	b.forEachState(func(v term.GVID, _ *State) {
 		if v.Object == o {
 			out = append(out, v)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
@@ -487,27 +638,31 @@ func (b *Base) VersionsOf(o term.OID) []term.GVID {
 // Facts returns every fact in the base, sorted for deterministic output.
 func (b *Base) Facts() []term.Fact {
 	out := make([]term.Fact, 0, b.size)
-	for v, s := range b.states {
+	b.forEachState(func(v term.GVID, s *State) {
 		s.ForEach(func(k term.MethodKey, r term.OID) {
 			out = append(out, term.Fact{V: v, Method: k.Method, Args: k.Args, Result: r})
 		})
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
 // Equal reports whether two bases hold the same facts.
 func (b *Base) Equal(c *Base) bool {
-	if b.size != c.size || len(b.states) != len(c.states) {
+	if b.size != c.size {
 		return false
 	}
-	for v, s := range b.states {
-		t, ok := c.states[v]
-		if !ok || !s.Equal(t) {
-			return false
+	equal := true
+	b.forEachState(func(v term.GVID, s *State) {
+		if !equal {
+			return
 		}
-	}
-	return true
+		t := c.stateOf(v)
+		if t == nil || !s.Equal(t) {
+			equal = false
+		}
+	})
+	return equal
 }
 
 // FromFacts builds a base from facts and seeds exists for every object that

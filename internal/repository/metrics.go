@@ -44,6 +44,11 @@ type Metrics struct {
 	// ReplicaApplies counts journal entries applied from a replication
 	// stream (follower mode) rather than evaluated locally.
 	ReplicaApplies *obs.Counter
+	// PlanCacheHits counts applies that reused compiled match plans from
+	// the per-program plan cache; PlanCacheMisses counts applies that had
+	// to compile (first sight of a program, or an expired seq class).
+	PlanCacheHits   *obs.Counter
+	PlanCacheMisses *obs.Counter
 }
 
 // Instrument wires the repository to the registry under the standard
@@ -64,6 +69,8 @@ func (r *Repository) Instrument(reg *obs.Registry) {
 		CommitWait:         reg.Histogram("verlog_commit_wait_seconds", "Time an apply waits for its group-commit batch to become durable."),
 		HeadCacheHits:      reg.Counter("verlog_head_cache_hits_total", "Reads served wait-free from the in-memory published head."),
 		ReplicaApplies:     reg.Counter("verlog_replica_applies_total", "Journal entries applied from a replication stream."),
+		PlanCacheHits:      reg.Counter("verlog_plan_cache_hits_total", "Applies that reused cached compiled match plans."),
+		PlanCacheMisses:    reg.Counter("verlog_plan_cache_misses_total", "Applies that compiled match plans afresh."),
 	}
 	r.metricsP.Store(m)
 	// The seq gauges read the published head at scrape time: head_seq is

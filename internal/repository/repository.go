@@ -199,6 +199,61 @@ type Repository struct {
 	// and head rewrites, truncation, recovery. The published head only
 	// advances under it.
 	diskMu sync.Mutex
+
+	// planMu guards the compiled-plan cache: program hash → the plans the
+	// last apply of that program compiled, tagged with the seq class of
+	// the head they were planned against. See cachedPlans.
+	planMu    sync.Mutex
+	planCache map[uint64]planEntry
+	planOrder []uint64
+}
+
+// planEntry is one compiled-plan cache slot.
+type planEntry struct {
+	cp       *eval.CompiledProgram
+	seqClass int
+}
+
+// Plan-cache sizing: plans are keyed by (program hash, head seq class).
+// The seq class advances every 2^planSeqClassBits commits, bounding how
+// stale the join-order statistics behind a reused plan can get — plans
+// stay correct regardless (estimates only pick the order), so the class
+// is a freshness knob, not a correctness one. planCacheSlots bounds
+// residency; eviction is FIFO, which is enough for the expected shape
+// (a handful of hot programs applied repeatedly).
+const (
+	planSeqClassBits = 6
+	planCacheSlots   = 64
+)
+
+// cachedPlans returns the cached compiled plans for a program hash, or nil
+// when absent or planned against an expired seq class.
+func (r *Repository) cachedPlans(hash uint64, seqClass int) *eval.CompiledProgram {
+	r.planMu.Lock()
+	defer r.planMu.Unlock()
+	e, ok := r.planCache[hash]
+	if !ok || e.seqClass != seqClass {
+		return nil
+	}
+	return e.cp
+}
+
+// storePlans caches freshly compiled plans, evicting FIFO past the slot
+// bound.
+func (r *Repository) storePlans(hash uint64, seqClass int, cp *eval.CompiledProgram) {
+	r.planMu.Lock()
+	defer r.planMu.Unlock()
+	if r.planCache == nil {
+		r.planCache = make(map[uint64]planEntry, planCacheSlots)
+	}
+	if _, ok := r.planCache[hash]; !ok {
+		if len(r.planOrder) >= planCacheSlots {
+			delete(r.planCache, r.planOrder[0])
+			r.planOrder = r.planOrder[1:]
+		}
+		r.planOrder = append(r.planOrder, hash)
+	}
+	r.planCache[hash] = planEntry{cp: cp, seqClass: seqClass}
 }
 
 func newRepository(dir string, fs fsio.FS) *Repository {
@@ -865,10 +920,25 @@ func (r *Repository) tryApply(p *term.Program, key string, opts []core.Option) (
 	r.commitMu.Unlock()
 
 	// Phase 1: evaluate against the immutable snapshot, no locks held.
+	// Reuse compiled plans from a previous apply of the same program when
+	// they were planned against the current seq class; a mismatched cache
+	// entry just recompiles inside eval, so a false hit costs nothing but
+	// the lookup.
+	ph := eval.ProgramHash(p)
+	seqClass := snap.seq >> planSeqClassBits
+	if cp := r.cachedPlans(ph, seqClass); cp != nil {
+		opts = append(opts[:len(opts):len(opts)], core.WithPlans(cp))
+		r.met().PlanCacheHits.Inc()
+	} else {
+		r.met().PlanCacheMisses.Inc()
+	}
 	eng := core.New(opts...)
 	res, err := eng.Apply(snap.base, p)
 	if err != nil {
 		return nil, Entry{}, false, false, err
+	}
+	if res.Plans != nil {
+		r.storePlans(ph, seqClass, res.Plans)
 	}
 	sp := eng.Span()
 	constraintStart := time.Now()

@@ -111,6 +111,14 @@ func (a Args) Decode() []OID {
 // Len returns the number of encoded arguments.
 func (a Args) Len() int { return len(a.Decode()) }
 
+// First returns the first encoded argument, if any.
+func (a Args) First() (OID, bool) {
+	if a.enc == "" {
+		return OID{}, false
+	}
+	return a.Decode()[0], true
+}
+
 // Compare orders argument tuples by length, then element-wise by OID order
 // — the order a human expects in sorted output (the raw encoding is
 // length-prefixed and would sort "plum" before "apple").

@@ -1,0 +1,5 @@
+//go:build !race
+
+package verlog
+
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package verlog
+
+// raceDetectorEnabled mirrors the -race flag for tests that time real
+// work: instrumentation slows applies several-fold, far past any margin
+// a wall-clock guard can absorb.
+const raceDetectorEnabled = true

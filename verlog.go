@@ -77,6 +77,9 @@ var (
 	WithParallelism = core.WithParallelism
 	// WithStaticPlanner disables statistics-based join ordering (ablation).
 	WithStaticPlanner = core.WithStaticPlanner
+	// WithInterpreted forces the map-substitution interpreter instead of
+	// compiled match plans (ablation; identical fixpoint).
+	WithInterpreted = core.WithInterpreted
 	// WithSpan collects the evaluation as a span tree under the given span:
 	// safety, stratification, every stratum's iterations down to per-rule
 	// matching, and the copy phase. Use NewSpanTrace to build the tree.
